@@ -1,0 +1,97 @@
+// Ablation — dynamic vs static map scheduling (design choice in
+// DESIGN.md).
+//
+// The engine schedules map chunks dynamically (atomic claim counter), as
+// Phoenix does.  To expose the straggler effect deterministically — and
+// independently of how many physical cores the build machine has — this
+// harness replays both policies in *virtual time*: each worker owns a
+// virtual clock; dynamic assignment hands the next chunk to the earliest
+// clock (what a claim counter converges to), static assignment fixes the
+// blocks up front.  Makespan = max worker clock.
+//
+// The skew pattern is the realistic bad case: a cluster of expensive
+// chunks at the front of the input (e.g. a header-heavy file region).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/table.hpp"
+#include "mapreduce/scheduler.hpp"
+
+using namespace mcsd;
+using namespace mcsd::mr;
+
+namespace {
+
+/// Virtual cost of chunk i, milliseconds.
+double chunk_cost(std::size_t i) { return i < 16 ? 160.0 : 10.0; }
+
+struct Outcome {
+  double makespan = 0.0;
+  double mean_busy = 0.0;
+  double imbalance = 0.0;  ///< makespan / mean busy time (1.0 = perfect)
+};
+
+Outcome replay_dynamic(std::size_t chunks, std::size_t workers) {
+  DynamicScheduler sched{chunks};
+  std::vector<double> clock(workers, 0.0);
+  // A claim counter serves chunks in order to whichever worker shows up
+  // next; in virtual time that is the worker with the smallest clock.
+  while (auto idx = sched.next()) {
+    const auto w = static_cast<std::size_t>(
+        std::min_element(clock.begin(), clock.end()) - clock.begin());
+    clock[w] += chunk_cost(*idx);
+  }
+  Outcome o;
+  for (double c : clock) {
+    o.makespan = std::max(o.makespan, c);
+    o.mean_busy += c;
+  }
+  o.mean_busy /= static_cast<double>(workers);
+  o.imbalance = o.makespan / o.mean_busy;
+  return o;
+}
+
+Outcome replay_static(std::size_t chunks, std::size_t workers) {
+  StaticScheduler sched{chunks, workers};
+  std::vector<double> clock(workers, 0.0);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const auto [begin, end] = sched.range(w);
+    for (std::size_t i = begin; i < end; ++i) clock[w] += chunk_cost(i);
+  }
+  Outcome o;
+  for (double c : clock) {
+    o.makespan = std::max(o.makespan, c);
+    o.mean_busy += c;
+  }
+  o.mean_busy /= static_cast<double>(workers);
+  o.imbalance = o.makespan / o.mean_busy;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kChunks = 256;
+
+  std::puts("=== Ablation: dynamic vs static map scheduling ===");
+  std::puts("(256 chunks, 16 expensive chunks clustered at the front,"
+            "\nvirtual-time replay; imbalance = makespan / mean busy, 1.00"
+            "\nis perfect)\n");
+
+  Table t{{"workers", "dynamic makespan (ms)", "static makespan (ms)",
+           "dynamic imbalance", "static imbalance", "static penalty"}};
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    const Outcome dyn = replay_dynamic(kChunks, workers);
+    const Outcome sta = replay_static(kChunks, workers);
+    t.add_row({std::to_string(workers), Table::num(dyn.makespan, 0),
+               Table::num(sta.makespan, 0), Table::num(dyn.imbalance, 2),
+               Table::num(sta.imbalance, 2),
+               Table::num(sta.makespan / dyn.makespan, 2) + "x"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\ncheck: dynamic stays ~1.0x-balanced at every width; static's"
+            "\nfirst block absorbs the expensive cluster and stalls the"
+            "\nwhole map phase behind one worker.");
+  return 0;
+}

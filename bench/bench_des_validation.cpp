@@ -1,0 +1,93 @@
+// Validation — discrete-event simulation vs the analytic models.
+//
+// The figure benches use closed-form models; this harness replays two of
+// their core assumptions event by event and reports the error:
+//   1. background-load slowdown: analytic `(1 - u)` bandwidth discount
+//      vs a processor-sharing link carrying the actual message stream;
+//   2. fair-share makespans: the malleable co-scheduler's fluid model vs
+//      a DES of the same two jobs on a shared CPU resource.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "cluster/des.hpp"
+#include "cluster/malleable.hpp"
+#include "core/table.hpp"
+
+using namespace mcsd;
+using namespace mcsd::sim;
+
+namespace {
+
+/// DES completion time of a bulk transfer under background messaging.
+double des_bulk_seconds(double link_mibps, double bulk_mib,
+                        double message_mib, double interval_s) {
+  Simulator sim;
+  Resource link{sim, "link", link_mibps};
+  bool done = false;
+  double finish = 0.0;
+  std::function<void()> pump = [&] {
+    if (done) return;
+    link.submit(message_mib, nullptr);
+    sim.schedule_in(interval_s, pump);
+  };
+  sim.schedule_at(0.0, pump);
+  link.submit(bulk_mib, [&] {
+    done = true;
+    finish = sim.now();
+  });
+  sim.run();
+  return finish;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== DES validation 1: background-load bandwidth discount ===");
+  std::puts("(200 MiB bulk transfer on a 100 MiB/s link; 64 KiB messages)\n");
+  {
+    Table t{{"background u", "analytic (s)", "DES (s)", "error"}};
+    for (const double u : {0.05, 0.10, 0.20, 0.35, 0.50}) {
+      const double message_mib = 0.0625;
+      const double interval = message_mib / (u * 100.0);
+      const double des = des_bulk_seconds(100.0, 200.0, message_mib, interval);
+      const double analytic = 200.0 / (100.0 * (1.0 - u));
+      t.add_row({Table::num(u, 2), Table::num(analytic, 2),
+                 Table::num(des, 2),
+                 Table::num((des - analytic) / analytic * 100.0, 1) + "%"});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\ncheck: the linear (1-u) discount tracks processor sharing"
+              "\nwithin a few percent across the load range the SMB model"
+              "\nuses.");
+  }
+
+  std::puts("\n=== DES validation 2: malleable fair-share makespan ===");
+  std::puts("(two parallel jobs on a 4-core node, fluid model vs DES)\n");
+  {
+    Table t{{"job A work", "job B work", "fluid A (s)", "DES A (s)",
+             "fluid B (s)", "DES B (s)"}};
+    const CpuModel cpu{4, 1.0};
+    for (const auto& [wa, wb] : std::vector<std::pair<double, double>>{
+             {20.0, 20.0}, {8.0, 40.0}, {4.0, 4.0}, {30.0, 10.0}}) {
+      const auto fluid = schedule_malleable(
+          {{"a", 0.0, wa, 0}, {"b", 0.0, wb, 0}}, cpu);
+
+      Simulator sim;
+      Resource cores{sim, "cpu", 4.0};  // 4 core-seconds per second
+      double fa = 0.0;
+      double fb = 0.0;
+      cores.submit(wa, [&] { fa = sim.now(); });
+      cores.submit(wb, [&] { fb = sim.now(); });
+      sim.run();
+
+      t.add_row({Table::num(wa, 0), Table::num(wb, 0),
+                 Table::num(fluid.finish_seconds[0], 2), Table::num(fa, 2),
+                 Table::num(fluid.finish_seconds[1], 2), Table::num(fb, 2)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\ncheck: identical — both implement equal-share scheduling;"
+              "\nthe scenario models inherit that agreement.");
+  }
+  return 0;
+}

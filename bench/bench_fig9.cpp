@@ -1,0 +1,61 @@
+// Fig. 9 — speedups of the Matrix-Multiplication / Word-Count pair.
+//
+// Four system configurations (Section V-C): host-only, traditional
+// single-core SD, McSD without partitioning, and the full McSD framework
+// (600 MB partitions) as the speedup reference.  Panels (a)(b)(c) of the
+// figure plot each alternative's elapsed time over the reference.
+//
+// Paper shape: traditional SD ≈ 2x flat; host-only and McSD-no-partition
+// near 1-2x below the memory threshold, exploding to ~17x / ~7x averages
+// past it (WC's 3x-of-input dirty footprint thrashes).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "cluster/scenarios.hpp"
+
+using namespace mcsd;
+using namespace mcsd::sim;
+using namespace mcsd::literals;
+
+int main(int argc, char** argv) {
+  const benchutil::BenchEnv env =
+      benchutil::parse_bench_env(argc, argv);
+  const Testbed& tb = env.tb;
+  const std::uint64_t partition = env.partition_size;
+  const std::vector<std::uint64_t> sizes{500_MiB, 750_MiB, 1_GiB,
+                                         1_GiB + 256_MiB};
+  const AppProfile& mm = env.mm;
+  const AppProfile& wc = env.wc;
+
+  std::puts("=== Fig. 9: MM/WC multi-application speedups ===");
+  std::puts("(reference: McSD partitioned, 600M fragments)\n");
+
+  Table t{{"size", "McSD part. (s)", "host-only (s)", "trad SD (s)",
+           "no-part (s)", "(a) host-only x", "(b) trad SD x",
+           "(c) no-part x"}};
+  for (const std::uint64_t bytes : sizes) {
+    const auto reference = run_pair(tb, PairScenario::kMcsdPartitioned, mm,
+                                    wc, bytes, partition);
+    const auto host = run_pair(tb, PairScenario::kHostOnly, mm, wc, bytes,
+                               partition);
+    const auto trad = run_pair(tb, PairScenario::kTraditionalSd, mm, wc,
+                               bytes, partition);
+    const auto nopart = run_pair(tb, PairScenario::kMcsdNoPartition, mm, wc,
+                                 bytes, partition);
+    const auto cell = [](const PairResult& r) {
+      return r.completed ? Table::num(r.makespan_seconds, 1) : "OOM";
+    };
+    const auto ratio = [&](const PairResult& r) {
+      return r.completed ? Table::num(speedup_vs(r, reference), 2) : "-";
+    };
+    t.add_row({format_bytes(bytes), Table::num(reference.makespan_seconds, 1),
+               cell(host), cell(trad), cell(nopart), ratio(host), ratio(trad),
+               ratio(nopart)});
+  }
+  benchutil::emit(env, t);
+  std::puts("\npaper check: (b) ~2x flat; (a) and (c) near-parity at 500M,"
+            "\nblowing up past the memory threshold, host-only worst"
+            "\n(paper averages past threshold: 17.4x and 6.8x).");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks of the core concurrency and utility primitives.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/config.hpp"
+#include "core/hash.hpp"
+#include "core/mpmc_queue.hpp"
+#include "core/random.hpp"
+#include "core/thread_pool.hpp"
+#include "mapreduce/sorter.hpp"
+
+namespace {
+
+using namespace mcsd;
+
+void BM_MpmcQueuePingPong(benchmark::State& state) {
+  MpmcQueue<int> q{64};
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_MpmcQueuePingPong);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  ThreadPool pool{2};
+  for (auto _ : state) {
+    TaskGroup group{pool};
+    std::atomic<int> n{0};
+    for (int i = 0; i < 64; ++i) {
+      group.run([&n] { n.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    benchmark::DoNotOptimize(n.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain);
+
+void BM_ParallelForWorkers(benchmark::State& state) {
+  ThreadPool pool{static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    std::atomic<int> n{0};
+    pool.parallel_for_workers(static_cast<std::size_t>(state.range(0)),
+                              [&n](std::size_t) {
+                                n.fetch_add(1, std::memory_order_relaxed);
+                              });
+    benchmark::DoNotOptimize(n.load());
+  }
+}
+BENCHMARK(BM_ParallelForWorkers)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const std::string word(static_cast<std::size_t>(state.range(0)), 'w');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv1a(word));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf{static_cast<std::size_t>(state.range(0)), 1.05};
+  Rng rng{2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_KeyValueMapRoundTrip(benchmark::State& state) {
+  KeyValueMap map;
+  for (int i = 0; i < 16; ++i) {
+    map.set("key" + std::to_string(i), "value with = and \n specials");
+  }
+  const std::string wire = map.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyValueMap::parse(wire));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_KeyValueMapRoundTrip);
+
+void BM_ParallelSortU64(benchmark::State& state) {
+  ThreadPool pool{2};
+  Rng rng{3};
+  std::vector<std::uint64_t> base(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : base) v = rng.next();
+  for (auto _ : state) {
+    auto copy = base;
+    mr::parallel_sort(copy, pool);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelSortU64)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Microbenchmarks of the MapReduce runtime (google-benchmark).
+//
+// Not a paper artifact — engineering sanity for the engine itself: map
+// throughput, combine effectiveness, identity-reduce path, worker sweep.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/matmul.hpp"
+#include "apps/stringmatch.hpp"
+#include "apps/wordcount.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace {
+
+using namespace mcsd;
+
+const std::string& corpus_1mib() {
+  static const std::string text = [] {
+    apps::CorpusOptions opts;
+    opts.bytes = 1 << 20;
+    opts.vocabulary = 5'000;
+    return apps::generate_corpus(opts);
+  }();
+  return text;
+}
+
+void BM_WordCountSequential(benchmark::State& state) {
+  const std::string& text = corpus_1mib();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::wordcount_sequential(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_WordCountSequential);
+
+void BM_WordCountEngine(benchmark::State& state) {
+  const std::string& text = corpus_1mib();
+  mr::Options opts;
+  opts.num_workers = static_cast<std::size_t>(state.range(0));
+  mr::Engine<apps::WordCountSpec> engine{opts};
+  const auto chunks = mr::split_text(text, 64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(apps::WordCountSpec{}, chunks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_WordCountEngine)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StringMatchEngine(benchmark::State& state) {
+  static const auto data = [] {
+    apps::LineFileOptions lf;
+    lf.bytes = 1 << 20;
+    std::string text = apps::generate_line_file(lf);
+    apps::KeysOptions ko;
+    ko.count = 8;
+    auto keys = apps::generate_and_plant_keys(text, ko);
+    return std::pair{std::move(text), std::move(keys)};
+  }();
+  apps::StringMatchSpec spec;
+  spec.keys = data.second;
+  mr::Options opts;
+  opts.num_workers = static_cast<std::size_t>(state.range(0));
+  mr::Engine<apps::StringMatchSpec> engine{opts};
+  const auto chunks = mr::split_lines(data.first, 64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(spec, chunks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.first.size()));
+}
+BENCHMARK(BM_StringMatchEngine)->Arg(1)->Arg(2);
+
+void BM_MatMulEngine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const apps::Matrix a = apps::generate_matrix(n, n, 1);
+  const apps::Matrix b = apps::generate_matrix(n, n, 2);
+  apps::MatMulSpec spec;
+  spec.a = &a;
+  spec.b = &b;
+  mr::Options opts;
+  opts.num_workers = 2;
+  mr::Engine<apps::MatMulSpec> engine{opts};
+  const auto chunks = mr::split_index(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(spec, chunks));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMulEngine)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TextSplit(benchmark::State& state) {
+  const std::string& text = corpus_1mib();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mr::split_text(text, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_TextSplit)->Arg(4 << 10)->Arg(64 << 10)->Arg(256 << 10);
+
+}  // namespace

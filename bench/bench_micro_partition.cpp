@@ -1,0 +1,53 @@
+// Microbenchmarks of the partition module: the integrity check is
+// claimed to be O(record length) amortised to ~0 — this measures it.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace mcsd;
+
+const std::string& corpus_4mib() {
+  static const std::string text = [] {
+    apps::CorpusOptions opts;
+    opts.bytes = 4 << 20;
+    return apps::generate_corpus(opts);
+  }();
+  return text;
+}
+
+void BM_IntegrityCheck(benchmark::State& state) {
+  const std::string& text = corpus_4mib();
+  std::size_t cut = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::integrity_check(text, cut));
+    cut = (cut * 2654435761u + 17) % text.size();
+  }
+}
+BENCHMARK(BM_IntegrityCheck);
+
+void BM_Partition(benchmark::State& state) {
+  const std::string& text = corpus_4mib();
+  part::PartitionOptions opts;
+  opts.partition_size = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::partition(text, opts));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_Partition)->Arg(64 << 10)->Arg(512 << 10)->Arg(2 << 20);
+
+void BM_AutoPartitionSize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        part::auto_partition_size(4ULL << 30, 2ULL << 30, 3.0));
+  }
+}
+BENCHMARK(BM_AutoPartitionSize);
+
+}  // namespace

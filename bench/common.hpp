@@ -1,0 +1,74 @@
+// Shared harness plumbing for the figure benches.
+//
+// Every bench accepts:
+//   --csv              emit CSV instead of the boxed table
+//   --calibrate        derive app rates from the real kernels on this
+//                      machine (absolute seconds change, ratios do not)
+//   --partition=600M   fragment size for partition-enabled runs
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/calibration.hpp"
+#include "cluster/profiles.hpp"
+#include "cluster/testbed.hpp"
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace mcsd::benchutil {
+
+struct BenchEnv {
+  sim::Testbed tb = sim::table1_testbed();
+  sim::AppProfile wc = sim::wordcount_profile();
+  sim::AppProfile sm = sim::stringmatch_profile();
+  sim::AppProfile mm = sim::matmul_profile();
+  std::uint64_t partition_size = 600ULL << 20;
+  bool csv = false;
+  bool calibrated = false;
+};
+
+/// Parses the standard bench options; exits on --help or bad input.
+inline BenchEnv parse_bench_env(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.add_flag("csv", "emit CSV instead of boxed tables");
+  cli.add_flag("calibrate",
+               "measure this machine's kernels for the app rates");
+  cli.add_option("partition", "600M", "fragment size for partitioned runs");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fputs(s.error().message().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::exit(s.error().code() == ErrorCode::kUnavailable ? 0 : 2);
+  }
+  BenchEnv env;
+  env.csv = cli.flag("csv");
+  if (auto p = cli.option_bytes("partition"); p.is_ok()) {
+    env.partition_size = p.value();
+  } else {
+    std::fprintf(stderr, "%s\n", p.error().to_string().c_str());
+    std::exit(2);
+  }
+  if (cli.flag("calibrate")) {
+    const sim::CalibrationResult measured = sim::calibrate();
+    env.wc = sim::calibrated_wordcount_profile(measured);
+    env.sm = sim::calibrated_stringmatch_profile(measured);
+    env.mm = sim::calibrated_matmul_profile(measured);
+    env.calibrated = true;
+    std::fprintf(stderr,
+                 "# calibrated on this machine: wc %.0f MiB/s, sm %.0f "
+                 "MiB/s, mm %.0f MiB/s (%.2fs)\n",
+                 measured.wordcount_mibps, measured.stringmatch_mibps,
+                 measured.matmul_mibps, measured.measure_seconds);
+  }
+  return env;
+}
+
+/// Renders per --csv preference.
+inline void emit(const BenchEnv& env, const Table& table) {
+  std::fputs(env.csv ? table.to_csv().c_str() : table.render().c_str(),
+             stdout);
+}
+
+}  // namespace mcsd::benchutil

@@ -1,0 +1,81 @@
+// Cluster-scenario demo: the Section V-C experiment, narrated.
+//
+// Runs one MM/WC pair at one data size through all four system
+// configurations on the simulated Table-I testbed and explains where the
+// time goes in each — a guided version of what bench_fig9 sweeps.
+//
+// Usage:  ./build/examples/cluster_scenarios [size]     (default 1G)
+#include <cstdio>
+#include <string>
+
+#include "cluster/profiles.hpp"
+#include "cluster/scenarios.hpp"
+#include "core/units.hpp"
+
+using namespace mcsd;
+using namespace mcsd::sim;
+using namespace mcsd::literals;
+
+namespace {
+
+void describe(const char* banner, const PairResult& r) {
+  std::printf("%s\n", banner);
+  if (!r.completed) {
+    std::printf("   FAILED: %s\n\n", r.note.c_str());
+    return;
+  }
+  const JobCost& d = r.data_job_cost;
+  std::printf("   makespan %.1fs  (MM %.1fs | data job %.1fs)\n",
+              r.makespan_seconds, r.compute_job_seconds, r.data_job_seconds);
+  std::printf("   data job: read %.1fs, compute %.1fs, thrash %.1fs, "
+              "overhead %.1fs, %zu fragment(s)\n\n",
+              d.read_seconds, d.compute_seconds, d.thrash_seconds,
+              d.overhead_seconds, d.fragments);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t bytes = 1_GiB;
+  if (argc > 1) {
+    auto parsed = parse_bytes(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "bad size '%s': %s\n", argv[1],
+                   parsed.error().to_string().c_str());
+      return 1;
+    }
+    bytes = parsed.value();
+  }
+
+  const Testbed tb = table1_testbed();
+  const AppProfile mm = matmul_profile();
+  const AppProfile wc = wordcount_profile();
+  const std::uint64_t partition = 600_MiB;
+
+  std::printf("=== MM/WC pair at %s on the Table-I testbed ===\n\n",
+              format_bytes(bytes).c_str());
+
+  const auto host =
+      run_pair(tb, PairScenario::kHostOnly, mm, wc, bytes, partition);
+  const auto trad =
+      run_pair(tb, PairScenario::kTraditionalSd, mm, wc, bytes, partition);
+  const auto nopart =
+      run_pair(tb, PairScenario::kMcsdNoPartition, mm, wc, bytes, partition);
+  const auto mcsd =
+      run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc, bytes, partition);
+
+  describe("1) host-only: both jobs on the quad host; data pulled over NFS",
+           host);
+  describe("2) traditional SD: WC sequential on a single-core storage node",
+           trad);
+  describe("3) McSD without partitioning: stock Phoenix on the duo SD node",
+           nopart);
+  describe("4) McSD (full framework): partition-enabled on the duo SD node",
+           mcsd);
+
+  std::puts("speedups over the full framework (the paper's metric):");
+  std::printf("   host-only       %.2fx\n", speedup_vs(host, mcsd));
+  std::printf("   traditional SD  %.2fx\n", speedup_vs(trad, mcsd));
+  std::printf("   no-partition    %.2fx\n", speedup_vs(nopart, mcsd));
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "apps/datagen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/random.hpp"
+
+namespace mcsd::apps {
+
+std::vector<std::string> generate_vocabulary(std::size_t count,
+                                             std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::string> vocab;
+  vocab.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Word lengths 3..12, roughly geometric like English.
+    const auto length = static_cast<std::size_t>(3 + rng.next_below(10));
+    std::string word;
+    word.reserve(length);
+    for (std::size_t j = 0; j < length; ++j) {
+      word.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    vocab.push_back(std::move(word));
+  }
+  return vocab;
+}
+
+std::string generate_corpus(const CorpusOptions& options) {
+  if (options.vocabulary == 0) {
+    throw std::invalid_argument("corpus vocabulary must be > 0");
+  }
+  const std::vector<std::string> vocab =
+      generate_vocabulary(options.vocabulary, options.seed ^ 0xC0FFEE);
+  const ZipfSampler zipf{options.vocabulary, options.zipf_s};
+  Rng rng{options.seed};
+
+  std::string out;
+  out.reserve(options.bytes + 16);
+  std::size_t words_on_line = 0;
+  while (out.size() < options.bytes) {
+    const std::string& word = vocab[zipf.sample(rng)];
+    out += word;
+    ++words_on_line;
+    // Lines average words_per_line words (uniform jitter +-50%).
+    const std::size_t line_target =
+        options.words_per_line / 2 +
+        static_cast<std::size_t>(rng.next_below(options.words_per_line + 1));
+    if (words_on_line >= std::max<std::size_t>(line_target, 1)) {
+      out += '\n';
+      words_on_line = 0;
+    } else {
+      out += ' ';
+    }
+  }
+  if (out.empty() || out.back() != '\n') out += '\n';
+  return out;
+}
+
+std::string generate_line_file(const LineFileOptions& options) {
+  Rng rng{options.seed};
+  std::string out;
+  out.reserve(options.bytes + options.line_length + 2);
+  while (out.size() < options.bytes) {
+    // Line lengths jitter +-50% around the average.
+    const std::size_t length =
+        options.line_length / 2 +
+        static_cast<std::size_t>(rng.next_below(options.line_length + 1));
+    for (std::size_t i = 0; i < std::max<std::size_t>(length, 1); ++i) {
+      out.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::string> generate_and_plant_keys(std::string& line_file,
+                                                 const KeysOptions& options) {
+  if (options.key_length == 0 || options.count == 0) {
+    throw std::invalid_argument("keys need count > 0 and key_length > 0");
+  }
+  Rng rng{options.seed};
+  std::vector<std::string> keys;
+  keys.reserve(options.count);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    std::string key;
+    key.reserve(options.key_length);
+    // Keys use uppercase so they cannot occur in the lowercase line file
+    // by accident — every match is a planted one, making expected match
+    // counts exact in tests.
+    for (std::size_t j = 0; j < options.key_length; ++j) {
+      key.push_back(static_cast<char>('A' + rng.next_below(26)));
+    }
+    keys.push_back(std::move(key));
+  }
+
+  // Walk lines; plant a key into a line with probability plant_rate.
+  std::size_t pos = 0;
+  while (pos < line_file.size()) {
+    std::size_t eol = line_file.find('\n', pos);
+    if (eol == std::string::npos) eol = line_file.size();
+    const std::size_t line_len = eol - pos;
+    if (line_len >= options.key_length &&
+        rng.next_double() < options.plant_rate) {
+      const std::string& key =
+          keys[static_cast<std::size_t>(rng.next_below(options.count))];
+      const std::size_t slot = pos + static_cast<std::size_t>(rng.next_below(
+                                         line_len - options.key_length + 1));
+      line_file.replace(slot, key.size(), key);
+    }
+    pos = eol + 1;
+  }
+  return keys;
+}
+
+Matrix generate_matrix(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed) {
+  Matrix m{rows, cols};
+  Rng rng{seed};
+  for (double& v : m.data()) {
+    v = rng.next_double() * 2.0 - 1.0;
+  }
+  return m;
+}
+
+}  // namespace mcsd::apps

@@ -1,0 +1,65 @@
+// Synthetic workload generators.
+//
+// The paper feeds WC/SM real multi-hundred-megabyte files; we cannot ship
+// those, so these generators produce statistically similar substitutes:
+//   * a text corpus with a Zipf word-frequency distribution (real prose is
+//     Zipfian, which is what stresses reduce-key skew in WC);
+//   * an "encrypt" line file plus a "keys" file with a controllable
+//     planted-match rate for SM;
+//   * dense uniform random matrices for MM.
+// All generators are deterministic in their seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/matmul.hpp"
+
+namespace mcsd::apps {
+
+struct CorpusOptions {
+  std::uint64_t bytes = 1 << 20;     ///< approximate output size
+  std::size_t vocabulary = 10'000;   ///< distinct words
+  double zipf_s = 1.05;              ///< Zipf exponent (≈ natural language)
+  std::size_t words_per_line = 12;   ///< average line length
+  std::uint64_t seed = 42;
+};
+
+/// Generates pseudo-words "w0".."wN" spellings of varying length, so word
+/// sizes (and hence key sizes) vary like real text.
+std::vector<std::string> generate_vocabulary(std::size_t count,
+                                             std::uint64_t seed);
+
+/// A whitespace/newline-separated text corpus, Zipf-distributed words.
+/// Output length is within one word of `options.bytes`.
+std::string generate_corpus(const CorpusOptions& options);
+
+struct LineFileOptions {
+  std::uint64_t bytes = 1 << 20;  ///< approximate output size
+  std::size_t line_length = 64;   ///< average characters per line
+  std::uint64_t seed = 7;
+};
+
+/// The SM "encrypt" file: lines of random lowercase characters.
+std::string generate_line_file(const LineFileOptions& options);
+
+struct KeysOptions {
+  std::size_t count = 8;         ///< number of target keys
+  std::size_t key_length = 6;    ///< characters per key
+  double plant_rate = 0.01;      ///< fraction of lines given a planted key
+  std::uint64_t seed = 13;
+};
+
+/// Generates SM target keys and plants them into `line_file` at the
+/// requested rate (so matches exist deterministically).  Returns the keys;
+/// `line_file` is modified in place (planting overwrites a key-sized span
+/// inside a line, never a newline).
+std::vector<std::string> generate_and_plant_keys(std::string& line_file,
+                                                 const KeysOptions& options);
+
+/// Dense matrix with entries uniform in [-1, 1).
+Matrix generate_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+}  // namespace mcsd::apps

@@ -1,0 +1,168 @@
+#include "apps/external_sort.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/io.hpp"
+
+namespace mcsd::apps {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Buffered line reader over a run file.
+class RunReader {
+ public:
+  explicit RunReader(const fs::path& path) : in_(path, std::ios::binary) {}
+
+  [[nodiscard]] bool ok() const { return in_.good() || in_.eof(); }
+
+  /// Fetches the next line into `line`; false at end of file.
+  bool next(std::string& line) { return static_cast<bool>(std::getline(in_, line)); }
+
+ private:
+  std::ifstream in_;
+};
+
+/// Spills `lines` (sorted in place) as one run file.
+Status spill_run(std::vector<std::string>& lines, const fs::path& path) {
+  std::sort(lines.begin(), lines.end());
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    return Status{ErrorCode::kIoError, "cannot create run " + path.string()};
+  }
+  for (const std::string& line : lines) {
+    out << line << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status{ErrorCode::kIoError, "short write on " + path.string()};
+  }
+  lines.clear();
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<ExternalSortStats> external_sort_lines(
+    const fs::path& input, const fs::path& output,
+    const ExternalSortOptions& options) {
+  if (input == output) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "external sort cannot run in place"};
+  }
+  std::ifstream in{input, std::ios::binary};
+  if (!in) {
+    return Error{ErrorCode::kNotFound, "cannot open " + input.string()};
+  }
+  const fs::path temp_dir =
+      options.temp_dir.empty() ? output.parent_path() : options.temp_dir;
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(options.memory_budget_bytes, 64 * 1024);
+
+  ExternalSortStats stats;
+
+  // ----- phase 1: run generation ---------------------------------------
+  std::vector<fs::path> run_paths;
+  std::vector<std::string> lines;
+  std::uint64_t held = 0;
+  std::string line;
+  const auto run_path = [&](std::size_t i) {
+    return temp_dir / (output.filename().string() + ".run." +
+                       std::to_string(i));
+  };
+  while (std::getline(in, line)) {
+    ++stats.lines;
+    stats.bytes += line.size() + 1;
+    held += line.size() + sizeof(std::string);
+    lines.push_back(std::move(line));
+    if (held >= budget) {
+      run_paths.push_back(run_path(run_paths.size()));
+      if (Status s = spill_run(lines, run_paths.back()); !s) return s.error();
+      held = 0;
+    }
+  }
+  if (!in.eof()) {
+    return Error{ErrorCode::kIoError, "read error on " + input.string()};
+  }
+
+  const auto cleanup_runs = [&] {
+    std::error_code ec;
+    for (const auto& p : run_paths) fs::remove(p, ec);
+  };
+
+  // Single-run fast path: everything fit in memory.
+  if (run_paths.empty()) {
+    std::sort(lines.begin(), lines.end());
+    std::string joined;
+    for (const std::string& l : lines) {
+      joined += l;
+      joined += '\n';
+    }
+    if (Status s = write_file(output, joined); !s) return s.error();
+    stats.runs = lines.empty() ? 0 : 1;
+    return stats;
+  }
+  if (!lines.empty()) {
+    run_paths.push_back(run_path(run_paths.size()));
+    if (Status s = spill_run(lines, run_paths.back()); !s) {
+      cleanup_runs();
+      return s.error();
+    }
+  }
+  stats.runs = run_paths.size();
+
+  // ----- phase 2: k-way merge -------------------------------------------
+  std::vector<RunReader> readers;
+  readers.reserve(run_paths.size());
+  for (const auto& p : run_paths) {
+    readers.emplace_back(p);
+    if (!readers.back().ok()) {
+      cleanup_runs();
+      return Error{ErrorCode::kIoError, "cannot reopen run " + p.string()};
+    }
+  }
+
+  struct HeapItem {
+    std::string line;
+    std::size_t reader;
+    bool operator>(const HeapItem& other) const { return line > other.line; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    std::string first;
+    if (readers[r].next(first)) {
+      heap.push(HeapItem{std::move(first), r});
+    }
+  }
+
+  std::ofstream out{output, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    cleanup_runs();
+    return Error{ErrorCode::kIoError, "cannot create " + output.string()};
+  }
+  while (!heap.empty()) {
+    HeapItem item = heap.top();
+    heap.pop();
+    out << item.line << '\n';
+    std::string next_line;
+    if (readers[item.reader].next(next_line)) {
+      heap.push(HeapItem{std::move(next_line), item.reader});
+    }
+  }
+  out.flush();
+  const bool write_ok = static_cast<bool>(out);
+  out.close();
+  cleanup_runs();
+  if (!write_ok) {
+    return Error{ErrorCode::kIoError, "short write on " + output.string()};
+  }
+  return stats;
+}
+
+}  // namespace mcsd::apps

@@ -1,0 +1,45 @@
+// Out-of-core external line sort.
+//
+// Sort is the third workload of the classic active-disk triad
+// (scan/select/sort — Riedel et al., Acharya et al.) and a natural McSD
+// preloadable module: the storage node sorts a file far larger than its
+// memory by streaming it through bounded-memory run generation and a
+// k-way merge, shipping only the (path to the) sorted result back to the
+// host.
+//
+// Algorithm: classic two-phase external merge sort.
+//   1. Run generation: read lines until the memory budget fills, sort
+//      them, spill a run file.
+//   2. Merge: k-way merge all runs with a tournament over buffered run
+//      readers into the output.
+// Both phases stream; peak memory is O(budget + k * read-buffer).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "core/result.hpp"
+
+namespace mcsd::apps {
+
+struct ExternalSortOptions {
+  /// In-memory run size cap, bytes of line payload per run.
+  std::uint64_t memory_budget_bytes = 4ULL << 20;
+  /// Where run files are staged; defaults to the output's directory.
+  std::filesystem::path temp_dir;
+};
+
+struct ExternalSortStats {
+  std::uint64_t lines = 0;
+  std::uint64_t bytes = 0;
+  std::size_t runs = 0;
+};
+
+/// Sorts the lines of `input` lexicographically into `output`.
+/// The final line need not be newline-terminated; the output always is
+/// (unless empty).  Input and output may not be the same path.
+Result<ExternalSortStats> external_sort_lines(
+    const std::filesystem::path& input, const std::filesystem::path& output,
+    const ExternalSortOptions& options = {});
+
+}  // namespace mcsd::apps

@@ -1,0 +1,77 @@
+#include "apps/matmul.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mcsd::apps {
+
+void MatMulSpec::map(const mr::IndexChunk& chunk,
+                     mr::Emitter<Key, Value>& emit) const {
+  if (a == nullptr || b == nullptr) {
+    throw std::invalid_argument("MatMulSpec operands not set");
+  }
+  if (a->cols() != b->rows()) {
+    throw std::invalid_argument("MatMulSpec dimension mismatch");
+  }
+  const std::size_t n = b->cols();
+  const std::size_t inner = a->cols();
+  std::vector<double> row_acc(n);
+  for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+    std::fill(row_acc.begin(), row_acc.end(), 0.0);
+    // i-k-j order: streams b row-major, the cache-friendly loop nest.
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = a->at(i, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        row_acc[j] += aik * b->at(k, j);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      emit.emit(pack_coord(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j)),
+                row_acc[j]);
+    }
+  }
+}
+
+Matrix matmul_sequential(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul dimension mismatch");
+  }
+  Matrix c{a.rows(), b.cols()};
+  const std::size_t n = b.cols();
+  const std::size_t inner = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix assemble_matrix(const std::vector<CellPair>& cells, std::size_t rows,
+                       std::size_t cols) {
+  Matrix out{rows, cols};
+  std::vector<bool> seen(rows * cols, false);
+  for (const auto& cell : cells) {
+    const std::size_t r = coord_row(cell.key);
+    const std::size_t c = coord_col(cell.key);
+    if (r >= rows || c >= cols) {
+      throw std::invalid_argument("assemble_matrix: coordinate out of range");
+    }
+    const std::size_t idx = r * cols + c;
+    if (seen[idx]) {
+      throw std::invalid_argument(
+          "assemble_matrix: duplicate coordinate (" + std::to_string(r) + "," +
+          std::to_string(c) + ")");
+    }
+    seen[idx] = true;
+    out.at(r, c) = cell.value;
+  }
+  return out;
+}
+
+}  // namespace mcsd::apps

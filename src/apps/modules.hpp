@@ -1,0 +1,92 @@
+// FAM-loadable modules for the benchmark applications.
+//
+// These are the "data-intensive processing modules" preloaded into a McSD
+// node (paper Fig. 5): each wraps one application behind the smartFAM
+// parameter convention, so a host can offload it with Client::invoke.
+//
+// Parameter conventions (all paths are within the shared folder):
+//   wordcount:    input=<path> [partition_size=<bytes>] [workers=<n>]
+//                 [top=<n>]
+//      returns:   unique, total, fragments, top<i>, top<i>_count
+//   stringmatch:  input=<path> keys=<comma separated> [workers=<n>]
+//      returns:   matches
+//   matmul:       a=<path> b=<path> out=<path> [workers=<n>]
+//                 (matrices in the text format of write_matrix)
+//      returns:   rows, cols, checksum
+//   select:       input=<path> column=<i> op=(eq|ne|lt|gt|contains)
+//                 value=<v> out=<path>  — the paper's future-work
+//                 "database operations" extension: a predicate scan over
+//                 a CSV-like table, executed on the storage node so only
+//                 matching rows cross the network.
+//      returns:   rows_in, rows_out, bytes_out
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/matmul.hpp"
+#include "apps/wordcount.hpp"
+#include "fam/module.hpp"
+
+namespace mcsd::apps {
+
+/// Word count (partition-enabled MapReduce).  `default_workers` is the
+/// storage node's core count; requests may lower it via workers=.
+std::shared_ptr<fam::Module> make_wordcount_module(
+    std::size_t default_workers);
+
+/// String match (reduce-less MapReduce).
+std::shared_ptr<fam::Module> make_stringmatch_module(
+    std::size_t default_workers);
+
+/// Matrix multiplication; operands and result as on-disk matrix files.
+std::shared_ptr<fam::Module> make_matmul_module(std::size_t default_workers);
+
+/// Predicate scan ("select") over a CSV-like table — extension module.
+std::shared_ptr<fam::Module> make_select_module(std::size_t default_workers);
+
+/// Out-of-core line sort (apps/external_sort.hpp) — extension module.
+///   sort: input=<path> out=<path> [memory_budget=<bytes>]
+///   returns: lines, runs, bytes
+std::shared_ptr<fam::Module> make_sort_module(std::size_t default_workers);
+
+/// Hash equi-join of two CSV-like tables — extension module (completes
+/// the classic active-disk scan/select/sort/join set).
+///   join: left=<path> right=<path> left_column=<i> right_column=<j>
+///         out=<path>
+///   Output rows: left_row,right_row-without-join-column.
+///   returns: rows_left, rows_right, rows_out
+std::shared_ptr<fam::Module> make_join_module(std::size_t default_workers);
+
+/// Preloads all standard modules into a daemon-side registry consumer.
+/// Returns the first error, if any.
+template <typename PreloadFn>
+Status preload_standard_modules(PreloadFn&& preload,
+                                std::size_t default_workers) {
+  for (auto module :
+       {make_wordcount_module(default_workers),
+        make_stringmatch_module(default_workers),
+        make_matmul_module(default_workers),
+        make_select_module(default_workers),
+        make_sort_module(default_workers),
+        make_join_module(default_workers)}) {
+    if (Status s = preload(std::move(module)); !s) return s;
+  }
+  return Status::ok();
+}
+
+/// On-disk matrix format: first line "rows cols", then one
+/// whitespace-separated row per line ("%.17g" doubles).
+Status write_matrix(const std::filesystem::path& path, const Matrix& m);
+Result<Matrix> read_matrix(const std::filesystem::path& path);
+
+/// Word-count table wire format used by the wordcount module's
+/// full_counts=true mode: one "word count\n" pair per line.
+std::string serialize_counts(const std::vector<WordCount>& counts);
+Result<std::vector<WordCount>> parse_counts(std::string_view text);
+
+}  // namespace mcsd::apps

@@ -1,0 +1,59 @@
+#include "apps/stringmatch.hpp"
+
+#include <algorithm>
+
+namespace mcsd::apps {
+
+namespace {
+/// Invokes `fn(line, absolute_offset)` for every line in `text`, where
+/// `offset_base` is text's position in the whole input.  The final line
+/// may lack a trailing newline.
+template <typename Fn>
+void for_each_line(std::string_view text, std::uint64_t offset_base, Fn fn) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    fn(text.substr(pos, eol - pos), offset_base + pos);
+    pos = eol + 1;
+  }
+}
+}  // namespace
+
+void StringMatchSpec::map(const mr::TextChunk& chunk,
+                          mr::Emitter<Key, Value>& emit) const {
+  for_each_line(chunk.text, chunk.offset,
+                [&](std::string_view line, std::uint64_t offset) {
+                  for (std::size_t k = 0; k < keys.size(); ++k) {
+                    if (line.find(keys[k]) != std::string_view::npos) {
+                      emit.emit(offset, static_cast<Value>(k));
+                    }
+                  }
+                });
+}
+
+std::vector<Match> stringmatch_sequential(
+    std::string_view text, const std::vector<std::string>& keys) {
+  std::vector<Match> matches;
+  for_each_line(text, 0, [&](std::string_view line, std::uint64_t offset) {
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      if (line.find(keys[k]) != std::string_view::npos) {
+        matches.push_back(Match{offset, static_cast<std::uint32_t>(k)});
+      }
+    }
+  });
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+std::vector<Match> to_sorted_matches(const std::vector<MatchPair>& pairs) {
+  std::vector<Match> matches;
+  matches.reserve(pairs.size());
+  for (const auto& kv : pairs) {
+    matches.push_back(Match{kv.key, kv.value});
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+}  // namespace mcsd::apps

@@ -1,0 +1,70 @@
+#include "apps/wordcount.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "core/strings.hpp"
+
+namespace mcsd::apps {
+
+namespace {
+inline char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+}  // namespace
+
+void WordCountSpec::map(const mr::TextChunk& chunk,
+                        mr::Emitter<Key, Value>& emit) const {
+  const std::string_view text = chunk.text;
+  std::size_t i = 0;
+  std::string word;
+  while (i < text.size()) {
+    while (i < text.size() && !is_word_char(text[i])) ++i;
+    word.clear();
+    while (i < text.size() && is_word_char(text[i])) {
+      word.push_back(lower(text[i]));
+      ++i;
+    }
+    if (!word.empty()) emit.emit(word, 1);
+  }
+}
+
+std::vector<WordCount> wordcount_sequential(std::string_view text) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  std::size_t i = 0;
+  std::string word;
+  while (i < text.size()) {
+    while (i < text.size() && !is_word_char(text[i])) ++i;
+    word.clear();
+    while (i < text.size() && is_word_char(text[i])) {
+      word.push_back(lower(text[i]));
+      ++i;
+    }
+    if (!word.empty()) ++counts[word];
+  }
+  std::vector<WordCount> out;
+  out.reserve(counts.size());
+  for (auto& [word_key, count] : counts) {
+    out.push_back(WordCount{word_key, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WordCount& a, const WordCount& b) { return a.key < b.key; });
+  return out;
+}
+
+void sort_by_frequency_desc(std::vector<WordCount>& counts) {
+  std::sort(counts.begin(), counts.end(),
+            [](const WordCount& a, const WordCount& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.key < b.key;
+            });
+}
+
+std::uint64_t total_occurrences(const std::vector<WordCount>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& kv : counts) total += kv.value;
+  return total;
+}
+
+}  // namespace mcsd::apps

@@ -1,0 +1,104 @@
+#include "cluster/calibration.hpp"
+
+#include <algorithm>
+
+#include "apps/datagen.hpp"
+#include "apps/matmul.hpp"
+#include "apps/stringmatch.hpp"
+#include "apps/wordcount.hpp"
+#include "core/stopwatch.hpp"
+
+namespace mcsd::sim {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+
+template <typename Fn>
+double best_rate_mibps(double mib_per_run, int repetitions, Fn run) {
+  double best = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    run();
+    const double secs = watch.elapsed_seconds();
+    if (secs > 0.0) best = std::max(best, mib_per_run / secs);
+  }
+  return best;
+}
+}  // namespace
+
+CalibrationResult calibrate(const CalibrationOptions& options) {
+  CalibrationResult result;
+  Stopwatch total;
+
+  // Word count.
+  {
+    apps::CorpusOptions corpus;
+    corpus.bytes = options.text_bytes;
+    corpus.seed = options.seed;
+    const std::string text = apps::generate_corpus(corpus);
+    const double mib = static_cast<double>(text.size()) / kMiB;
+    volatile std::size_t sink = 0;
+    result.wordcount_mibps =
+        best_rate_mibps(mib, options.repetitions, [&] {
+          sink = apps::wordcount_sequential(text).size();
+        });
+    (void)sink;
+  }
+
+  // String match.
+  {
+    apps::LineFileOptions lf;
+    lf.bytes = options.text_bytes;
+    lf.seed = options.seed;
+    std::string text = apps::generate_line_file(lf);
+    apps::KeysOptions ko;
+    ko.count = 8;
+    ko.seed = options.seed;
+    const auto keys = apps::generate_and_plant_keys(text, ko);
+    const double mib = static_cast<double>(text.size()) / kMiB;
+    volatile std::size_t sink = 0;
+    result.stringmatch_mibps =
+        best_rate_mibps(mib, options.repetitions, [&] {
+          sink = apps::stringmatch_sequential(text, keys).size();
+        });
+    (void)sink;
+  }
+
+  // Matrix multiplication: operand volume (both inputs) per second.
+  {
+    const std::size_t n = options.matrix_dim;
+    const apps::Matrix a = apps::generate_matrix(n, n, options.seed);
+    const apps::Matrix b = apps::generate_matrix(n, n, options.seed + 1);
+    const double mib =
+        2.0 * static_cast<double>(n * n * sizeof(double)) / kMiB;
+    volatile double sink = 0.0;
+    result.matmul_mibps = best_rate_mibps(mib, options.repetitions, [&] {
+      sink = apps::matmul_sequential(a, b).at(0, 0);
+    });
+    (void)sink;
+  }
+
+  result.measure_seconds = total.elapsed_seconds();
+  return result;
+}
+
+namespace {
+AppProfile with_rate(AppProfile base, double mibps) {
+  if (mibps > 0.0) base.seconds_per_mib = 1.0 / mibps;
+  return base;
+}
+}  // namespace
+
+AppProfile calibrated_wordcount_profile(const CalibrationResult& measured) {
+  return with_rate(wordcount_profile(), measured.wordcount_mibps);
+}
+
+AppProfile calibrated_stringmatch_profile(const CalibrationResult& measured) {
+  return with_rate(stringmatch_profile(), measured.stringmatch_mibps);
+}
+
+AppProfile calibrated_matmul_profile(const CalibrationResult& measured) {
+  return with_rate(matmul_profile(), measured.matmul_mibps);
+}
+
+}  // namespace mcsd::sim

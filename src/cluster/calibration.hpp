@@ -1,0 +1,46 @@
+// Profile calibration against the real kernels.
+//
+// The simulator's AppProfiles carry fixed per-core rates chosen to match
+// Phoenix-era hardware (deterministic bench output).  This module offers
+// the alternative the honest reproducer wants to sanity-check: measure
+// the *actual* single-thread throughput of this repository's WC/SM/MM
+// kernels on the build machine and derive profiles from them.  Speedup
+// ratios are rate-invariant, so figures keep their shape either way; only
+// absolute seconds change.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/profiles.hpp"
+
+namespace mcsd::sim {
+
+/// Measured single-thread rates, MiB per second.
+struct CalibrationResult {
+  double wordcount_mibps = 0.0;
+  double stringmatch_mibps = 0.0;
+  double matmul_mibps = 0.0;   ///< operand MiB per second at bench shape
+  double measure_seconds = 0.0;  ///< wall time spent calibrating
+};
+
+struct CalibrationOptions {
+  /// Bytes of synthetic input per text kernel (bigger = steadier rates).
+  std::uint64_t text_bytes = 4ULL << 20;
+  /// Square matrix dimension for the MM kernel.
+  std::size_t matrix_dim = 192;
+  /// Repetitions; the best (max) rate is kept, minimising scheduler noise.
+  int repetitions = 3;
+  std::uint64_t seed = 42;
+};
+
+/// Runs the three kernels single-threaded and reports their rates.
+CalibrationResult calibrate(const CalibrationOptions& options = {});
+
+/// Profiles whose seconds_per_mib come from `measured`; every other field
+/// (footprints, parallel fractions — properties of the algorithms, not
+/// the machine) is taken from the fixed defaults.
+AppProfile calibrated_wordcount_profile(const CalibrationResult& measured);
+AppProfile calibrated_stringmatch_profile(const CalibrationResult& measured);
+AppProfile calibrated_matmul_profile(const CalibrationResult& measured);
+
+}  // namespace mcsd::sim

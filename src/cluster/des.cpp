@@ -1,0 +1,100 @@
+#include "cluster/des.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace mcsd::sim {
+
+void Simulator::schedule_at(SimTime when, Handler handler) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator: scheduling into the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(handler)});
+}
+
+void Simulator::schedule_in(SimTime delay, Handler handler) {
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+void Simulator::run(SimTime until) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const ref; move via const_cast is the
+    // standard idiom — the element is popped immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (until >= 0.0 && event.when > until) {
+      now_ = until;
+      return;
+    }
+    now_ = event.when;
+    ++events_processed_;
+    event.handler();
+  }
+}
+
+Resource::Resource(Simulator& sim, std::string name, double capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("Resource capacity must be positive");
+  }
+}
+
+void Resource::submit(double work, Completion done) {
+  if (work < 0.0) {
+    throw std::invalid_argument("Resource work must be non-negative");
+  }
+  advance_to_now();
+  const std::uint64_t id = next_id_++;
+  jobs_.emplace(id, Job{work, std::move(done)});
+  reschedule();
+}
+
+void Resource::advance_to_now() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0 || jobs_.empty()) return;
+  const double per_job = capacity_ * dt / static_cast<double>(jobs_.size());
+  for (auto& [id, job] : jobs_) {
+    const double used = job.remaining < per_job ? job.remaining : per_job;
+    job.remaining -= used;
+    served_ += used;
+  }
+}
+
+void Resource::reschedule() {
+  // Fire completions for any job that has (numerically) finished.
+  std::vector<Completion> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= 1e-12) {
+      finished.push_back(std::move(it->second.done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& done : finished) {
+    if (done) done();
+  }
+
+  if (jobs_.empty()) return;
+
+  // Time until the next completion under equal sharing.
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_) {
+    min_remaining = job.remaining < min_remaining ? job.remaining
+                                                  : min_remaining;
+  }
+  const double rate = capacity_ / static_cast<double>(jobs_.size());
+  const double dt = min_remaining / rate;
+
+  const std::uint64_t epoch = ++timer_epoch_;
+  sim_.schedule_in(dt, [this, epoch] {
+    if (epoch != timer_epoch_) return;  // superseded by a newer arrival
+    advance_to_now();
+    reschedule();
+  });
+}
+
+}  // namespace mcsd::sim

@@ -1,0 +1,107 @@
+// A small discrete-event simulation (DES) core.
+//
+// The figure benches use closed-form models (cluster/models.hpp) because
+// they are deterministic and auditable.  Closed forms embed assumptions
+// — fair sharing, fluid bandwidth splitting — that deserve checking; this
+// DES provides the machinery to replay the same situations event by
+// event and compare (tests/test_sim_des.cpp, bench_des_validation).
+//
+// Design: classic event-list simulation.
+//   * Simulator owns the virtual clock and a time-ordered event queue.
+//   * Resource is a processor-sharing server (bandwidth `capacity` split
+//     equally among active jobs — the fluid model of a fair NIC/disk):
+//     submitting work returns via completion callback; every arrival or
+//     departure re-times the remaining work of the active set.
+//
+// Processor sharing is exactly what TCP flows on one link or CFQ-ish disk
+// scheduling approximate, and what the analytic `(1 - utilization)`
+// factor linearises — making the two comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace mcsd::sim {
+
+using SimTime = double;  ///< seconds of virtual time
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `when` (>= now).
+  void schedule_at(SimTime when, Handler handler);
+  /// Schedules `handler` `delay` seconds from now.
+  void schedule_in(SimTime delay, Handler handler);
+
+  /// Runs until the event queue drains (or `until`, if positive).
+  void run(SimTime until = -1.0);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  ///< FIFO among simultaneous events
+    Handler handler;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+};
+
+/// A processor-sharing resource: `capacity` units of service per second,
+/// split equally among all in-flight jobs.  Models a fair link (capacity
+/// = MiB/s) or a time-sliced CPU (capacity = core-seconds/second).
+class Resource {
+ public:
+  using Completion = std::function<void()>;
+
+  Resource(Simulator& sim, std::string name, double capacity);
+
+  /// Submits a job needing `work` units; `done` fires at completion.
+  void submit(double work, Completion done);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t active_jobs() const noexcept {
+    return jobs_.size();
+  }
+  /// Total work served so far (for utilisation accounting).
+  [[nodiscard]] double work_served() const noexcept { return served_; }
+
+ private:
+  struct Job {
+    double remaining;
+    Completion done;
+  };
+
+  /// Advances all jobs to `sim_.now()` and reschedules the next finish.
+  void reschedule();
+  void advance_to_now();
+
+  Simulator& sim_;
+  std::string name_;
+  double capacity_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_id_ = 0;
+  SimTime last_update_ = 0.0;
+  std::uint64_t timer_epoch_ = 0;  ///< invalidates stale finish events
+  double served_ = 0.0;
+};
+
+}  // namespace mcsd::sim

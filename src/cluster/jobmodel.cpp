@@ -1,0 +1,143 @@
+#include "cluster/jobmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcsd::sim {
+
+namespace {
+
+double input_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / kMiBd;
+}
+
+JobCost model_sequential(const NodeSpec& node, const JobSpec& job,
+                         std::uint64_t available, const SwapModel& swap) {
+  JobCost cost;
+  const double work =
+      input_mib(job.input_bytes) * job.app.seconds_per_mib *
+      job.app.sequential_factor;
+  cost.read_seconds = node.disk.read_seconds(job.input_bytes);
+  cost.compute_seconds =
+      node.cpu.compute_seconds(work, 1, /*parallel_fraction=*/0.0);
+  cost.peak_footprint_bytes = static_cast<std::uint64_t>(
+      job.app.sequential_footprint_factor *
+      static_cast<double>(job.input_bytes));
+  // A sequential run's only dirty state is its result tables: whatever
+  // its footprint holds beyond the (clean, streamed) input.
+  const auto seq_dirty = static_cast<std::uint64_t>(
+      std::max(0.0, job.app.sequential_footprint_factor - 1.0) *
+      static_cast<double>(job.input_bytes));
+  cost.thrash_seconds = swap.penalty_seconds(cost.peak_footprint_bytes,
+                                             seq_dirty, available, node.disk);
+  cost.write_seconds = node.disk.write_seconds(static_cast<std::uint64_t>(
+      job.app.output_ratio * static_cast<double>(job.input_bytes)));
+  return cost;
+}
+
+JobCost model_native(const NodeSpec& node, const JobSpec& job,
+                     std::uint64_t available, const SwapModel& swap) {
+  JobCost cost;
+  // Stock Phoenix refuses inputs above ~60% of node memory (it mmaps the
+  // input and mirrors intermediates).
+  const auto ceiling = static_cast<std::uint64_t>(
+      kPhoenixInputCeilingFraction * static_cast<double>(node.memory_bytes));
+  if (job.input_bytes > ceiling) {
+    cost.completed = false;
+    cost.failure = "memory overflow: input " +
+                   std::to_string(job.input_bytes) + " B exceeds " +
+                   std::to_string(ceiling) + " B (60% of node memory)";
+    return cost;
+  }
+  const std::size_t threads =
+      job.threads != 0 ? job.threads : node.cpu.cores;
+  const double work = input_mib(job.input_bytes) * job.app.seconds_per_mib;
+  cost.read_seconds = node.disk.read_seconds(job.input_bytes);
+  cost.read_overlaps_compute = true;  // mmap fault-in during map
+  cost.compute_seconds =
+      node.cpu.compute_seconds(work, threads, job.app.parallel_fraction);
+  cost.peak_footprint_bytes = static_cast<std::uint64_t>(
+      job.app.footprint_factor * static_cast<double>(job.input_bytes));
+  const auto dirty = static_cast<std::uint64_t>(
+      job.app.dirty_footprint_factor * static_cast<double>(job.input_bytes));
+  cost.thrash_seconds = swap.penalty_seconds(cost.peak_footprint_bytes, dirty,
+                                             available, node.disk);
+  cost.write_seconds = node.disk.write_seconds(static_cast<std::uint64_t>(
+      job.app.output_ratio * static_cast<double>(job.input_bytes)));
+  return cost;
+}
+
+JobCost model_partitioned(const NodeSpec& node, const JobSpec& job,
+                          std::uint64_t available, const SwapModel& swap) {
+  JobCost cost;
+  if (!job.app.partitionable) {
+    // Fall back to the native model — the paper's partition path "is only
+    // applicable for data-intensive applications whose input data can be
+    // partitioned".
+    return model_native(node, job, available, swap);
+  }
+  std::uint64_t fragment = job.partition_size;
+  if (fragment == 0) {
+    // Auto: largest fragment whose footprint fits available memory.
+    fragment = static_cast<std::uint64_t>(
+        static_cast<double>(available) / job.app.footprint_factor);
+    fragment = std::max<std::uint64_t>(fragment, 1ULL << 20);
+  }
+  fragment = std::min<std::uint64_t>(fragment, std::max<std::uint64_t>(
+                                                   job.input_bytes, 1));
+  const auto fragments = static_cast<std::size_t>(
+      (job.input_bytes + fragment - 1) / std::max<std::uint64_t>(fragment, 1));
+  cost.fragments = std::max<std::size_t>(fragments, 1);
+
+  const std::size_t threads =
+      job.threads != 0 ? job.threads : node.cpu.cores;
+  const double work = input_mib(job.input_bytes) * job.app.seconds_per_mib;
+  cost.read_seconds = node.disk.read_seconds(job.input_bytes) +
+                      node.disk.seek_seconds *
+                          static_cast<double>(cost.fragments - 1);
+  cost.read_overlaps_compute = true;  // mmap fault-in during map
+  cost.compute_seconds =
+      node.cpu.compute_seconds(work, threads, job.app.parallel_fraction);
+  const auto fragment_bytes =
+      std::min<std::uint64_t>(fragment, job.input_bytes);
+  cost.peak_footprint_bytes = static_cast<std::uint64_t>(
+      job.app.footprint_factor * static_cast<double>(fragment_bytes));
+  const auto frag_dirty = static_cast<std::uint64_t>(
+      job.app.dirty_footprint_factor * static_cast<double>(fragment_bytes));
+  cost.thrash_seconds = swap.penalty_seconds(
+      cost.peak_footprint_bytes, frag_dirty, available, node.disk);
+  // Per-fragment runtime spin-up plus the final cross-fragment merge
+  // (merge volume = output of every fragment).
+  const auto output_bytes = static_cast<std::uint64_t>(
+      job.app.output_ratio * static_cast<double>(job.input_bytes));
+  const double merge_work =
+      input_mib(output_bytes) * job.app.seconds_per_mib * 0.5;
+  cost.overhead_seconds =
+      static_cast<double>(cost.fragments) *
+          job.app.per_fragment_overhead_seconds +
+      node.cpu.compute_seconds(merge_work, 1, 0.0);
+  cost.write_seconds = node.disk.write_seconds(output_bytes);
+  return cost;
+}
+
+}  // namespace
+
+JobCost model_job(const NodeSpec& node, const JobSpec& job,
+                  std::uint64_t available_memory_bytes,
+                  const SwapModel& swap) {
+  switch (job.mode) {
+    case ExecMode::kSequential:
+      return model_sequential(node, job, available_memory_bytes, swap);
+    case ExecMode::kParallelNative:
+      return model_native(node, job, available_memory_bytes, swap);
+    case ExecMode::kParallelPartitioned:
+      return model_partitioned(node, job, available_memory_bytes, swap);
+  }
+  return JobCost{};
+}
+
+JobCost model_job(const NodeSpec& node, const JobSpec& job) {
+  return model_job(node, job, node.usable_memory());
+}
+
+}  // namespace mcsd::sim

@@ -1,0 +1,127 @@
+#include "cluster/malleable.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcsd::sim {
+
+namespace {
+struct Live {
+  std::size_t index;
+  double serial_left;
+  double parallel_left;
+  std::size_t max_threads;
+  double share = 0.0;  ///< granted cores this step (fractional)
+};
+
+/// Water-filling: equal shares capped by max_threads, surplus recycled.
+void allocate(std::vector<Live>& live, double cores) {
+  for (auto& j : live) j.share = 0.0;
+  std::vector<Live*> open;
+  open.reserve(live.size());
+  for (auto& j : live) open.push_back(&j);
+  double remaining = cores;
+  while (remaining > 1e-12 && !open.empty()) {
+    const double per = remaining / static_cast<double>(open.size());
+    double given = 0.0;
+    std::vector<Live*> still_open;
+    for (Live* j : open) {
+      const double cap =
+          j->max_threads == 0 ? std::numeric_limits<double>::infinity()
+                              : static_cast<double>(j->max_threads);
+      const double want = cap - j->share;
+      const double grant = std::min(per, want);
+      j->share += grant;
+      given += grant;
+      if (j->share + 1e-12 < cap) still_open.push_back(j);
+    }
+    if (given <= 1e-12) break;  // everyone capped
+    remaining -= given;
+    open = std::move(still_open);
+  }
+}
+}  // namespace
+
+MalleableResult schedule_malleable(const std::vector<MalleableJob>& jobs,
+                                   const CpuModel& cpu) {
+  if (cpu.cores == 0 || cpu.core_speed <= 0.0) {
+    throw std::invalid_argument("schedule_malleable: bad CpuModel");
+  }
+  MalleableResult result;
+  result.finish_seconds.assign(jobs.size(), 0.0);
+
+  std::vector<Live> live;
+  live.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].serial_seconds < 0.0 || jobs[i].parallel_work < 0.0) {
+      throw std::invalid_argument("schedule_malleable: negative work");
+    }
+    if (jobs[i].serial_seconds == 0.0 && jobs[i].parallel_work == 0.0) {
+      continue;  // finishes at t = 0
+    }
+    live.push_back(Live{i, jobs[i].serial_seconds, jobs[i].parallel_work,
+                        jobs[i].max_threads, 0.0});
+  }
+
+  double now = 0.0;
+  while (!live.empty()) {
+    allocate(live, static_cast<double>(cpu.cores));
+    // Time to each job's completion under the current allocation: serial
+    // runs first, then parallel at share*speed.
+    double step = std::numeric_limits<double>::infinity();
+    for (const Live& j : live) {
+      const double rate = j.share * cpu.core_speed;
+      double t = j.serial_left;
+      if (j.parallel_left > 0.0) {
+        t += rate > 0.0 ? j.parallel_left / rate
+                        : std::numeric_limits<double>::infinity();
+      }
+      step = std::min(step, t);
+    }
+    if (!std::isfinite(step)) {
+      throw std::logic_error("schedule_malleable: stalled (zero allocation)");
+    }
+    now += step;
+    // Advance everyone by `step`, remove the finished.
+    std::vector<Live> next;
+    next.reserve(live.size());
+    for (Live j : live) {
+      double budget = step;
+      const double serial_used = std::min(j.serial_left, budget);
+      j.serial_left -= serial_used;
+      budget -= serial_used;
+      if (budget > 0.0) {
+        j.parallel_left -= budget * j.share * cpu.core_speed;
+      }
+      if (j.serial_left <= 1e-9 && j.parallel_left <= 1e-6) {
+        result.finish_seconds[j.index] = now;
+      } else {
+        next.push_back(j);
+      }
+    }
+    if (next.size() == live.size()) {
+      // Float epsilon kept everything alive: forcibly finish the minimum
+      // to guarantee progress.
+      std::size_t victim = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        const double left = next[i].serial_left + next[i].parallel_left;
+        if (left < best) {
+          best = left;
+          victim = i;
+        }
+      }
+      result.finish_seconds[next[victim].index] = now;
+      next.erase(next.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    live = std::move(next);
+  }
+
+  for (double f : result.finish_seconds) {
+    result.makespan_seconds = std::max(result.makespan_seconds, f);
+  }
+  return result;
+}
+
+}  // namespace mcsd::sim

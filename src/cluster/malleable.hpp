@@ -1,0 +1,41 @@
+// Malleable-job co-scheduler.
+//
+// The Fig. 9/10 "host-only" scenario runs the computation-intensive job
+// (MM) and the data-intensive job (WC/SM) *concurrently on one node*; the
+// other scenarios give each job its own node.  This scheduler answers:
+// given N jobs sharing C cores, when does each finish?
+//
+// Model: a job is (serial_seconds, parallel_work, max_threads).  Serial
+// work proceeds at wall rate 1 regardless of allocation; parallel work is
+// reference-core-seconds consumed at `granted_cores * core_speed`.  The
+// OS's fair scheduler is approximated by equal core shares among active
+// jobs (capped at each job's max_threads, surplus redistributed), with
+// reallocation at every completion — a standard malleable-task fluid
+// model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/models.hpp"
+
+namespace mcsd::sim {
+
+struct MalleableJob {
+  std::string name;
+  double serial_seconds = 0.0;    ///< wall-clock, core-independent
+  double parallel_work = 0.0;     ///< reference-core-seconds
+  std::size_t max_threads = 0;    ///< 0 = unlimited
+};
+
+struct MalleableResult {
+  std::vector<double> finish_seconds;  ///< same order as the input jobs
+  double makespan_seconds = 0.0;
+};
+
+/// Simulates the fluid schedule.  `cpu` supplies core count and speed.
+MalleableResult schedule_malleable(const std::vector<MalleableJob>& jobs,
+                                   const CpuModel& cpu);
+
+}  // namespace mcsd::sim

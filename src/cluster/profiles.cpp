@@ -1,0 +1,50 @@
+#include "cluster/profiles.hpp"
+
+namespace mcsd::sim {
+
+AppProfile wordcount_profile() {
+  AppProfile p;
+  p.name = "wordcount";
+  p.seconds_per_mib = 1.0 / 25.0;  // ~25 MiB/s/core: tokenize + hash (Phoenix-era)
+  p.sequential_factor = 1.05;
+  p.footprint_factor = 3.0;        // paper Section V-C
+  p.dirty_footprint_factor = 2.0;  // hash tables + emitted pairs
+  p.sequential_footprint_factor = 1.15;
+  p.parallel_fraction = 0.95;
+  p.output_ratio = 0.05;
+  p.partitionable = true;
+  p.per_fragment_overhead_seconds = 0.35;
+  return p;
+}
+
+AppProfile stringmatch_profile() {
+  AppProfile p;
+  p.name = "stringmatch";
+  p.seconds_per_mib = 1.0 / 40.0;  // ~40 MiB/s/core: per-line multi-key scan
+  p.sequential_factor = 1.02;
+  p.footprint_factor = 2.0;         // paper Section V-C
+  p.dirty_footprint_factor = 0.05;  // match list only; input stays clean
+  p.sequential_footprint_factor = 1.05;
+  p.parallel_fraction = 0.97;
+  p.output_ratio = 0.001;
+  p.partitionable = true;
+  p.per_fragment_overhead_seconds = 0.25;
+  return p;
+}
+
+AppProfile matmul_profile() {
+  AppProfile p;
+  p.name = "matmul";
+  p.seconds_per_mib = 1.0 / 8.0;  // compute-bound: ~8 MiB/s/core
+  p.sequential_factor = 1.0;
+  p.footprint_factor = 1.5;       // A, B and the growing C
+  p.dirty_footprint_factor = 0.5; // only C is written
+  p.sequential_footprint_factor = 1.5;
+  p.parallel_fraction = 0.98;
+  p.output_ratio = 0.33;
+  p.partitionable = false;
+  p.per_fragment_overhead_seconds = 0.0;
+  return p;
+}
+
+}  // namespace mcsd::sim

@@ -1,0 +1,67 @@
+// Application profiles for the simulator.
+//
+// A profile abstracts one benchmark application into the quantities the
+// analytic models need.  The footprint factors come straight from the
+// paper (Section V-C): "the memory footprint of Word-Count is around
+// three times of the input data size ... the memory footprint of
+// String-Match is around two times of the input data size."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcsd::sim {
+
+struct AppProfile {
+  std::string name;
+
+  /// Single-reference-core seconds per MiB of input for the *parallel*
+  /// (MapReduce) implementation.
+  double seconds_per_mib = 1.0 / 60.0;
+
+  /// Sequential-implementation slowdown over one MapReduce worker (the
+  /// sequential code skips runtime overhead but also misses its
+  /// optimisations; ~1 in practice).
+  double sequential_factor = 1.05;
+
+  /// Resident footprint of the MapReduce run as a multiple of input size
+  /// (input + intermediates, per the paper).
+  double footprint_factor = 3.0;
+
+  /// Of the footprint, how many input-multiples are DIRTY pages (must go
+  /// through swap under pressure) as opposed to clean mmapped input.
+  /// WC's hash tables and emitted pairs are ~2x input; SM holds almost
+  /// nothing dirty beyond its match list.
+  double dirty_footprint_factor = 2.0;
+
+  /// Footprint of the *sequential* implementation, which streams its
+  /// input and keeps only result tables.
+  double sequential_footprint_factor = 1.15;
+
+  /// Amdahl parallelisable fraction of the MapReduce run.
+  double parallel_fraction = 0.95;
+
+  /// Output bytes per input byte (drives merge/write costs).
+  double output_ratio = 0.05;
+
+  /// Whether the input can be fragmented (paper: "only applicable for
+  /// data-intensive applications whose input data can be partitioned").
+  bool partitionable = true;
+
+  /// Per-fragment fixed overhead of a partitioned run: runtime spin-up,
+  /// integrity scan, buffer churn.
+  double per_fragment_overhead_seconds = 0.35;
+};
+
+/// Deterministic default profiles (fixed constants — bench output is
+/// reproducible).  Rates approximate Phoenix-era throughput on a Core2
+/// core; see cluster/calibration.hpp to derive profiles from measured
+/// kernel rates on the build machine instead.
+AppProfile wordcount_profile();
+AppProfile stringmatch_profile();
+/// MM is the computation-intensive partner of the multi-application
+/// pairs; its "input bytes" denote operand size, and its work-per-byte is
+/// an order of magnitude above the data-intensive apps.
+AppProfile matmul_profile();
+
+}  // namespace mcsd::sim

@@ -1,0 +1,65 @@
+// Sandia Micro Benchmark (SMB) background-traffic model.
+//
+// The paper runs SMB "among all the nodes except the McSD smart-storage
+// node ... to emulate the routine work" (Section V-A): MPI message
+// traffic between the host and the three Celeron compute nodes keeps the
+// switch ports busy while the experiments run.  We model the effect that
+// matters to the experiments — a fractional utilisation of each node's
+// link — from the benchmark's message parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/models.hpp"
+
+namespace mcsd::sim {
+
+struct SmbConfig {
+  /// Nodes participating in the routine-work communication pattern.
+  std::size_t participants = 4;  ///< host + 3 compute nodes
+  /// Messages each participant sends per second (pairwise, round-robin).
+  double messages_per_second = 2000.0;
+  /// Payload per message.
+  std::uint64_t message_bytes = 8 * 1024;
+  /// Protocol overhead per message (headers, MPI envelope).
+  std::uint64_t overhead_bytes = 128;
+};
+
+/// Models steady-state background load on the cluster links.
+class SmbTraffic {
+ public:
+  explicit SmbTraffic(SmbConfig config) : config_(config) {}
+
+  /// Offered load per participating node in MiB/s.
+  [[nodiscard]] double offered_mibps_per_node() const noexcept {
+    return config_.messages_per_second *
+           static_cast<double>(config_.message_bytes + config_.overhead_bytes) /
+           kMiBd;
+  }
+
+  /// Fraction of `nic`'s bandwidth consumed on a participating node's
+  /// link (clamped below 0.9 — TCP keeps some goodput even saturated).
+  [[nodiscard]] double link_utilization(const NicModel& nic) const noexcept {
+    const double u = offered_mibps_per_node() / nic.raw_mibps();
+    return u < 0.0 ? 0.0 : (u > 0.9 ? 0.9 : u);
+  }
+
+  /// Utilisation seen by a transfer between `a` and `b`: only links whose
+  /// endpoint participates in the routine work are loaded.  The SD node
+  /// never participates (paper excludes it), so SD-local traffic sees 0.
+  [[nodiscard]] double utilization_for(bool a_participates, bool b_participates,
+                                       const NicModel& nic) const noexcept {
+    if (!a_participates && !b_participates) return 0.0;
+    return link_utilization(nic);
+  }
+
+  [[nodiscard]] const SmbConfig& config() const noexcept { return config_; }
+
+ private:
+  SmbConfig config_;
+};
+
+}  // namespace mcsd::sim

@@ -1,0 +1,55 @@
+#include "cluster/testbed.hpp"
+
+namespace mcsd::sim {
+
+namespace {
+constexpr std::uint64_t kTwoGiB = 2ULL << 30;
+constexpr std::uint64_t kOsReserve = 200ULL << 20;
+
+NodeSpec base_node(std::string name, std::size_t cores, double core_speed) {
+  NodeSpec node;
+  node.name = std::move(name);
+  node.cpu.cores = cores;
+  node.cpu.core_speed = core_speed;
+  node.memory_bytes = kTwoGiB;
+  node.os_reserve_bytes = kOsReserve;
+  node.disk = DiskModel{};
+  node.nic = NicModel{};
+  return node;
+}
+}  // namespace
+
+NodeSpec host_node() {
+  // Q9400 @ 2.66 GHz: 2.66 / 2.00 = 1.33x the reference core.
+  return base_node("host-q9400", 4, 1.33);
+}
+
+NodeSpec sd_node_duo() { return base_node("sd-e4400", 2, 1.0); }
+
+NodeSpec sd_node_single() {
+  NodeSpec node = base_node("sd-single", 1, 1.0);
+  return node;
+}
+
+NodeSpec sd_node_quad() { return base_node("sd-q9400", 4, 1.33); }
+
+NodeSpec compute_node() {
+  // Celeron 450 @ 2.2 GHz, small cache: ~0.9x the reference core.
+  return base_node("compute-celeron450", 1, 0.9);
+}
+
+Testbed table1_testbed() {
+  Testbed tb;
+  tb.host = host_node();
+  tb.sd_duo = sd_node_duo();
+  tb.sd_single = sd_node_single();
+  tb.sd_quad = sd_node_quad();
+  tb.compute = {compute_node(), compute_node(), compute_node()};
+  tb.nfs = NfsModel{};
+  tb.swap = SwapModel{};
+  tb.smb = SmbTraffic{SmbConfig{}};
+  tb.fam_invocation_seconds = 0.02;
+  return tb;
+}
+
+}  // namespace mcsd::sim

@@ -1,0 +1,121 @@
+#include "core/cli.hpp"
+
+#include <charconv>
+
+#include "core/units.hpp"
+
+namespace mcsd {
+
+void CliParser::add_flag(std::string name, std::string help) {
+  specs_[std::move(name)] = Spec{true, "", std::move(help)};
+}
+
+void CliParser::add_option(std::string name, std::string default_value,
+                           std::string help) {
+  specs_[std::move(name)] = Spec{false, std::move(default_value),
+                                 std::move(help)};
+}
+
+Status CliParser::parse(int argc, const char* const* argv) {
+  values_.clear();
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg{argv[i]};
+    if (arg == "--help" || arg == "-h") {
+      return Status{ErrorCode::kUnavailable,
+                    usage(argc > 0 ? argv[0] : "program")};
+    }
+    if (arg.substr(0, 2) != "--") {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string{arg.substr(0, eq)};
+      value = std::string{arg.substr(eq + 1)};
+    } else {
+      name = std::string{arg};
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return Status{ErrorCode::kInvalidArgument, "unknown option --" + name};
+    }
+    if (it->second.is_flag) {
+      if (value) {
+        return Status{ErrorCode::kInvalidArgument,
+                      "flag --" + name + " takes no value"};
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (!value) {
+      if (i + 1 >= argc) {
+        return Status{ErrorCode::kInvalidArgument,
+                      "option --" + name + " needs a value"};
+      }
+      value = std::string{argv[++i]};
+    }
+    values_[name] = std::move(*value);
+  }
+  return Status::ok();
+}
+
+bool CliParser::flag(std::string_view name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second == "true";
+}
+
+std::string CliParser::option(std::string_view name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  if (const auto it = specs_.find(name); it != specs_.end()) {
+    return it->second.default_value;
+  }
+  return {};
+}
+
+Result<std::int64_t> CliParser::option_int(std::string_view name) const {
+  const std::string raw = option(name);
+  std::int64_t value = 0;
+  const auto [p, e] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (e != std::errc{} || p != raw.data() + raw.size()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "--" + std::string{name} + " is not an integer: " + raw};
+  }
+  return value;
+}
+
+Result<std::uint64_t> CliParser::option_bytes(std::string_view name) const {
+  auto parsed = parse_bytes(option(name));
+  if (!parsed) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "--" + std::string{name} + ": " +
+                     parsed.error().to_string()};
+  }
+  return parsed;
+}
+
+std::string CliParser::usage(std::string_view program) const {
+  std::string out = "usage: ";
+  out += program;
+  out += " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --";
+    out += name;
+    if (!spec.is_flag) {
+      out += "=<value> (default: ";
+      out += spec.default_value.empty() ? "none" : spec.default_value;
+      out += ")";
+    }
+    out += "\n      ";
+    out += spec.help;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mcsd

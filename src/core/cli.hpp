@@ -1,0 +1,55 @@
+// Minimal command-line parsing for the example and bench binaries.
+//
+// Supports `--flag`, `--key=value`, `--key value` and positional
+// arguments; unknown options are errors (typos should not silently run
+// the default experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace mcsd {
+
+class CliParser {
+ public:
+  /// Declares a boolean flag (present/absent).
+  void add_flag(std::string name, std::string help);
+  /// Declares a valued option with a default.
+  void add_option(std::string name, std::string default_value,
+                  std::string help);
+
+  /// Parses argv.  On failure returns the error; `--help` is reported as
+  /// kUnavailable with the usage text as the message.
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(std::string_view name) const;
+  [[nodiscard]] std::string option(std::string_view name) const;
+  [[nodiscard]] Result<std::int64_t> option_int(std::string_view name) const;
+  /// Parses the option through parse_bytes ("500M", "1.25G", ...).
+  [[nodiscard]] Result<std::uint64_t> option_bytes(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  struct Spec {
+    bool is_flag = false;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::map<std::string, Spec, std::less<>> specs_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcsd

@@ -1,0 +1,208 @@
+#include "core/config.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "core/strings.hpp"
+
+namespace mcsd {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+bool needs_escape(char c) {
+  return c == '%' || c == '\n' || c == '\r' || c == '=';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool valid_key(std::string_view key) {
+  if (key.empty()) return false;
+  for (char c : key) {
+    if (c == '=' || c == '%' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string escape_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (needs_escape(c)) {
+      out.push_back('%');
+      out.push_back(kHexDigits[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHexDigits[static_cast<unsigned char>(c) & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> unescape_value(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      return Error{ErrorCode::kProtocolError, "truncated %-escape"};
+    }
+    const int hi = hex_value(escaped[i + 1]);
+    const int lo = hex_value(escaped[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Error{ErrorCode::kProtocolError, "bad %-escape digits"};
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Result<KeyValueMap> KeyValueMap::parse(std::string_view text) {
+  KeyValueMap map;
+  std::size_t line_no = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++line_no;
+    // CRLF tolerance for hand-edited files; embedded '\r' in values is
+    // %-escaped, so a trailing raw '\r' can only be a line ending.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (trim(line).empty() || trim(line).front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{ErrorCode::kProtocolError,
+                   "line " + std::to_string(line_no) + ": missing '='"};
+    }
+    // The key tolerates surrounding whitespace (hand-written files); the
+    // value is verbatim so any byte string round-trips through escaping.
+    std::string_view key = trim(line.substr(0, eq));
+    if (!valid_key(key)) {
+      return Error{ErrorCode::kProtocolError,
+                   "line " + std::to_string(line_no) + ": bad key"};
+    }
+    auto value = unescape_value(line.substr(eq + 1));
+    if (!value) return value.error();
+    map.entries_[std::string{key}] = std::move(value).value();
+  }
+  return map;
+}
+
+std::string KeyValueMap::serialize() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    out += key;
+    out += '=';
+    out += escape_value(value);
+    out += '\n';
+  }
+  return out;
+}
+
+void KeyValueMap::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+void KeyValueMap::set_int(std::string key, std::int64_t value) {
+  set(std::move(key), std::to_string(value));
+}
+
+void KeyValueMap::set_uint(std::string key, std::uint64_t value) {
+  set(std::move(key), std::to_string(value));
+}
+
+void KeyValueMap::set_double(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  set(std::move(key), buf);
+}
+
+void KeyValueMap::set_bool(std::string key, bool value) {
+  set(std::move(key), value ? "true" : "false");
+}
+
+bool KeyValueMap::contains(std::string_view key) const {
+  return entries_.find(std::string{key}) != entries_.end();
+}
+
+std::optional<std::string> KeyValueMap::get(std::string_view key) const {
+  const auto it = entries_.find(std::string{key});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::int64_t> KeyValueMap::get_int(std::string_view key) const {
+  const auto raw = get(key);
+  if (!raw) return Error{ErrorCode::kNotFound, "missing key " + std::string{key}};
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    return Error{ErrorCode::kProtocolError,
+                 "key " + std::string{key} + " is not an integer: " + *raw};
+  }
+  return value;
+}
+
+Result<std::uint64_t> KeyValueMap::get_uint(std::string_view key) const {
+  const auto raw = get(key);
+  if (!raw) return Error{ErrorCode::kNotFound, "missing key " + std::string{key}};
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    return Error{ErrorCode::kProtocolError,
+                 "key " + std::string{key} + " is not a uint: " + *raw};
+  }
+  return value;
+}
+
+Result<double> KeyValueMap::get_double(std::string_view key) const {
+  const auto raw = get(key);
+  if (!raw) return Error{ErrorCode::kNotFound, "missing key " + std::string{key}};
+  double value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    return Error{ErrorCode::kProtocolError,
+                 "key " + std::string{key} + " is not a double: " + *raw};
+  }
+  return value;
+}
+
+Result<bool> KeyValueMap::get_bool(std::string_view key) const {
+  const auto raw = get(key);
+  if (!raw) return Error{ErrorCode::kNotFound, "missing key " + std::string{key}};
+  if (*raw == "true" || *raw == "1") return true;
+  if (*raw == "false" || *raw == "0") return false;
+  return Error{ErrorCode::kProtocolError,
+               "key " + std::string{key} + " is not a bool: " + *raw};
+}
+
+std::string KeyValueMap::get_or(std::string_view key,
+                                std::string_view fallback) const {
+  const auto raw = get(key);
+  return raw ? *raw : std::string{fallback};
+}
+
+std::int64_t KeyValueMap::get_int_or(std::string_view key,
+                                     std::int64_t fallback) const {
+  const auto result = get_int(key);
+  if (result.is_ok()) return result.value();
+  return result.error().code() == ErrorCode::kNotFound
+             ? fallback
+             : throw std::runtime_error(result.error().to_string());
+}
+
+}  // namespace mcsd

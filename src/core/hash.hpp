@@ -1,0 +1,64 @@
+// Hashing used by the MapReduce intermediate store.
+//
+// FNV-1a for strings (stable, decent distribution over word keys) plus a
+// 64-bit finaliser for integer keys.  Keyspace partitioning across reduce
+// workers must be *stable across runs* so tests can assert bucket
+// contents; std::hash gives no such guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcsd {
+
+/// FNV-1a 64-bit over an arbitrary byte range.
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Stafford's Mix13 finaliser: scrambles integer keys so that sequential
+/// row/column ids (matrix multiply) spread across reduce buckets.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// KeyHash: customisation point used by the MapReduce engine.  Specialise
+/// or overload `mcsd_key_hash` (found by ADL) for user key types.
+constexpr std::uint64_t mcsd_key_hash(std::string_view key) noexcept {
+  return fnv1a(key);
+}
+constexpr std::uint64_t mcsd_key_hash(const std::string& key) noexcept {
+  return fnv1a(std::string_view{key});
+}
+constexpr std::uint64_t mcsd_key_hash(std::uint64_t key) noexcept {
+  return mix64(key);
+}
+constexpr std::uint64_t mcsd_key_hash(std::int64_t key) noexcept {
+  return mix64(static_cast<std::uint64_t>(key));
+}
+constexpr std::uint64_t mcsd_key_hash(std::uint32_t key) noexcept {
+  return mix64(key);
+}
+constexpr std::uint64_t mcsd_key_hash(std::int32_t key) noexcept {
+  return mix64(static_cast<std::uint64_t>(static_cast<std::int64_t>(key)));
+}
+
+template <typename K>
+struct KeyHash {
+  std::uint64_t operator()(const K& key) const noexcept {
+    return mcsd_key_hash(key);
+  }
+};
+
+}  // namespace mcsd

@@ -1,0 +1,128 @@
+#include "core/io.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace mcsd {
+
+namespace fs = std::filesystem;
+
+Result<std::string> read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
+  }
+  std::string contents;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) {
+    return Error{ErrorCode::kIoError, "cannot stat " + path.string()};
+  }
+  contents.resize(static_cast<std::size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(contents.data(), size);
+  if (!in) {
+    return Error{ErrorCode::kIoError, "short read on " + path.string()};
+  }
+  return contents;
+}
+
+Status write_file(const fs::path& path, std::string_view contents) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    return Status{ErrorCode::kIoError, "cannot open " + path.string()};
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status{ErrorCode::kIoError, "short write on " + path.string()};
+  }
+  return Status::ok();
+}
+
+Status append_file(const fs::path& path, std::string_view contents) {
+  std::ofstream out{path, std::ios::binary | std::ios::app};
+  if (!out) {
+    return Status{ErrorCode::kIoError, "cannot open " + path.string()};
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status{ErrorCode::kIoError, "short write on " + path.string()};
+  }
+  return Status::ok();
+}
+
+Status write_file_atomic(const fs::path& path, std::string_view contents) {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path tmp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp." +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+  if (Status s = write_file(tmp, contents); !s) return s;
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status{ErrorCode::kIoError,
+                  "rename to " + path.string() + " failed: " + ec.message()};
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> file_size(const fs::path& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    return Error{ErrorCode::kNotFound,
+                 "file_size(" + path.string() + "): " + ec.message()};
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+TempDir::TempDir(std::string_view tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fs::path candidate =
+        fs::temp_directory_path() /
+        (std::string{tag} + "-" + std::to_string(pid) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw std::runtime_error("TempDir: cannot create unique directory");
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best effort
+  }
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+}  // namespace mcsd

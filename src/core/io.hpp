@@ -1,0 +1,66 @@
+// Filesystem helpers: whole-file read/write, atomic replace, scoped temp
+// directories.
+//
+// The FAM log-file channel depends on two properties these helpers
+// provide: (1) `write_file_atomic` makes a log-record update appear all at
+// once (write to a sibling temp file, fsync-less rename), so the watcher
+// never observes a torn record; (2) `TempDir` gives each test / example an
+// isolated stand-in for the NFS-shared log folder.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+
+namespace mcsd {
+
+/// Reads an entire file into a string.
+Result<std::string> read_file(const std::filesystem::path& path);
+
+/// Writes `contents` to `path`, truncating.  Not atomic.
+Status write_file(const std::filesystem::path& path, std::string_view contents);
+
+/// Appends `contents` to `path`, creating it if needed.
+Status append_file(const std::filesystem::path& path, std::string_view contents);
+
+/// Atomically replaces `path` with `contents` (temp file + rename within
+/// the same directory).  Readers see either the old or the new contents,
+/// never a prefix.
+///
+/// Contract: the staging file is named `<filename>.tmp.<n>` — directory
+/// watchers (fam::FileWatcher, fam::InotifyWatcher) rely on the ".tmp."
+/// infix to ignore in-flight updates.
+Status write_file_atomic(const std::filesystem::path& path,
+                         std::string_view contents);
+
+/// File size in bytes, or kNotFound.
+Result<std::uint64_t> file_size(const std::filesystem::path& path);
+
+/// A uniquely named directory under the system temp dir, removed
+/// recursively on destruction.
+class TempDir {
+ public:
+  /// `tag` appears in the directory name for debuggability.
+  explicit TempDir(std::string_view tag = "mcsd");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  [[nodiscard]] std::filesystem::path operator/(std::string_view name) const {
+    return path_ / name;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace mcsd

@@ -1,0 +1,58 @@
+#include "core/log.hpp"
+
+#include <cstdio>
+
+namespace mcsd {
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::capture(bool enabled) {
+  std::lock_guard lock{mutex_};
+  capture_ = enabled;
+  if (!enabled) captured_.clear();
+}
+
+std::string Logger::drain_captured() {
+  std::lock_guard lock{mutex_};
+  std::string out = std::move(captured_);
+  captured_.clear();
+  return out;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (level < level_) return;
+  std::lock_guard lock{mutex_};
+  if (capture_) {
+    captured_ += '[';
+    captured_ += level_name(level);
+    captured_ += "] ";
+    captured_ += component;
+    captured_ += ": ";
+    captured_ += message;
+    captured_ += '\n';
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()), level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mcsd

@@ -1,0 +1,70 @@
+// Minimal leveled logger.
+//
+// The FAM daemon and the bench harnesses run concurrently with worker
+// threads, so the sink serialises writes.  Intentionally tiny: no
+// formatting library, no global configuration file — a single process-wide
+// level and an optional redirect for tests.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mcsd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  /// Process-wide singleton.
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Redirects output into an internal buffer (tests) or back to stderr.
+  void capture(bool enabled);
+  /// Returns and clears the captured buffer.
+  std::string drain_captured();
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kWarn;
+  bool capture_ = false;
+  std::string captured_;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: MCSD_LOG(kInfo, "fam") << "daemon started, modules=" << n;
+#define MCSD_LOG(severity, component)                                     \
+  if (::mcsd::Logger::instance().level() <= ::mcsd::LogLevel::severity)   \
+  ::mcsd::detail::LogLine(::mcsd::LogLevel::severity, component)
+
+}  // namespace mcsd

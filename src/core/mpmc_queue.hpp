@@ -1,0 +1,106 @@
+// Bounded multi-producer multi-consumer queue.
+//
+// Mutex + two condition variables.  Lock-free variants buy nothing for
+// McSD's usage: queue operations bracket map tasks that each run for
+// milliseconds, so queue overhead is noise.  Clarity and provable
+// correctness win (Core Guidelines CP.20 ff.).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mcsd {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Blocks while full.  Returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push.  Returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock{mutex_};
+      if (closed_ || full_locked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty.  Empty optional means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard lock{mutex_};
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// After close(), pushes fail and pops drain the remaining items.
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  [[nodiscard]] bool full_locked() const {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mcsd

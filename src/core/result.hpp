@@ -1,0 +1,156 @@
+// Result<T> / Status: lightweight expected-style error handling.
+//
+// McSD components that cross process or machine boundaries (the FAM
+// protocol, file I/O, the out-of-core driver) report failures as values
+// rather than exceptions, so callers on the daemon dispatch path can log
+// and continue without unwinding the event loop.  Purely in-process
+// programming errors still throw (std::logic_error and friends).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mcsd {
+
+/// Coarse error taxonomy shared by every McSD subsystem.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< file / module / key missing
+  kOutOfMemory,       ///< exceeded a *modelled* memory budget (not malloc failure)
+  kIoError,           ///< filesystem or transport failure
+  kProtocolError,     ///< FAM log-file framing violated
+  kTimeout,           ///< wait deadline expired
+  kUnavailable,       ///< resource busy / daemon not running
+  kInternal,          ///< invariant broken; a bug
+};
+
+/// Human-readable name for an ErrorCode (stable, used in log files).
+constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOutOfMemory: return "out_of_memory";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kProtocolError: return "protocol_error";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Error value: a code plus a context message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out{mcsd::to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Status: success or an Error. Use for operations with no return value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : error_(std::in_place, code, std::move(message)) {}
+  explicit Status(Error error) : error_(std::move(error)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept {
+    return error_ ? error_->code() : ErrorCode::kOk;
+  }
+
+  /// Precondition: !is_ok().
+  [[nodiscard]] const Error& error() const {
+    if (!error_) throw std::logic_error("Status::error() on OK status");
+    return *error_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return error_ ? error_->to_string() : std::string{"ok"};
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Result<T>: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message)
+      : data_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Precondition: is_ok().
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  /// Precondition: !is_ok().
+  [[nodiscard]] const Error& error() const {
+    if (is_ok()) throw std::logic_error("Result::error() on OK result");
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : Status{std::get<Error>(data_)};
+  }
+
+ private:
+  void check() const {
+    if (!is_ok()) {
+      throw std::runtime_error("Result::value() on error: " +
+                               std::get<Error>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Error> data_;
+};
+
+}  // namespace mcsd

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for calibration and metrics.
+#pragma once
+
+#include <chrono>
+
+namespace mcsd {
+
+/// Monotonic stopwatch.  Started on construction; `elapsed_*` may be read
+/// repeatedly; `restart` resets the origin.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_);
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace mcsd

@@ -1,0 +1,43 @@
+// Small string utilities shared across McSD modules.
+//
+// Nothing here allocates unless the return type requires it; inputs are
+// std::string_view throughout (C++ Core Guidelines F.15/F.16).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsd {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on any amount of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-casing (the benchmark corpora are ASCII by construction).
+std::string to_lower(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True for the delimiters the paper's integrity check recognises by
+/// default: space, tab, newline, carriage return.
+constexpr bool is_default_delimiter(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// True for ASCII alphanumerics (word characters in the WC benchmark).
+constexpr bool is_word_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+}  // namespace mcsd

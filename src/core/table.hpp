@@ -1,0 +1,35 @@
+// ASCII table and CSV rendering for bench harness output.
+//
+// Every bench binary prints one table per paper table/figure in a stable
+// column layout, so EXPERIMENTS.md can quote the output verbatim and CI
+// diffs stay readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcsd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Monospace box rendering.
+  [[nodiscard]] std::string render() const;
+  /// RFC-4180-ish CSV (fields containing comma/quote/newline are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcsd

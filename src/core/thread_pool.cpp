@@ -1,0 +1,111 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcsd {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    throw std::invalid_argument("ThreadPool needs at least one worker");
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return tasks_.push(std::move(task));
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+void ThreadPool::parallel_for_workers(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending = count - 1;  // index 0 runs on the caller
+  std::exception_ptr first_error;
+
+  for (std::size_t i = 1; i < count; ++i) {
+    submit([&, i] {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock{mutex};
+      if (error && !first_error) first_error = error;
+      if (--pending == 0) cv.notify_one();
+    });
+  }
+
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard lock{mutex};
+    if (!first_error) first_error = std::current_exception();
+  }
+
+  std::unique_lock lock{mutex};
+  cv.wait(lock, [&] { return pending == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard lock{mutex_};
+    ++pending_;
+  }
+  const bool accepted = pool_.submit([this, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish_one(error);
+  });
+  if (!accepted) {
+    finish_one(std::make_exception_ptr(
+        std::runtime_error("TaskGroup::run after pool shutdown")));
+  }
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock{mutex_};
+  done_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_) {
+    auto error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::finish_one(std::exception_ptr error) {
+  std::lock_guard lock{mutex_};
+  if (error && !first_error_) first_error_ = error;
+  if (--pending_ == 0) done_.notify_all();
+}
+
+}  // namespace mcsd

@@ -1,0 +1,79 @@
+// Fixed-size thread pool with task groups.
+//
+// The MapReduce engine (and the FAM daemon) pin their parallelism to an
+// explicit worker count — the paper's whole premise is "N-core storage
+// node", so worker count is a *parameter*, never hardware_concurrency()
+// implicitly.  TaskGroup lets a phase submit a batch and join it without
+// tearing the pool down between phases.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/mpmc_queue.hpp"
+
+namespace mcsd {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads (>= 1).
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a fire-and-forget task.  Returns false after shutdown.
+  bool submit(std::function<void()> task);
+
+  /// Runs `fn(worker_index)` once on each of `count` logical workers and
+  /// blocks until all complete.  The calling thread also executes tasks,
+  /// so a pool of W threads serves count > W without deadlock.  The first
+  /// exception thrown by any task is rethrown on the caller.
+  void parallel_for_workers(std::size_t count,
+                            const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+/// Joins a dynamically-sized batch of tasks submitted to a ThreadPool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits a task tracked by this group.
+  void run(std::function<void()> task);
+
+  /// Blocks until every task run() so far has finished; rethrows the
+  /// first captured exception.
+  void wait();
+
+ private:
+  void finish_one(std::exception_ptr error);
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mcsd

@@ -1,0 +1,73 @@
+#include "core/units.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mcsd {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  const auto emit = [&](double v, const char* unit) {
+    // Integral mantissas print without a fraction ("500M"); otherwise two
+    // decimals at most, trimmed ("1.25G").
+    if (v == std::floor(v)) {
+      std::snprintf(buf, sizeof buf, "%.0f%s", v, unit);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.2f%s", v, unit);
+      // trim trailing zero: "1.50G" -> "1.5G"
+      std::string s{buf};
+      const auto unit_len = std::string_view{unit}.size();
+      while (s.size() > unit_len + 1 && s[s.size() - unit_len - 1] == '0' &&
+             s[s.size() - unit_len - 2] != '.') {
+        s.erase(s.size() - unit_len - 1, 1);
+      }
+      return s;
+    }
+    return std::string{buf};
+  };
+  if (bytes >= kGiB) return emit(static_cast<double>(bytes) / static_cast<double>(kGiB), "G");
+  if (bytes >= kMiB) return emit(static_cast<double>(bytes) / static_cast<double>(kMiB), "M");
+  if (bytes >= kKiB) return emit(static_cast<double>(bytes) / static_cast<double>(kKiB), "K");
+  return emit(static_cast<double>(bytes), "B");
+}
+
+Result<std::uint64_t> parse_bytes(std::string_view text) {
+  if (text.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "empty size string"};
+  }
+  // Parse the numeric prefix.
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value < 0.0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "bad size string: " + std::string{text}};
+  }
+  std::string_view suffix = text.substr(static_cast<std::size_t>(ptr - begin));
+  // Normalise suffix: strip optional trailing "b"/"B" and "i".
+  std::string norm;
+  for (char c : suffix) {
+    norm.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!norm.empty() && norm.back() == 'b') norm.pop_back();
+  if (!norm.empty() && norm.back() == 'i') norm.pop_back();
+  std::uint64_t multiplier = 1;
+  if (norm.empty()) {
+    multiplier = 1;
+  } else if (norm == "k") {
+    multiplier = kKiB;
+  } else if (norm == "m") {
+    multiplier = kMiB;
+  } else if (norm == "g") {
+    multiplier = kGiB;
+  } else {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unknown size suffix: " + std::string{text}};
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(multiplier));
+}
+
+}  // namespace mcsd

@@ -1,0 +1,35 @@
+// Byte-size units and formatting.
+//
+// The paper reports data sizes as "500M", "750M", "1G", "1.25G", "2G"
+// (decimal-ish labels for binary sizes).  All McSD size arithmetic is in
+// plain std::uint64_t bytes; this header supplies the constants, literals,
+// parsing for the bench harnesses, and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+
+namespace mcsd {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+/// Formats a byte count the way the paper labels data points: "500M",
+/// "1.25G".  Chooses the largest unit that keeps the mantissa >= 1.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parses "512", "64K", "500M", "1.25G" (case-insensitive, optional "iB"/"B"
+/// suffix) into bytes.  Fractional values are allowed for M and G.
+Result<std::uint64_t> parse_bytes(std::string_view text);
+
+}  // namespace mcsd

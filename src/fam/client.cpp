@@ -1,0 +1,108 @@
+#include "fam/client.hpp"
+
+#include <thread>
+
+#include "core/io.hpp"
+#include "core/stopwatch.hpp"
+
+namespace mcsd::fam {
+
+namespace fs = std::filesystem;
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+bool Client::module_available(std::string_view module) const {
+  return fs::exists(options_.log_dir / log_file_name(module));
+}
+
+std::uint64_t Client::current_seq(const fs::path& log) const {
+  auto contents = read_file(log);
+  if (!contents) return 0;
+  auto record = decode_record(contents.value());
+  if (!record) return 0;  // comment header or torn write
+  return record.value().seq;
+}
+
+Result<KeyValueMap> Client::invoke(std::string_view module,
+                                   const KeyValueMap& params) {
+  if (!valid_module_name(module)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "invalid module name: " + std::string{module}};
+  }
+  const fs::path log = options_.log_dir / log_file_name(module);
+  if (!fs::exists(log)) {
+    return Error{ErrorCode::kNotFound,
+                 "module not preloaded (no log file): " + std::string{module}};
+  }
+
+  PerModule* state = nullptr;
+  {
+    std::lock_guard lock{mutex_};
+    auto& slot = per_module_[std::string{module}];
+    if (!slot) slot = std::make_unique<PerModule>();
+    state = slot.get();
+    ++invocations_;
+  }
+
+  // Serialise outstanding requests per module: the log file is a
+  // single-record channel.
+  std::lock_guard in_flight{state->in_flight};
+  if (state->next_seq == 0) {
+    state->next_seq = current_seq(log) + 1;
+  }
+
+  const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  Error last_error{ErrorCode::kInternal, "unreachable"};
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const std::uint64_t seq = state->next_seq++;
+
+    Record request;
+    request.type = RecordType::kRequest;
+    request.seq = seq;
+    request.module = std::string{module};
+    request.payload = params;
+    if (Status s = write_file_atomic(log, encode_record(request)); !s) {
+      return Error{s.error().code(),
+                   "cannot write request: " + s.to_string()};
+    }
+
+    // Await the matching response (inotify-equivalent: poll the file).
+    Stopwatch waited;
+    bool timed_out = false;
+    while (!timed_out) {
+      if (auto contents = read_file(log)) {
+        if (auto record = decode_record(contents.value())) {
+          const Record& r = record.value();
+          if (r.type == RecordType::kResponse && r.seq == seq &&
+              r.module == module) {
+            if (!r.ok) {
+              return Error{ErrorCode::kInternal,
+                           "module error: " + r.error_message};
+            }
+            return r.payload;
+          }
+          if (r.seq > seq) {
+            // Someone raced past us (another host process); our response
+            // is unrecoverable.
+            return Error{ErrorCode::kProtocolError,
+                         "response overwritten by newer request"};
+          }
+        }
+      }
+      if (waited.elapsed() > options_.timeout) {
+        last_error = Error{
+            ErrorCode::kTimeout,
+            "no response from " + std::string{module} + " within " +
+                std::to_string(options_.timeout.count()) + " ms (attempt " +
+                std::to_string(attempt + 1) + "/" + std::to_string(attempts) +
+                ")"};
+        timed_out = true;
+      } else {
+        std::this_thread::sleep_for(options_.poll_interval);
+      }
+    }
+  }
+  return last_error;
+}
+
+}  // namespace mcsd::fam

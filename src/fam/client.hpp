@@ -1,0 +1,71 @@
+// The host-node side of smartFAM (Fig. 5, "Returning results ... to a
+// host node").
+//
+// Client::invoke writes a request record into the module's log file and
+// waits for the daemon's response record with the matching sequence
+// number.  One outstanding request per module at a time — the log file
+// holds a single record — enforced with a per-module mutex, so concurrent
+// callers serialise instead of clobbering each other.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "fam/protocol.hpp"
+
+namespace mcsd::fam {
+
+struct ClientOptions {
+  std::filesystem::path log_dir;
+  /// How often the host-side watcher re-reads the log file while waiting.
+  std::chrono::milliseconds poll_interval{1};
+  /// Give up on one attempt after this long without a response.
+  std::chrono::milliseconds timeout{10'000};
+  /// Total attempts per invoke (>= 1).  A retry re-sends the request
+  /// under a fresh sequence number — safe because the daemon dedupes by
+  /// seq and one log file holds a single in-flight request.  Retries
+  /// paper over a storage node that was still booting or a request
+  /// record lost to a crash between write and dispatch.
+  int max_attempts = 1;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  /// Offloads one invocation: writes the request, blocks until the
+  /// response arrives (or timeout).  Returns the module's result map, or
+  /// the module's error / kTimeout / kProtocolError.
+  Result<KeyValueMap> invoke(std::string_view module,
+                             const KeyValueMap& params);
+
+  /// True if the module's log file exists — i.e. the daemon preloaded it.
+  [[nodiscard]] bool module_available(std::string_view module) const;
+
+  [[nodiscard]] std::uint64_t invocations() const noexcept {
+    return invocations_;
+  }
+
+ private:
+  /// Reads the current record's seq (0 when the file is empty/comment).
+  std::uint64_t current_seq(const std::filesystem::path& log) const;
+
+  ClientOptions options_;
+  std::mutex mutex_;  ///< guards per_module_
+  struct PerModule {
+    std::mutex in_flight;
+    std::uint64_t next_seq = 0;  ///< 0 = not yet initialised from the file
+  };
+  std::map<std::string, std::unique_ptr<PerModule>, std::less<>> per_module_;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace mcsd::fam

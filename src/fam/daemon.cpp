@@ -1,0 +1,147 @@
+#include "fam/daemon.hpp"
+
+#include "core/io.hpp"
+#include "core/log.hpp"
+
+namespace mcsd::fam {
+
+namespace fs = std::filesystem;
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  fs::create_directories(options_.log_dir);
+  const auto callback = [this](const fs::path& path) {
+    on_file_change(path);
+  };
+  if (options_.backend == WatcherBackend::kInotify) {
+    auto inotify = InotifyWatcher::create(options_.log_dir, callback);
+    if (inotify.is_ok()) {
+      watcher_ = std::move(inotify).value();
+      active_backend_ = WatcherBackend::kInotify;
+      return;
+    }
+    MCSD_LOG(kWarn, "fam.daemon")
+        << "inotify unavailable (" << inotify.error().to_string()
+        << "); falling back to polling";
+  }
+  watcher_ = std::make_unique<FileWatcher>(options_.log_dir,
+                                           options_.poll_interval, callback);
+  active_backend_ = WatcherBackend::kPolling;
+}
+
+Daemon::~Daemon() { stop(); }
+
+Status Daemon::preload(std::shared_ptr<Module> module) {
+  if (!module) {
+    return Status{ErrorCode::kInvalidArgument, "null module"};
+  }
+  const std::string name{module->name()};
+  if (Status s = registry_.add(std::move(module)); !s) return s;
+  const fs::path log = options_.log_dir / log_file_name(name);
+  if (!fs::exists(log)) {
+    if (Status s = write_file_atomic(log, "# mcsd module log: " + name + "\n");
+        !s) {
+      return s;
+    }
+  }
+  MCSD_LOG(kInfo, "fam.daemon") << "preloaded module " << name;
+  return Status::ok();
+}
+
+void Daemon::start() {
+  std::lock_guard lock{lifecycle_mutex_};
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < std::max<std::size_t>(options_.dispatch_threads, 1);
+       ++i) {
+    dispatchers_.emplace_back([this] { dispatch_loop(); });
+  }
+  watcher_->start();
+}
+
+void Daemon::stop() {
+  std::lock_guard lock{lifecycle_mutex_};
+  if (!started_) return;
+  watcher_->stop();
+  pending_.close();
+  for (auto& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+  started_ = false;
+}
+
+void Daemon::on_file_change(const fs::path& path) {
+  auto contents = read_file(path);
+  if (!contents) return;  // raced with a writer; next poll retries
+  auto record = decode_record(contents.value());
+  if (!record) {
+    // Comment-only freshly-created log files and torn writes land here.
+    return;
+  }
+  if (record.value().type != RecordType::kRequest) return;
+  // Defense in depth against staging/foreign files: the record must live
+  // in the log file its module owns.
+  if (path.filename().string() != log_file_name(record.value().module)) {
+    return;
+  }
+
+  {
+    std::lock_guard lock{seq_mutex_};
+    auto& last = last_handled_seq_[record.value().module];
+    if (record.value().seq <= last) return;  // already handled / replay
+    last = record.value().seq;
+  }
+  pending_.push(std::move(record).value());
+}
+
+void Daemon::dispatch_loop() {
+  while (auto request = pending_.pop()) {
+    handle_request(*request);
+  }
+}
+
+void Daemon::handle_request(const Record& request) {
+  Record response;
+  response.type = RecordType::kResponse;
+  response.seq = request.seq;
+  response.module = request.module;
+
+  if (auto module = registry_.find(request.module)) {
+    // A module that throws must not take the dispatch thread down — the
+    // host gets an error response and the daemon keeps serving.
+    try {
+      auto result = module->invoke(request.payload);
+      if (result.is_ok()) {
+        response.ok = true;
+        response.payload = std::move(result).value();
+      } else {
+        response.ok = false;
+        response.error_message = result.error().to_string();
+      }
+    } catch (const std::exception& e) {
+      response.ok = false;
+      response.error_message =
+          "module threw: " + std::string{e.what()};
+    } catch (...) {
+      response.ok = false;
+      response.error_message = "module threw a non-std exception";
+    }
+  } else {
+    response.ok = false;
+    response.error_message = "module not preloaded: " + request.module;
+  }
+
+  if (!response.ok) {
+    errors_returned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  requests_handled_.fetch_add(1, std::memory_order_relaxed);
+
+  const fs::path log = options_.log_dir / log_file_name(request.module);
+  if (Status s = write_file_atomic(log, encode_record(response)); !s) {
+    MCSD_LOG(kError, "fam.daemon")
+        << "cannot write response for " << request.module << ": "
+        << s.to_string();
+  }
+}
+
+}  // namespace mcsd::fam

@@ -1,0 +1,106 @@
+// The smartFAM daemon: the storage-node side of Fig. 5.
+//
+// Watches the shared log folder; when a module's log file is changed by
+// the host (a new request record), the daemon retrieves the parameters,
+// invokes the preloaded module, and writes the results back into the same
+// log file as a response record.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/mpmc_queue.hpp"
+#include "core/result.hpp"
+#include "fam/inotify_watcher.hpp"
+#include "fam/module.hpp"
+#include "fam/protocol.hpp"
+#include "fam/watcher.hpp"
+
+namespace mcsd::fam {
+
+/// Which file-alteration monitor the daemon runs on.
+enum class WatcherBackend : std::uint8_t {
+  /// Portable mtime/size/hash polling — required when the log folder is
+  /// an NFS mount (inotify cannot see remote writes).
+  kPolling,
+  /// Linux inotify, the paper's mechanism — local/tmpfs folders only.
+  /// Falls back to polling if inotify is unavailable.
+  kInotify,
+};
+
+struct DaemonOptions {
+  std::filesystem::path log_dir;
+  /// Watcher polling cadence (kPolling backend).
+  std::chrono::milliseconds poll_interval{2};
+  /// Dispatch worker threads — how many modules may run concurrently on
+  /// the storage node (<= its core count).
+  std::size_t dispatch_threads = 1;
+  WatcherBackend backend = WatcherBackend::kPolling;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Preloads a module: registers it and creates its (empty) log file —
+  /// "when a new data-intensive module is preloaded to the McSD node, a
+  /// corresponding log-file is created" (Section IV-A).
+  Status preload(std::shared_ptr<Module> module);
+
+  /// Starts the watcher and dispatch workers.  Idempotent.
+  void start();
+  /// Drains in-flight work and stops.  Idempotent; destructor calls it.
+  void stop();
+
+  [[nodiscard]] const std::filesystem::path& log_dir() const noexcept {
+    return options_.log_dir;
+  }
+  [[nodiscard]] const ModuleRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Counters for tests and monitoring.
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t errors_returned() const noexcept {
+    return errors_returned_.load(std::memory_order_relaxed);
+  }
+
+  /// The backend actually in use (inotify may have fallen back).
+  [[nodiscard]] WatcherBackend active_backend() const noexcept {
+    return active_backend_;
+  }
+
+ private:
+  void on_file_change(const std::filesystem::path& path);
+  void dispatch_loop();
+  void handle_request(const Record& request);
+
+  DaemonOptions options_;
+  ModuleRegistry registry_;
+  std::unique_ptr<Watcher> watcher_;
+  WatcherBackend active_backend_ = WatcherBackend::kPolling;
+  MpmcQueue<Record> pending_;
+  std::vector<std::thread> dispatchers_;
+  bool started_ = false;
+  std::mutex lifecycle_mutex_;
+
+  std::mutex seq_mutex_;
+  std::map<std::string, std::uint64_t> last_handled_seq_;
+
+  std::atomic<std::uint64_t> requests_handled_{0};
+  std::atomic<std::uint64_t> errors_returned_{0};
+};
+
+}  // namespace mcsd::fam

@@ -1,0 +1,64 @@
+// inotify-based file-alteration monitor (Linux).
+//
+// The paper's smartFAM is built on "the inotify program - a Linux kernel
+// subsystem that provides file system event notification".  This backend
+// is the faithful implementation: near-zero-latency events with no
+// polling syscall load.  Caveat (why the polling FileWatcher is the
+// default): inotify only observes *local* writes — over a real NFS mount
+// the storage node never sees the host's writes, so deployments spanning
+// NFS must poll.  On a local/tmpfs shared folder (tests, single-machine
+// demos) inotify is strictly better.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "core/result.hpp"
+#include "fam/watcher.hpp"
+
+namespace mcsd::fam {
+
+class InotifyWatcher final : public Watcher {
+ public:
+  /// Watches regular files directly inside `directory` for close-write,
+  /// moved-to (atomic rename lands here) and create events.
+  /// Fails with kUnavailable on kernels without inotify support.
+  static Result<std::unique_ptr<InotifyWatcher>> create(
+      std::filesystem::path directory, ChangeCallback on_change);
+
+  ~InotifyWatcher();
+
+  InotifyWatcher(const InotifyWatcher&) = delete;
+  InotifyWatcher& operator=(const InotifyWatcher&) = delete;
+
+  /// Starts the event thread.  Idempotent.
+  void start() override;
+  /// Stops and joins.  Idempotent; destructor calls it.
+  void stop() override;
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept override {
+    return events_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  InotifyWatcher(std::filesystem::path directory, ChangeCallback on_change,
+                 int inotify_fd, int watch_descriptor);
+
+  void run();
+
+  std::filesystem::path directory_;
+  ChangeCallback on_change_;
+  int inotify_fd_;
+  int watch_descriptor_;
+  int wake_pipe_[2] = {-1, -1};  ///< select() wake-up for stop()
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> events_fired_{0};
+};
+
+}  // namespace mcsd::fam

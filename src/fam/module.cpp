@@ -1,0 +1,43 @@
+#include "fam/module.hpp"
+
+#include "fam/protocol.hpp"
+
+namespace mcsd::fam {
+
+Status ModuleRegistry::add(std::shared_ptr<Module> module) {
+  if (!module) {
+    return Status{ErrorCode::kInvalidArgument, "null module"};
+  }
+  const std::string name{module->name()};
+  if (!valid_module_name(name)) {
+    return Status{ErrorCode::kInvalidArgument, "invalid module name: " + name};
+  }
+  std::lock_guard lock{mutex_};
+  const auto [it, inserted] = modules_.try_emplace(name, std::move(module));
+  if (!inserted) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "module already registered: " + name};
+  }
+  return Status::ok();
+}
+
+std::shared_ptr<Module> ModuleRegistry::find(std::string_view name) const {
+  std::lock_guard lock{mutex_};
+  const auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModuleRegistry::names() const {
+  std::lock_guard lock{mutex_};
+  std::vector<std::string> out;
+  out.reserve(modules_.size());
+  for (const auto& [name, module] : modules_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModuleRegistry::size() const {
+  std::lock_guard lock{mutex_};
+  return modules_.size();
+}
+
+}  // namespace mcsd::fam

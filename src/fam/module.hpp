@@ -1,0 +1,69 @@
+// Data-intensive processing modules.
+//
+// Paper Fig. 5: the McSD node holds "preloaded" data-intensive processing
+// modules; the daemon invokes one when its log file changes.  A Module is
+// the unit of preloading — apps/modules.hpp registers Word Count, String
+// Match and Matrix Multiplication implementations.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+
+namespace mcsd::fam {
+
+/// A named data-intensive operation invocable through smartFAM.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Stable name; becomes the log-file name (`<name>.log`).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Executes the module.  `params` are the host-passed inputs; the
+  /// returned map travels back to the host as results.  Errors are
+  /// reported to the host as error responses, not exceptions.
+  virtual Result<KeyValueMap> invoke(const KeyValueMap& params) = 0;
+};
+
+/// Adapts a plain function into a Module.
+class FunctionModule final : public Module {
+ public:
+  using Fn = std::function<Result<KeyValueMap>(const KeyValueMap&)>;
+
+  FunctionModule(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  Result<KeyValueMap> invoke(const KeyValueMap& params) override {
+    return fn_(params);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// Thread-safe registry of preloaded modules.
+class ModuleRegistry {
+ public:
+  /// Registers a module; fails on duplicate or invalid name.
+  Status add(std::shared_ptr<Module> module);
+
+  [[nodiscard]] std::shared_ptr<Module> find(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Module>, std::less<>> modules_;
+};
+
+}  // namespace mcsd::fam

@@ -1,0 +1,138 @@
+#include "fam/protocol.hpp"
+
+#include "core/hash.hpp"
+
+namespace mcsd::fam {
+
+namespace {
+constexpr std::string_view kTypeKey = "mcsd.type";
+constexpr std::string_view kSeqKey = "mcsd.seq";
+constexpr std::string_view kModuleKey = "mcsd.module";
+constexpr std::string_view kStatusKey = "mcsd.status";
+constexpr std::string_view kErrorKey = "mcsd.error";
+constexpr std::string_view kCrcKey = "mcsd.crc";
+
+bool reserved_key(std::string_view key) {
+  return key.size() >= 5 && key.substr(0, 5) == "mcsd.";
+}
+}  // namespace
+
+bool valid_module_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string log_file_name(std::string_view module_name) {
+  return std::string{module_name} + ".log";
+}
+
+std::string encode_record(const Record& record) {
+  KeyValueMap map = record.payload;
+  map.set(std::string{kTypeKey},
+          record.type == RecordType::kRequest ? "request" : "response");
+  map.set_uint(std::string{kSeqKey}, record.seq);
+  map.set(std::string{kModuleKey}, record.module);
+  if (record.type == RecordType::kResponse) {
+    map.set(std::string{kStatusKey}, record.ok ? "ok" : "error");
+    if (!record.ok) {
+      map.set(std::string{kErrorKey}, record.error_message);
+    }
+  }
+  // Checksum covers everything serialised so far; appended as the final
+  // line (KeyValueMap sorts keys, but we frame the crc separately so the
+  // covered byte range is unambiguous).
+  std::string body = map.serialize();
+  const std::uint64_t crc = fnv1a(body);
+  body += kCrcKey;
+  body += '=';
+  body += std::to_string(crc);
+  body += '\n';
+  return body;
+}
+
+Result<Record> decode_record(std::string_view text) {
+  // Split off the trailing crc line.
+  if (text.empty()) {
+    return Error{ErrorCode::kProtocolError, "empty record"};
+  }
+  std::string_view trimmed = text;
+  if (trimmed.back() == '\n') trimmed.remove_suffix(1);
+  const std::size_t last_line_start = trimmed.rfind('\n');
+  const std::string_view crc_line =
+      last_line_start == std::string_view::npos
+          ? trimmed
+          : trimmed.substr(last_line_start + 1);
+  const std::string_view body =
+      last_line_start == std::string_view::npos
+          ? std::string_view{}
+          : text.substr(0, last_line_start + 1);
+
+  const std::string crc_prefix = std::string{kCrcKey} + "=";
+  if (crc_line.substr(0, crc_prefix.size()) != crc_prefix) {
+    return Error{ErrorCode::kProtocolError, "missing crc line"};
+  }
+  std::uint64_t stated_crc = 0;
+  {
+    KeyValueMap crc_map;
+    auto parsed = KeyValueMap::parse(crc_line);
+    if (!parsed) return parsed.error();
+    auto crc_value = parsed.value().get_uint(kCrcKey);
+    if (!crc_value) return crc_value.error();
+    stated_crc = crc_value.value();
+  }
+  if (fnv1a(body) != stated_crc) {
+    return Error{ErrorCode::kProtocolError, "crc mismatch (torn record?)"};
+  }
+
+  auto parsed = KeyValueMap::parse(body);
+  if (!parsed) return parsed.error();
+  KeyValueMap& map = parsed.value();
+
+  Record record;
+  const auto type = map.get(kTypeKey);
+  if (!type) {
+    return Error{ErrorCode::kProtocolError, "missing mcsd.type"};
+  }
+  if (*type == "request") {
+    record.type = RecordType::kRequest;
+  } else if (*type == "response") {
+    record.type = RecordType::kResponse;
+  } else {
+    return Error{ErrorCode::kProtocolError, "bad mcsd.type: " + *type};
+  }
+
+  auto seq = map.get_uint(kSeqKey);
+  if (!seq) return seq.error();
+  record.seq = seq.value();
+
+  const auto module = map.get(kModuleKey);
+  if (!module || !valid_module_name(*module)) {
+    return Error{ErrorCode::kProtocolError, "missing/bad mcsd.module"};
+  }
+  record.module = *module;
+
+  if (record.type == RecordType::kResponse) {
+    const auto status = map.get(kStatusKey);
+    if (!status || (*status != "ok" && *status != "error")) {
+      return Error{ErrorCode::kProtocolError, "missing/bad mcsd.status"};
+    }
+    record.ok = *status == "ok";
+    if (!record.ok) {
+      record.error_message = map.get_or(kErrorKey, "");
+    }
+  }
+
+  for (const auto& [key, value] : map.entries()) {
+    if (!reserved_key(key)) {
+      record.payload.set(key, value);
+    }
+  }
+  return record;
+}
+
+}  // namespace mcsd::fam

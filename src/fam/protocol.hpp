@@ -1,0 +1,56 @@
+// smartFAM log-file wire protocol.
+//
+// Paper Section IV-A: "The log file of each data-intensive module is an
+// efficient channel for the host node to communicate with the smart-
+// storage node. ... the host writes the input parameters to the log file
+// that is monitored and read by the data-intensive module", and results
+// travel back through the same file.
+//
+// A log file holds exactly one record at a time (the latest request or
+// response); records are replaced atomically (core/io.hpp) so watchers
+// never see torn writes.  Record layout is the key=value format of
+// core/config.hpp with reserved `mcsd.` keys:
+//
+//   mcsd.type   = request | response
+//   mcsd.seq    = monotonically increasing per module
+//   mcsd.module = module name
+//   mcsd.status = ok | error                (responses only)
+//   mcsd.error  = message                   (error responses only)
+//   mcsd.crc    = FNV-1a of the payload     (integrity across NFS)
+//   <everything else>                       = user parameters / results
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+
+namespace mcsd::fam {
+
+enum class RecordType : std::uint8_t { kRequest, kResponse };
+
+/// One decoded log-file record.
+struct Record {
+  RecordType type = RecordType::kRequest;
+  std::uint64_t seq = 0;
+  std::string module;
+  bool ok = true;              ///< responses: module succeeded
+  std::string error_message;   ///< responses with ok == false
+  KeyValueMap payload;         ///< user parameters or results
+};
+
+/// Serialises a record, computing the integrity checksum.
+std::string encode_record(const Record& record);
+
+/// Parses and validates a record (structure + checksum).
+Result<Record> decode_record(std::string_view text);
+
+/// The log-file name a module owns inside the shared log folder.
+std::string log_file_name(std::string_view module_name);
+
+/// Module names appear in file names: [a-zA-Z0-9_-]+, non-empty.
+bool valid_module_name(std::string_view name);
+
+}  // namespace mcsd::fam

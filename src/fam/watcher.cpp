@@ -1,0 +1,90 @@
+#include "fam/watcher.hpp"
+
+#include <system_error>
+
+#include "core/hash.hpp"
+#include "core/io.hpp"
+#include "core/log.hpp"
+
+namespace mcsd::fam {
+
+namespace fs = std::filesystem;
+
+FileWatcher::FileWatcher(fs::path directory,
+                         std::chrono::milliseconds poll_interval,
+                         ChangeCallback on_change)
+    : directory_(std::move(directory)),
+      poll_interval_(poll_interval),
+      on_change_(std::move(on_change)) {
+  // Prime the fingerprint table so only *subsequent* changes fire; a
+  // daemon attaching to an existing log folder must not replay history.
+  poll_once_internal(/*fire=*/false);
+}
+
+FileWatcher::~FileWatcher() { stop(); }
+
+void FileWatcher::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void FileWatcher::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+void FileWatcher::run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    poll_once();
+    std::this_thread::sleep_for(poll_interval_);
+  }
+}
+
+void FileWatcher::poll_once() { poll_once_internal(/*fire=*/true); }
+
+FileWatcher::Fingerprint FileWatcher::fingerprint(const fs::path& path) {
+  Fingerprint fp;
+  std::error_code ec;
+  fp.mtime = fs::last_write_time(path, ec);
+  fp.size = fs::file_size(path, ec);
+  if (auto contents = read_file(path)) {
+    fp.content_hash = fnv1a(contents.value());
+  }
+  return fp;
+}
+
+void FileWatcher::poll_once_internal(bool fire) {
+  std::vector<fs::path> changed;
+  {
+    std::lock_guard lock{mutex_};
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator{directory_, ec}) {
+      if (ec) break;
+      if (!entry.is_regular_file(ec)) continue;
+      const fs::path& path = entry.path();
+      // Skip write_file_atomic staging files: observing one mid-rename
+      // would hand the daemon a request the subsequent rename then
+      // clobbers the response of — the client would wait forever.
+      if (path.filename().string().find(".tmp.") != std::string::npos) {
+        continue;
+      }
+      Fingerprint fp = fingerprint(path);
+      auto [it, inserted] = seen_.try_emplace(path.filename().string(), fp);
+      if (!inserted && it->second == fp) continue;
+      it->second = fp;
+      changed.push_back(path);
+    }
+    if (ec) {
+      MCSD_LOG(kWarn, "fam.watcher")
+          << "cannot scan " << directory_.string() << ": " << ec.message();
+    }
+  }
+  if (!fire) return;
+  for (const auto& path : changed) {
+    events_fired_.fetch_add(1, std::memory_order_relaxed);
+    if (on_change_) on_change_(path);
+  }
+}
+
+}  // namespace mcsd::fam

@@ -1,0 +1,71 @@
+// Map-side emit sink.
+//
+// Each map worker owns one Emitter; emits are routed to reduce buckets by
+// stable key hash (core/hash.hpp), so there is no cross-thread sharing on
+// the map path at all — the reduce phase later gathers bucket b from every
+// worker.  The emitter also meters intermediate bytes for the Phoenix
+// memory-budget model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "mapreduce/types.hpp"
+
+namespace mcsd::mr {
+
+namespace detail {
+/// Approximate heap footprint of a key for budget accounting.
+inline std::uint64_t key_bytes(const std::string& k) noexcept {
+  return sizeof(std::string) + k.capacity();
+}
+template <typename K>
+std::uint64_t key_bytes(const K&) noexcept {
+  return sizeof(K);
+}
+}  // namespace detail
+
+template <typename K, typename V>
+class Emitter {
+ public:
+  using Pair = KV<K, V>;
+
+  explicit Emitter(std::size_t num_buckets) : buckets_(num_buckets) {}
+
+  /// Routes one pair to its reduce bucket.
+  void emit(K key, V value) {
+    const std::size_t b =
+        static_cast<std::size_t>(KeyHash<K>{}(key)) % buckets_.size();
+    bytes_ += sizeof(Pair) + detail::key_bytes(key);
+    ++count_;
+    buckets_[b].push_back(Pair{std::move(key), std::move(value)});
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::vector<Pair>& bucket(std::size_t b) { return buckets_[b]; }
+  [[nodiscard]] const std::vector<Pair>& bucket(std::size_t b) const {
+    return buckets_[b];
+  }
+
+  /// Number of pairs emitted so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Approximate intermediate bytes held.
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+  /// Used by the engine after map-side combining shrank the buckets.
+  void reset_accounting(std::uint64_t bytes, std::size_t count) noexcept {
+    bytes_ = bytes;
+    count_ = count;
+  }
+
+ private:
+  std::vector<std::vector<Pair>> buckets_;
+  std::uint64_t bytes_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mcsd::mr

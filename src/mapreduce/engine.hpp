@@ -1,0 +1,299 @@
+// The MapReduce engine: map -> (combine) -> sort/group -> reduce -> merge.
+//
+// Mirrors Phoenix's runtime structure (paper Fig. 1):
+//
+//   chunks ── dynamic scheduler ──> map workers ──> per-worker, per-bucket
+//   intermediate vectors ──> per-bucket gather + sort + group ──> reduce
+//   workers ──> merge (concatenate buckets, optional global key sort).
+//
+// Threading: one ThreadPool sized to Options.num_workers — the emulated
+// core count of the storage node.  Map-side data is strictly
+// worker-private; the only cross-thread handoff is the bucket gather at
+// the map/reduce barrier, exactly as in Phoenix.
+//
+// Memory model: when Options.memory_budget_bytes > 0, the engine meters
+// input + intermediate bytes and throws MemoryOverflowError once they
+// exceed usable_memory_fraction (default 60%) of the budget, reproducing
+// the stock-Phoenix failure the paper's partition extension works around.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/stopwatch.hpp"
+#include "core/thread_pool.hpp"
+#include "mapreduce/emitter.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "mapreduce/sorter.hpp"
+#include "mapreduce/splitter.hpp"
+#include "mapreduce/types.hpp"
+
+namespace mcsd::mr {
+
+/// Detects an optional `reduce` member.  Specs without one (String Match)
+/// run the identity reduce: every emitted pair passes straight through —
+/// "Neither sort or the reduce stage is required" (paper Section V-A).
+template <typename S>
+concept HasReduce = requires(const S& s, const typename S::Key& k,
+                             std::span<const typename S::Value> vs) {
+  { s.reduce(k, vs) } -> std::convertible_to<typename S::Value>;
+};
+
+/// A Spec maps chunks of type C.
+template <typename S, typename C>
+concept MapsChunk =
+    requires(const S& s, const C& c,
+             Emitter<typename S::Key, typename S::Value>& e) { s.map(c, e); };
+
+namespace detail {
+inline std::uint64_t chunk_input_bytes(const TextChunk& c) noexcept {
+  return c.text.size();
+}
+inline std::uint64_t chunk_input_bytes(const IndexChunk&) noexcept {
+  return 0;  // index chunks carry no payload; pass input_bytes explicitly
+}
+
+/// Sorts a bucket by key and collapses equal-key runs through `fold`.
+/// `fold(key, span<values>) -> value`.
+template <typename K, typename V, typename Fold>
+void fold_bucket(std::vector<KV<K, V>>& bucket, const Fold& fold) {
+  if (bucket.size() < 2) return;
+  std::sort(bucket.begin(), bucket.end(),
+            [](const KV<K, V>& a, const KV<K, V>& b) { return a.key < b.key; });
+  std::vector<KV<K, V>> folded;
+  folded.reserve(bucket.size() / 2 + 1);
+  std::vector<V> scratch;
+  std::size_t i = 0;
+  while (i < bucket.size()) {
+    std::size_t j = i + 1;
+    while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
+    if (j - i == 1) {
+      folded.push_back(std::move(bucket[i]));
+    } else {
+      scratch.clear();
+      scratch.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) scratch.push_back(bucket[k].value);
+      V value = fold(bucket[i].key, scratch);
+      folded.push_back(KV<K, V>{std::move(bucket[i].key), std::move(value)});
+    }
+    i = j;
+  }
+  bucket = std::move(folded);
+}
+}  // namespace detail
+
+template <MapReduceSpec Spec>
+class Engine {
+ public:
+  using Key = typename Spec::Key;
+  using Value = typename Spec::Value;
+  using Pair = KV<Key, Value>;
+  using Output = std::vector<Pair>;
+
+  explicit Engine(Options options)
+      : options_(options), pool_(std::make_unique<ThreadPool>(
+                               (options.validate(), options.num_workers))) {}
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Runs the full pipeline over `chunks`.  `input_bytes` is the job's
+  /// input size for the memory model; pass 0 to derive it from text
+  /// chunks.  `metrics`, when non-null, receives phase timings.
+  template <typename Chunk>
+    requires MapsChunk<Spec, Chunk>
+  Output run(const Spec& spec, const std::vector<Chunk>& chunks,
+             std::uint64_t input_bytes = 0, Metrics* metrics = nullptr) {
+    Metrics local;
+    Metrics& m = metrics ? *metrics : local;
+    m = Metrics{};
+    m.chunks = chunks.size();
+
+    if (input_bytes == 0) {
+      for (const auto& c : chunks) {
+        input_bytes += detail::chunk_input_bytes(c);
+      }
+    }
+
+    const std::size_t workers = options_.num_workers;
+    const std::size_t buckets = options_.effective_reduce_buckets();
+    const std::uint64_t usable = options_.usable_budget();
+    if (usable != 0 && input_bytes > usable) {
+      // Even the raw input does not fit the usable budget: fail up front,
+      // as Phoenix does when it cannot mmap + mirror the input.
+      throw MemoryOverflowError(input_bytes, usable);
+    }
+
+    // ----- map phase ------------------------------------------------------
+    Stopwatch phase;
+    std::vector<Emitter<Key, Value>> emitters;
+    emitters.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) emitters.emplace_back(buckets);
+
+    DynamicScheduler scheduler{chunks.size()};
+    std::atomic<std::uint64_t> intermediate_bytes{0};
+    std::atomic<bool> cancelled{false};
+
+    // Map-side combine cadence: under a memory budget, fold early enough
+    // that the budget check below observes *combined* volume (Phoenix
+    // likewise folds its per-key value lists as it emits).
+    const std::uint64_t combine_trigger =
+        usable != 0 ? std::max<std::uint64_t>(
+                          std::min<std::uint64_t>(kCombineTriggerBytes,
+                                                  usable / 8),
+                          16 * 1024)
+                    : kCombineTriggerBytes;
+
+    pool_->parallel_for_workers(workers, [&](std::size_t w) {
+      auto& emitter = emitters[w];
+      std::uint64_t reported = 0;
+      while (auto idx = scheduler.next()) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        spec.map(chunks[*idx], emitter);
+
+        // Opportunistic map-side combining keeps worker-local buckets
+        // small under heavy emit rates (word count emits one pair per
+        // word).
+        if constexpr (HasCombine<Spec>) {
+          if (emitter.bytes() > reported + combine_trigger) {
+            combine_worker(spec, emitter);
+          }
+        }
+
+        const std::uint64_t now = emitter.bytes();
+        if (now >= reported) {
+          intermediate_bytes.fetch_add(now - reported,
+                                       std::memory_order_relaxed);
+        } else {  // a mid-map combine shrank this worker's buckets
+          intermediate_bytes.fetch_sub(reported - now,
+                                       std::memory_order_relaxed);
+        }
+        reported = now;
+        if (usable != 0 &&
+            input_bytes + intermediate_bytes.load(std::memory_order_relaxed) >
+                usable) {
+          cancelled.store(true, std::memory_order_relaxed);
+          throw MemoryOverflowError(
+              input_bytes +
+                  intermediate_bytes.load(std::memory_order_relaxed),
+              usable);
+        }
+      }
+      if constexpr (HasCombine<Spec>) {
+        combine_worker(spec, emitter);
+        const std::uint64_t now = emitter.bytes();
+        // Combining only shrinks; record the delta (signed via two adds).
+        intermediate_bytes.fetch_sub(reported - now,
+                                     std::memory_order_relaxed);
+      }
+    });
+    m.map_seconds = phase.elapsed_seconds();
+    m.peak_intermediate_bytes =
+        input_bytes + intermediate_bytes.load(std::memory_order_relaxed);
+    for (const auto& e : emitters) m.map_emits += e.count();
+
+    // ----- reduce phase (per-bucket gather + sort + group + reduce) -------
+    phase.restart();
+    std::vector<Output> bucket_outputs(buckets);
+    std::atomic<std::size_t> unique_keys{0};
+    DynamicScheduler reduce_sched{buckets};
+
+    pool_->parallel_for_workers(workers, [&](std::size_t) {
+      while (auto b = reduce_sched.next()) {
+        Output gathered;
+        std::size_t total = 0;
+        for (auto& e : emitters) total += e.bucket(*b).size();
+        gathered.reserve(total);
+        for (auto& e : emitters) {
+          auto& src = e.bucket(*b);
+          std::move(src.begin(), src.end(), std::back_inserter(gathered));
+          src.clear();
+          src.shrink_to_fit();
+        }
+        if constexpr (HasReduce<Spec>) {
+          bucket_outputs[*b] = reduce_bucket(spec, std::move(gathered),
+                                             unique_keys);
+        } else {
+          unique_keys.fetch_add(gathered.size(), std::memory_order_relaxed);
+          bucket_outputs[*b] = std::move(gathered);
+        }
+      }
+    });
+    m.reduce_seconds = phase.elapsed_seconds();
+    m.unique_keys = unique_keys.load(std::memory_order_relaxed);
+
+    // ----- merge phase ----------------------------------------------------
+    phase.restart();
+    Output merged;
+    std::size_t total = 0;
+    for (const auto& out : bucket_outputs) total += out.size();
+    merged.reserve(total);
+    for (auto& out : bucket_outputs) {
+      std::move(out.begin(), out.end(), std::back_inserter(merged));
+    }
+    if (options_.sort_output_by_key) {
+      parallel_sort(merged, *pool_,
+                    [](const Pair& a, const Pair& b) { return a.key < b.key; });
+    }
+    m.merge_seconds = phase.elapsed_seconds();
+    return merged;
+  }
+
+ private:
+  // Map-side combine threshold: past this many intermediate bytes a worker
+  // folds its buckets in place.
+  static constexpr std::uint64_t kCombineTriggerBytes = 16ULL << 20;
+
+  static void combine_worker(const Spec& spec, Emitter<Key, Value>& emitter)
+    requires HasCombine<Spec>
+  {
+    std::uint64_t bytes = 0;
+    std::size_t count = 0;
+    for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
+      auto& bucket = emitter.bucket(b);
+      detail::fold_bucket(
+          bucket, [&spec](const Key& key, const std::vector<Value>& values) {
+            return spec.combine(key, std::span<const Value>{values});
+          });
+      for (const auto& kv : bucket) {
+        bytes += sizeof(Pair) + detail::key_bytes(kv.key);
+      }
+      count += bucket.size();
+    }
+    emitter.reset_accounting(bytes, count);
+  }
+
+  static Output reduce_bucket(const Spec& spec, Output gathered,
+                              std::atomic<std::size_t>& unique_keys)
+    requires HasReduce<Spec>
+  {
+    std::sort(gathered.begin(), gathered.end(),
+              [](const Pair& a, const Pair& b) { return a.key < b.key; });
+    Output out;
+    std::vector<Value> scratch;
+    std::size_t i = 0;
+    while (i < gathered.size()) {
+      std::size_t j = i + 1;
+      while (j < gathered.size() && gathered[j].key == gathered[i].key) ++j;
+      scratch.clear();
+      scratch.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        scratch.push_back(std::move(gathered[k].value));
+      }
+      Value reduced =
+          spec.reduce(gathered[i].key, std::span<const Value>{scratch});
+      out.push_back(Pair{std::move(gathered[i].key), std::move(reduced)});
+      i = j;
+    }
+    unique_keys.fetch_add(out.size(), std::memory_order_relaxed);
+    return out;
+  }
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace mcsd::mr

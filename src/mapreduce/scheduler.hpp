@@ -1,0 +1,59 @@
+// Dynamic chunk scheduler for the map and reduce phases.
+//
+// Phoenix schedules map tasks dynamically so fast workers steal slack from
+// slow ones (skewed records, page faults).  A single atomic claim counter
+// over a pre-split chunk vector gives the same property with no locking on
+// the hot path.  `StaticScheduler` exists purely as the ablation baseline
+// (bench_ablation_scheduling) — block-cyclic assignment decided up front.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace mcsd::mr {
+
+/// Workers call next() until it returns nullopt; each index is handed out
+/// exactly once, in order.
+class DynamicScheduler {
+ public:
+  explicit DynamicScheduler(std::size_t task_count) : count_(task_count) {}
+
+  std::optional<std::size_t> next() noexcept {
+    const std::size_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= count_) return std::nullopt;
+    return idx;
+  }
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return count_; }
+
+ private:
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t count_;
+};
+
+/// Static block assignment: worker w owns tasks [w*B, (w+1)*B).  No
+/// stealing; a straggler chunk delays the whole phase.  Ablation only.
+class StaticScheduler {
+ public:
+  StaticScheduler(std::size_t task_count, std::size_t worker_count)
+      : count_(task_count),
+        block_((task_count + worker_count - 1) / (worker_count ? worker_count : 1)) {}
+
+  /// Tasks owned by `worker`: [begin, end).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> range(
+      std::size_t worker) const noexcept {
+    const std::size_t begin = worker * block_;
+    const std::size_t end = begin + block_;
+    return {begin < count_ ? begin : count_, end < count_ ? end : count_};
+  }
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return count_; }
+
+ private:
+  std::size_t count_;
+  std::size_t block_;
+};
+
+}  // namespace mcsd::mr

@@ -1,0 +1,72 @@
+// Parallel sort for the merge phase.
+//
+// Phoenix's final stage sorts the output ("Finally, the output pairs are
+// sorted by their key value").  For large outputs a single-threaded
+// std::sort leaves the node's cores idle exactly when the job is almost
+// done; this helper block-sorts on the pool and merges pairwise.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace mcsd::mr {
+
+/// Sorts `items` with `compare` using up to `pool.worker_count() + 1`
+/// lanes: split into equal blocks, sort blocks in parallel, then merge
+/// pairs of adjacent runs (also in parallel) until one run remains.
+/// Stable within what std::sort provides (i.e. not stable); equivalent
+/// ordering to a plain std::sort with the same comparator.
+template <typename T, typename Compare>
+void parallel_sort(std::vector<T>& items, ThreadPool& pool, Compare compare) {
+  const std::size_t lanes = pool.worker_count() + 1;
+  constexpr std::size_t kMinBlock = 4096;  // below this, serial wins
+  if (lanes <= 1 || items.size() < 2 * kMinBlock) {
+    std::sort(items.begin(), items.end(), compare);
+    return;
+  }
+
+  // Block boundaries (at most `lanes`, at least kMinBlock each).
+  const std::size_t block =
+      std::max(kMinBlock, (items.size() + lanes - 1) / lanes);
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t pos = block; pos < items.size(); pos += block) {
+    bounds.push_back(pos);
+  }
+  bounds.push_back(items.size());
+
+  // Sort each block on the pool.
+  pool.parallel_for_workers(bounds.size() - 1, [&](std::size_t b) {
+    std::sort(items.begin() + static_cast<std::ptrdiff_t>(bounds[b]),
+              items.begin() + static_cast<std::ptrdiff_t>(bounds[b + 1]),
+              compare);
+  });
+
+  // Pairwise merge rounds: runs [b, b+1, b+2] -> inplace_merge at b+1.
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next;
+    next.reserve(bounds.size() / 2 + 1);
+    const std::size_t pairs = (bounds.size() - 1) / 2;
+    pool.parallel_for_workers(pairs, [&](std::size_t p) {
+      const std::size_t lo = bounds[2 * p];
+      const std::size_t mid = bounds[2 * p + 1];
+      const std::size_t hi = bounds[2 * p + 2];
+      std::inplace_merge(items.begin() + static_cast<std::ptrdiff_t>(lo),
+                         items.begin() + static_cast<std::ptrdiff_t>(mid),
+                         items.begin() + static_cast<std::ptrdiff_t>(hi),
+                         compare);
+    });
+    for (std::size_t i = 0; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
+template <typename T>
+void parallel_sort(std::vector<T>& items, ThreadPool& pool) {
+  parallel_sort(items, pool, std::less<T>{});
+}
+
+}  // namespace mcsd::mr

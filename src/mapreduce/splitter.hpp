@@ -1,0 +1,108 @@
+// Input splitters: turn a job's input into map chunks.
+//
+// Phoenix hands the splitter role to the runtime ("user's input data is
+// partitioned into M pieces").  Three splitters cover the paper's three
+// benchmarks:
+//   * TextSplitter  — byte ranges aligned on delimiters (Word Count);
+//   * LineSplitter  — byte ranges aligned on newlines (String Match,
+//                     which searches line by line);
+//   * IndexSplitter — [begin, end) integer ranges (Matrix Multiplication,
+//                     which maps over output-row blocks).
+//
+// Text/Line splitters never cut a record: the chunk boundary slides
+// forward to the next delimiter, the same rule the partition module's
+// integrity check applies at fragment granularity (paper Fig. 7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/strings.hpp"
+
+namespace mcsd::mr {
+
+/// A map chunk over text input: a view plus its offset in the whole input
+/// (offsets let map functions report absolute positions, e.g. SM matches).
+struct TextChunk {
+  std::string_view text;
+  std::size_t offset = 0;
+
+  friend bool operator==(const TextChunk&, const TextChunk&) = default;
+};
+
+/// A map chunk over an integer index space.
+struct IndexChunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const IndexChunk&, const IndexChunk&) = default;
+};
+
+/// Splits `input` into chunks of roughly `target_bytes`, each ending on a
+/// delimiter boundary (default: ASCII whitespace).  Guarantees:
+///  * concatenating all chunks reproduces `input` exactly;
+///  * no chunk (except possibly the last) ends mid-record;
+///  * every chunk is non-empty.
+/// A record longer than `target_bytes` yields an oversized chunk rather
+/// than a cut record.
+template <typename DelimiterPred>
+std::vector<TextChunk> split_text(std::string_view input,
+                                  std::size_t target_bytes,
+                                  DelimiterPred is_delim) {
+  std::vector<TextChunk> chunks;
+  if (input.empty()) return chunks;
+  if (target_bytes == 0) target_bytes = 1;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::size_t end = pos + target_bytes;
+    if (end >= input.size()) {
+      end = input.size();
+    } else {
+      // Slide forward to the first delimiter at or after the target, so
+      // the record spanning the boundary stays whole in this chunk.
+      while (end < input.size() && !is_delim(input[end])) ++end;
+      // Include the delimiter run itself; keeps the next chunk starting
+      // on a record.
+      while (end < input.size() && is_delim(input[end])) ++end;
+    }
+    chunks.push_back(TextChunk{input.substr(pos, end - pos), pos});
+    pos = end;
+  }
+  return chunks;
+}
+
+inline std::vector<TextChunk> split_text(std::string_view input,
+                                         std::size_t target_bytes) {
+  return split_text(input, target_bytes,
+                    [](char c) { return is_default_delimiter(c); });
+}
+
+/// Newline-aligned split (String Match operates per line).
+inline std::vector<TextChunk> split_lines(std::string_view input,
+                                          std::size_t target_bytes) {
+  return split_text(input, target_bytes, [](char c) { return c == '\n'; });
+}
+
+/// Splits [0, count) into at most `pieces` contiguous ranges of nearly
+/// equal size.  Used for row-blocked matrix multiplication.
+inline std::vector<IndexChunk> split_index(std::size_t count,
+                                           std::size_t pieces) {
+  std::vector<IndexChunk> chunks;
+  if (count == 0) return chunks;
+  if (pieces == 0) pieces = 1;
+  pieces = pieces > count ? count : pieces;
+  const std::size_t base = count / pieces;
+  const std::size_t extra = count % pieces;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    chunks.push_back(IndexChunk{begin, begin + len});
+    begin += len;
+  }
+  return chunks;
+}
+
+}  // namespace mcsd::mr

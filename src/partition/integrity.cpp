@@ -1,0 +1,30 @@
+#include "partition/integrity.hpp"
+
+namespace mcsd::part {
+
+IntegrityResult integrity_check(std::string_view input, std::size_t draft_cut,
+                                const DelimiterPred& is_delim) {
+  IntegrityResult result;
+  if (draft_cut >= input.size()) {
+    result.hit_end = true;
+    return result;
+  }
+  // Fig. 7: if the byte before the draft cut is a delimiter the cut is
+  // already on a record boundary (possibly inside a delimiter run — we
+  // still absorb the run below so the next fragment starts on a record).
+  std::size_t cut = draft_cut;
+  const bool boundary_clean = cut == 0 || is_delim(input[cut - 1]);
+  if (!boundary_clean) {
+    // "Starting Point ++" loop: walk to the end of the record in progress.
+    while (cut < input.size() && !is_delim(input[cut])) ++cut;
+  }
+  // Absorb the trailing delimiter run into this fragment, so the next
+  // fragment begins with a record byte (keeps fragments non-degenerate
+  // and concatenation exact).
+  while (cut < input.size() && is_delim(input[cut])) ++cut;
+  result.displacement = cut - draft_cut;
+  result.hit_end = cut >= input.size();
+  return result;
+}
+
+}  // namespace mcsd::part

@@ -1,0 +1,56 @@
+// The integrity check of the paper's partition function (Fig. 7).
+//
+// When a large input is cut into [partition-size] fragments, a naive cut
+// can land mid-record ("a word could be cut and placed into two splitted
+// files not on purpose").  The integrity check scans forward from the
+// draft cut point until the first delimiter — space, return, "or other
+// delimited characters defined by the programmer" — and returns the extra
+// displacement to add so the fragment ends on a record boundary.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+#include "core/strings.hpp"
+
+namespace mcsd::part {
+
+/// Predicate deciding what ends a record.  Default matches the paper:
+/// space / return (we include all ASCII whitespace).
+using DelimiterPred = std::function<bool(char)>;
+
+inline DelimiterPred default_delimiters() {
+  return [](char c) { return mcsd::is_default_delimiter(c); };
+}
+
+inline DelimiterPred newline_delimiter() {
+  return [](char c) { return c == '\n'; };
+}
+
+/// Result of one integrity check.
+struct IntegrityResult {
+  /// Bytes to add to the draft cut so the fragment ends after a complete
+  /// record *and* its trailing delimiter run.
+  std::size_t displacement = 0;
+  /// True when the scan hit end-of-input before a delimiter (the final
+  /// fragment simply absorbs the tail).
+  bool hit_end = false;
+};
+
+/// Scans `input` forward from `draft_cut` (the starting point in Fig. 7)
+/// to the end of the record that spans it.  The returned cut,
+/// `draft_cut + displacement`, satisfies: input[cut-1] is a delimiter or
+/// cut == input.size(), and input[cut] (if any) starts a new record.
+///
+/// If input[draft_cut] itself begins a new record (previous byte is a
+/// delimiter), the displacement is 0 — the draft cut was already clean.
+IntegrityResult integrity_check(std::string_view input, std::size_t draft_cut,
+                                const DelimiterPred& is_delim);
+
+inline IntegrityResult integrity_check(std::string_view input,
+                                       std::size_t draft_cut) {
+  return integrity_check(input, draft_cut, default_delimiters());
+}
+
+}  // namespace mcsd::part

@@ -1,0 +1,84 @@
+// Merge policies for the two-stage MapReduce model (paper Fig. 6).
+//
+// "The Partition function is provided by the runtime system, while the
+// Merge function needs to be programmed by the user to support different
+// applications."  These are the user-side merge strategies our three
+// benchmarks need; `fold_merge` is the generic hook for anything else.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mapreduce/types.hpp"
+
+namespace mcsd::part {
+
+/// Merges per-fragment outputs by summing values of equal keys — Word
+/// Count: a word's global count is the sum of its per-fragment counts.
+/// Output is sorted by key.
+template <typename K, typename V>
+std::vector<mr::KV<K, V>> sum_merge(
+    std::vector<std::vector<mr::KV<K, V>>> fragment_outputs) {
+  std::vector<mr::KV<K, V>> all;
+  std::size_t total = 0;
+  for (const auto& frag : fragment_outputs) total += frag.size();
+  all.reserve(total);
+  for (auto& frag : fragment_outputs) {
+    std::move(frag.begin(), frag.end(), std::back_inserter(all));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  std::vector<mr::KV<K, V>> merged;
+  for (auto& kv : all) {
+    if (!merged.empty() && merged.back().key == kv.key) {
+      merged.back().value += kv.value;
+    } else {
+      merged.push_back(std::move(kv));
+    }
+  }
+  return merged;
+}
+
+/// Merges by concatenation in fragment order — String Match (each match is
+/// independent) and Matrix Multiplication (fragments cover disjoint output
+/// rows).
+template <typename K, typename V>
+std::vector<mr::KV<K, V>> concat_merge(
+    std::vector<std::vector<mr::KV<K, V>>> fragment_outputs) {
+  std::vector<mr::KV<K, V>> merged;
+  std::size_t total = 0;
+  for (const auto& frag : fragment_outputs) total += frag.size();
+  merged.reserve(total);
+  for (auto& frag : fragment_outputs) {
+    std::move(frag.begin(), frag.end(), std::back_inserter(merged));
+  }
+  return merged;
+}
+
+/// Generic merge: sort by key, then fold each equal-key run with a user
+/// function `fold(key, span<values>) -> value`.
+template <typename K, typename V, typename Fold>
+std::vector<mr::KV<K, V>> fold_merge(
+    std::vector<std::vector<mr::KV<K, V>>> fragment_outputs,
+    const Fold& fold) {
+  std::vector<mr::KV<K, V>> all = concat_merge(std::move(fragment_outputs));
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  std::vector<mr::KV<K, V>> merged;
+  std::vector<V> scratch;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i + 1;
+    while (j < all.size() && all[j].key == all[i].key) ++j;
+    scratch.clear();
+    for (std::size_t k = i; k < j; ++k) scratch.push_back(std::move(all[k].value));
+    V value = fold(all[i].key, std::span<const V>{scratch});
+    merged.push_back(mr::KV<K, V>{std::move(all[i].key), std::move(value)});
+    i = j;
+  }
+  return merged;
+}
+
+}  // namespace mcsd::part

@@ -1,0 +1,136 @@
+// The out-of-core driver: the extended Phoenix workflow of paper Fig. 6.
+//
+//   Partition -> { MapReduce per fragment } -> Merge
+//
+// Stock Phoenix fails when a job's footprint exceeds ~60% of node memory;
+// this driver runs each memory-fitting fragment through the engine and
+// merges the per-fragment outputs with a user merge policy.  `run_adaptive`
+// implements the McSD runtime behaviour end to end: try native first, and
+// on MemoryOverflowError fall back to automatic partitioning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/stopwatch.hpp"
+#include "mapreduce/engine.hpp"
+#include "partition/merger.hpp"
+#include "partition/partitioner.hpp"
+
+namespace mcsd::part {
+
+/// Aggregated metrics over a partitioned run.
+struct OutOfCoreMetrics {
+  std::size_t fragments = 0;
+  double partition_seconds = 0.0;  ///< fragmenting (integrity checks)
+  double mapreduce_seconds = 0.0;  ///< sum of per-fragment engine time
+  double merge_seconds = 0.0;      ///< final cross-fragment merge
+  std::uint64_t peak_fragment_footprint_bytes = 0;
+  bool fell_back_to_partitioning = false;  ///< set by run_adaptive
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return partition_seconds + mapreduce_seconds + merge_seconds;
+  }
+};
+
+/// Splits text into map chunks for one fragment; callers choose the chunk
+/// granularity via the engine spec's natural splitter.  Defined here so
+/// both drivers share it.
+template <mr::MapReduceSpec Spec>
+struct TextJob {
+  using Merge = std::function<std::vector<mr::KV<
+      typename Spec::Key, typename Spec::Value>>(
+      std::vector<std::vector<mr::KV<typename Spec::Key,
+                                     typename Spec::Value>>>)>;
+
+  /// Chunker: fragment text -> map chunks (defaults to whitespace-aligned
+  /// 256 KiB chunks).
+  std::function<std::vector<mr::TextChunk>(std::string_view)> chunker =
+      [](std::string_view text) { return mr::split_text(text, 256 * 1024); };
+
+  /// Cross-fragment merge; defaults to concatenation.
+  Merge merge = [](auto outputs) {
+    return concat_merge<typename Spec::Key, typename Spec::Value>(
+        std::move(outputs));
+  };
+};
+
+/// Runs `spec` over `input` fragment by fragment.  The engine's memory
+/// budget applies *per fragment*; a fragment that still overflows
+/// propagates MemoryOverflowError (the partition size was too large).
+template <mr::MapReduceSpec Spec>
+std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_partitioned(
+    mr::Engine<Spec>& engine, const Spec& spec, std::string_view input,
+    const PartitionOptions& partition_options, const TextJob<Spec>& job,
+    OutOfCoreMetrics* metrics = nullptr) {
+  OutOfCoreMetrics local;
+  OutOfCoreMetrics& m = metrics ? *metrics : local;
+  m = OutOfCoreMetrics{};
+
+  Stopwatch watch;
+  const std::vector<Fragment> fragments = partition(input, partition_options);
+  m.partition_seconds = watch.elapsed_seconds();
+  m.fragments = fragments.size();
+
+  std::vector<std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>>
+      outputs;
+  outputs.reserve(fragments.size());
+  for (const Fragment& fragment : fragments) {
+    watch.restart();
+    mr::Metrics frag_metrics;
+    auto chunks = job.chunker(fragment.text);
+    outputs.push_back(
+        engine.run(spec, chunks, fragment.text.size(), &frag_metrics));
+    m.mapreduce_seconds += watch.elapsed_seconds();
+    m.peak_fragment_footprint_bytes =
+        std::max(m.peak_fragment_footprint_bytes,
+                 frag_metrics.peak_intermediate_bytes);
+  }
+
+  watch.restart();
+  auto merged = job.merge(std::move(outputs));
+  m.merge_seconds = watch.elapsed_seconds();
+  return merged;
+}
+
+/// The McSD runtime path: attempt a native (single-fragment) run; if the
+/// engine reports memory overflow, derive a partition size from the
+/// observed requirement and re-run partitioned.  `footprint_factor` is the
+/// application's memory blow-up over input size (WC ~3x, SM ~2x).
+template <mr::MapReduceSpec Spec>
+std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_adaptive(
+    mr::Engine<Spec>& engine, const Spec& spec, std::string_view input,
+    double footprint_factor, const TextJob<Spec>& job,
+    DelimiterPred is_delimiter = default_delimiters(),
+    OutOfCoreMetrics* metrics = nullptr) {
+  OutOfCoreMetrics local;
+  OutOfCoreMetrics& m = metrics ? *metrics : local;
+
+  try {
+    PartitionOptions native;
+    native.partition_size = 0;
+    native.is_delimiter = is_delimiter;
+    return run_partitioned(engine, spec, input, native, job, &m);
+  } catch (const mr::MemoryOverflowError&) {
+    // Fall through to partitioned mode.
+  }
+
+  PartitionOptions opts;
+  opts.is_delimiter = is_delimiter;
+  opts.partition_size = auto_partition_size(
+      input.size(), engine.options().memory_budget_bytes, footprint_factor,
+      engine.options().usable_memory_fraction);
+  if (opts.partition_size == 0 || opts.partition_size >= input.size()) {
+    // auto sizing says "fits", yet the native run overflowed: the
+    // footprint factor underestimates this workload.  Halve until usable.
+    opts.partition_size = input.size() / 2 + 1;
+  }
+  auto merged = run_partitioned(engine, spec, input, opts, job, &m);
+  m.fell_back_to_partitioning = true;
+  if (metrics) *metrics = m;
+  return merged;
+}
+
+}  // namespace mcsd::part

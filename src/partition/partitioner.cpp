@@ -1,0 +1,56 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+
+#include "core/units.hpp"
+
+namespace mcsd::part {
+
+std::vector<Fragment> partition(std::string_view input,
+                                const PartitionOptions& options) {
+  std::vector<Fragment> fragments;
+  if (input.empty()) return fragments;
+  if (options.partition_size == 0 || options.partition_size >= input.size()) {
+    fragments.push_back(Fragment{input, 0, 0});
+    return fragments;
+  }
+  std::size_t pos = 0;
+  std::size_t index = 0;
+  while (pos < input.size()) {
+    const std::size_t draft =
+        pos + static_cast<std::size_t>(options.partition_size);
+    std::size_t end;
+    if (draft >= input.size()) {
+      end = input.size();
+    } else {
+      const IntegrityResult ic =
+          integrity_check(input, draft, options.is_delimiter);
+      end = draft + ic.displacement;
+    }
+    fragments.push_back(Fragment{input.substr(pos, end - pos), index, pos});
+    pos = end;
+    ++index;
+  }
+  return fragments;
+}
+
+std::uint64_t auto_partition_size(std::uint64_t input_bytes,
+                                  std::uint64_t memory_budget_bytes,
+                                  double footprint_factor,
+                                  double usable_memory_fraction) {
+  if (memory_budget_bytes == 0 || footprint_factor <= 0.0) return 0;
+  const auto usable = static_cast<std::uint64_t>(
+      usable_memory_fraction * static_cast<double>(memory_budget_bytes));
+  const auto max_fragment =
+      static_cast<std::uint64_t>(static_cast<double>(usable) / footprint_factor);
+  if (static_cast<double>(input_bytes) * footprint_factor <=
+      static_cast<double>(usable)) {
+    return 0;  // native mode: the whole job fits
+  }
+  // Round down to a whole MiB so fragment sizes are human-recognisable
+  // (the paper uses a 600 MB partition); never below 1 MiB.
+  const std::uint64_t rounded = max_fragment / kMiB * kMiB;
+  return std::max<std::uint64_t>(rounded, kMiB);
+}
+
+}  // namespace mcsd::part

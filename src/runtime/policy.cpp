@@ -1,0 +1,29 @@
+#include "runtime/policy.hpp"
+
+namespace mcsd::rt {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+}
+
+PlacementDecision OffloadPolicy::decide(std::uint64_t input_bytes,
+                                        double seconds_per_mib,
+                                        bool data_on_storage) const {
+  const double mib = static_cast<double>(input_bytes) / kMiB;
+  const double work = mib * seconds_per_mib;  // reference-core seconds
+  const double transfer = mib / network_mibps;
+
+  PlacementDecision decision;
+  decision.host_seconds =
+      (data_on_storage ? transfer : 0.0) +
+      work / (host.capability() * host_available_fraction);
+  decision.offload_seconds = fam_round_trip_seconds +
+                             (data_on_storage ? 0.0 : transfer) +
+                             work / storage.capability();
+  decision.placement = decision.offload_seconds < decision.host_seconds
+                           ? Placement::kStorageNode
+                           : Placement::kHost;
+  return decision;
+}
+
+}  // namespace mcsd::rt

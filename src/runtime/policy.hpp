@@ -1,0 +1,75 @@
+// Offload placement policy.
+//
+// The paper's programming framework "aims at balancing load between
+// computing nodes and multicore-enabled smart storage nodes" and
+// "automatically handles computation offload, data partitioning, and
+// load balancing".  This policy is the decision kernel: given a job's
+// size, its per-byte compute cost, and where the data lives, run it on
+// the host or offload it to a storage node?
+//
+// Cost model (both sides in seconds):
+//   host run  = transfer(input over NFS, if data lives on the SD node)
+//               + work / host_capability
+//   SD run    = fam_round_trip + work / sd_capability
+// where capability = cores * core_speed * parallel efficiency.  Offload
+// wins when its total is lower — which is exactly the paper's intuition:
+// data-intensive jobs (low seconds-per-byte, high bytes) are dominated
+// by the transfer and belong on the storage node; compute-intensive jobs
+// amortise the transfer and belong on the faster host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcsd::rt {
+
+enum class Placement : std::uint8_t { kHost, kStorageNode };
+
+[[nodiscard]] constexpr const char* to_string(Placement p) noexcept {
+  return p == Placement::kHost ? "host" : "storage-node";
+}
+
+/// Capability of one execution site.
+struct SiteSpec {
+  std::size_t cores = 1;
+  double core_speed = 1.0;          ///< relative to the reference core
+  double parallel_efficiency = 0.9; ///< fraction of linear scaling kept
+
+  [[nodiscard]] double capability() const noexcept {
+    if (cores <= 1) return core_speed;
+    return core_speed *
+           (1.0 + parallel_efficiency * static_cast<double>(cores - 1));
+  }
+};
+
+/// One placement decision with its predicted costs (for logging/tests).
+struct PlacementDecision {
+  Placement placement = Placement::kHost;
+  double host_seconds = 0.0;
+  double offload_seconds = 0.0;
+};
+
+struct OffloadPolicy {
+  SiteSpec host{4, 1.33, 0.9};
+  SiteSpec storage{2, 1.0, 0.9};
+  /// Effective NFS goodput between host and storage node.
+  double network_mibps = 95.0;
+  /// smartFAM invocation round trip.
+  double fam_round_trip_seconds = 0.02;
+  /// Fraction of the host's capability actually available to this job.
+  /// In the McSD deployment the host concurrently runs the
+  /// computation-intensive partner (the paper's MM), so a data job
+  /// competing for the host sees roughly half the socket — this is the
+  /// load-balancing term of the framework.
+  double host_available_fraction = 0.5;
+
+  /// Decides placement for a job over `input_bytes` of data that
+  /// *resides on the storage node*, costing `seconds_per_mib` per
+  /// reference core.  `data_on_storage` false means the input already
+  /// sits on the host (offloading would have to push it first).
+  [[nodiscard]] PlacementDecision decide(std::uint64_t input_bytes,
+                                         double seconds_per_mib,
+                                         bool data_on_storage = true) const;
+};
+
+}  // namespace mcsd::rt

@@ -1,0 +1,123 @@
+// The McSD host-side runtime: the programming framework of paper Fig. 4.
+//
+// "McSD along with its programming framework enables programmers to
+// write MapReduce-like code that can be automatically offload[ed] ...
+// The APIs and a runtime environment in this programming framework
+// automatically handles computation offload, data partitioning, and load
+// balancing."
+//
+// McsdRuntime is that API for the host: it owns a set of McSD storage
+// endpoints (each a smartFAM log folder backed by a daemon), consults
+// the OffloadPolicy per job, and either
+//   * runs the job locally on the host's cores (partition-enabled
+//     MapReduce), or
+//   * offloads it — splitting the input across *all* configured storage
+//     nodes (the paper's future-work "parallelisms among multiple McSD
+//     smart disks"), invoking their preloaded modules concurrently, and
+//     merging the per-node results on the host.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/wordcount.hpp"
+#include "core/result.hpp"
+#include "fam/client.hpp"
+#include "runtime/policy.hpp"
+
+namespace mcsd::rt {
+
+/// One McSD storage endpoint the runtime may offload to.
+struct SdEndpoint {
+  /// The endpoint's shared log folder (smartFAM channel + data drop).
+  std::filesystem::path log_dir;
+  /// Capability used for placement and shard weighting.
+  SiteSpec site{2, 1.0, 0.9};
+};
+
+struct RuntimeOptions {
+  /// Host-local MapReduce worker count.
+  std::size_t host_workers = 4;
+  /// Storage endpoints; empty means everything runs on the host.
+  std::vector<SdEndpoint> storage_nodes;
+  OffloadPolicy policy;
+  std::chrono::milliseconds invoke_timeout{60'000};
+  /// Attempts per storage-node invocation before the fault-tolerance
+  /// fallback (or failure) kicks in.
+  int invoke_attempts = 1;
+  /// Fragment size for host-local partition-enabled runs (0 = native).
+  std::uint64_t host_partition_size = 0;
+  /// Fault tolerance (the paper's future-work item 3): when a storage
+  /// node fails an invocation (timeout, daemon down, module error), the
+  /// runtime recomputes that shard on the host instead of failing the
+  /// whole job.
+  bool fallback_to_host = true;
+};
+
+/// Where and how a job ran.
+struct JobReport {
+  Placement placement = Placement::kHost;
+  std::size_t storage_nodes_used = 0;
+  /// Shards recomputed on the host after a storage-node failure.
+  std::size_t shards_recovered = 0;
+  double elapsed_seconds = 0.0;
+  double predicted_host_seconds = 0.0;
+  double predicted_offload_seconds = 0.0;
+};
+
+struct WordCountResult {
+  std::vector<apps::WordCount> counts;  ///< merged, frequency-descending
+  JobReport report;
+};
+
+struct StringMatchResult {
+  std::uint64_t matches = 0;
+  JobReport report;
+};
+
+class McsdRuntime {
+ public:
+  explicit McsdRuntime(RuntimeOptions options);
+  ~McsdRuntime();
+
+  McsdRuntime(const McsdRuntime&) = delete;
+  McsdRuntime& operator=(const McsdRuntime&) = delete;
+
+  /// Word count over in-memory `text`.  The policy decides placement;
+  /// offloaded runs shard the text across all storage nodes by
+  /// capability, record-boundary-safe, and sum-merge the results.
+  Result<WordCountResult> word_count(std::string_view text);
+
+  /// String match: counts lines of `text` containing any of `keys`.
+  Result<StringMatchResult> string_match(std::string_view text,
+                                         const std::vector<std::string>& keys);
+
+  /// Forces a placement for the next jobs (testing/ablation); reset with
+  /// std::nullopt-like sentinel by passing placement_auto().
+  void force_placement(Placement placement);
+  void placement_auto();
+
+  [[nodiscard]] std::size_t storage_node_count() const noexcept {
+    return clients_.size();
+  }
+
+ private:
+  /// Splits [0, text.size()) into per-node shards proportional to node
+  /// capability, aligned to `align` (record boundaries).
+  std::vector<std::pair<std::size_t, std::size_t>> shard_text(
+      std::string_view text, bool newline_aligned) const;
+
+  Placement place(std::uint64_t bytes, double seconds_per_mib) const;
+
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<fam::Client>> clients_;
+  bool forced_ = false;
+  Placement forced_placement_ = Placement::kHost;
+  std::uint64_t next_job_id_ = 0;
+};
+
+}  // namespace mcsd::rt

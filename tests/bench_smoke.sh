@@ -1,0 +1,39 @@
+#!/bin/sh
+# Smoke test of the figure-bench harnesses: every binary must run, exit 0,
+# and emit the expected CSV header under --csv (bit-stable output is a
+# documented property; the header is its anchor).
+set -eu
+
+BIN_DIR="$1"
+
+check() {
+  bin="$1"; expect="$2"; shift 2
+  out=$("$BIN_DIR/$bin" --csv "$@")
+  echo "$out" | grep -q "$expect" || {
+    echo "$bin: missing '$expect' in output"; exit 1;
+  }
+}
+
+check bench_fig8a  "series,size,partitioned (s)"
+check bench_fig8b  "size,Duo partitioned,Quad partitioned"
+check bench_fig8c  "size,Duo partitioned,Quad partitioned"
+check bench_fig9   "(a) host-only x"
+check bench_fig10  "(a) host-only x"
+
+# Option plumbing: a different partition size must change Fig. 9's rows.
+base=$("$BIN_DIR/bench_fig9" --csv)
+alt=$("$BIN_DIR/bench_fig9" --csv --partition=300M)
+[ "$base" != "$alt" ] || { echo "--partition had no effect"; exit 1; }
+
+# Determinism: two runs are byte-identical.
+again=$("$BIN_DIR/bench_fig9" --csv)
+[ "$base" = "$again" ] || { echo "bench_fig9 output not deterministic"; exit 1; }
+
+# Non-figure harnesses just need to run cleanly.
+"$BIN_DIR/bench_table1" > /dev/null
+"$BIN_DIR/bench_ablation_partition_size" > /dev/null
+"$BIN_DIR/bench_ablation_scheduling" > /dev/null
+"$BIN_DIR/bench_ablation_offload" > /dev/null
+"$BIN_DIR/bench_des_validation" > /dev/null
+
+echo "bench smoke test passed"

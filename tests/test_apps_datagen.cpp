@@ -1,0 +1,161 @@
+#include "apps/datagen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "apps/stringmatch.hpp"
+#include "apps/wordcount.hpp"
+#include "core/strings.hpp"
+
+namespace mcsd::apps {
+namespace {
+
+TEST(GenerateVocabulary, DeterministicAndSized) {
+  const auto a = generate_vocabulary(100, 7);
+  const auto b = generate_vocabulary(100, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 100u);
+  for (const auto& w : a) {
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 12u);
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+TEST(GenerateCorpus, ApproximatelySized) {
+  CorpusOptions opts;
+  opts.bytes = 100 * 1024;
+  const auto text = generate_corpus(opts);
+  EXPECT_GE(text.size(), opts.bytes);
+  EXPECT_LE(text.size(), opts.bytes + 64);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(GenerateCorpus, Deterministic) {
+  CorpusOptions opts;
+  opts.bytes = 10 * 1024;
+  EXPECT_EQ(generate_corpus(opts), generate_corpus(opts));
+  CorpusOptions other = opts;
+  other.seed = opts.seed + 1;
+  EXPECT_NE(generate_corpus(opts), generate_corpus(other));
+}
+
+TEST(GenerateCorpus, ZipfSkewVisibleInWordCounts) {
+  CorpusOptions opts;
+  opts.bytes = 200 * 1024;
+  opts.vocabulary = 2000;
+  const auto text = generate_corpus(opts);
+  auto counts = wordcount_sequential(text);
+  sort_by_frequency_desc(counts);
+  ASSERT_GT(counts.size(), 100u);
+  // Head word should dominate the tail by an order of magnitude.
+  EXPECT_GT(counts.front().value, counts[counts.size() / 2].value * 10);
+}
+
+TEST(GenerateCorpus, RejectsEmptyVocabulary) {
+  CorpusOptions opts;
+  opts.vocabulary = 0;
+  EXPECT_THROW(generate_corpus(opts), std::invalid_argument);
+}
+
+TEST(GenerateLineFile, LinesAreLowercase) {
+  LineFileOptions opts;
+  opts.bytes = 16 * 1024;
+  const auto text = generate_line_file(opts);
+  EXPECT_GE(text.size(), opts.bytes);
+  for (char c : text) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '\n');
+  }
+}
+
+TEST(GenerateLineFile, Deterministic) {
+  LineFileOptions opts;
+  opts.bytes = 4 * 1024;
+  EXPECT_EQ(generate_line_file(opts), generate_line_file(opts));
+}
+
+TEST(GenerateAndPlantKeys, KeysAreUppercaseAndSized) {
+  LineFileOptions lf;
+  lf.bytes = 32 * 1024;
+  std::string text = generate_line_file(lf);
+  KeysOptions ko;
+  ko.count = 5;
+  ko.key_length = 7;
+  const auto keys = generate_and_plant_keys(text, ko);
+  EXPECT_EQ(keys.size(), 5u);
+  for (const auto& k : keys) {
+    EXPECT_EQ(k.size(), 7u);
+    for (char c : k) EXPECT_TRUE(c >= 'A' && c <= 'Z');
+  }
+}
+
+TEST(GenerateAndPlantKeys, PlantingPreservesLineStructure) {
+  LineFileOptions lf;
+  lf.bytes = 32 * 1024;
+  const std::string before = generate_line_file(lf);
+  std::string after = before;
+  KeysOptions ko;
+  ko.plant_rate = 0.1;
+  generate_and_plant_keys(after, ko);
+  EXPECT_EQ(after.size(), before.size());
+  EXPECT_EQ(std::count(after.begin(), after.end(), '\n'),
+            std::count(before.begin(), before.end(), '\n'));
+}
+
+TEST(GenerateAndPlantKeys, PlantRateControlsMatchVolume) {
+  LineFileOptions lf;
+  lf.bytes = 64 * 1024;
+  std::string sparse_text = generate_line_file(lf);
+  std::string dense_text = sparse_text;
+
+  KeysOptions sparse;
+  sparse.plant_rate = 0.01;
+  KeysOptions dense;
+  dense.plant_rate = 0.2;
+  const auto sparse_keys = generate_and_plant_keys(sparse_text, sparse);
+  const auto dense_keys = generate_and_plant_keys(dense_text, dense);
+
+  const auto sparse_matches =
+      stringmatch_sequential(sparse_text, sparse_keys).size();
+  const auto dense_matches =
+      stringmatch_sequential(dense_text, dense_keys).size();
+  EXPECT_GT(dense_matches, sparse_matches * 5);
+}
+
+TEST(GenerateAndPlantKeys, ZeroRatePlantsNothing) {
+  LineFileOptions lf;
+  lf.bytes = 16 * 1024;
+  std::string text = generate_line_file(lf);
+  KeysOptions ko;
+  ko.plant_rate = 0.0;
+  const auto keys = generate_and_plant_keys(text, ko);
+  // Uppercase keys cannot occur in the lowercase file by accident.
+  EXPECT_TRUE(stringmatch_sequential(text, keys).empty());
+}
+
+TEST(GenerateAndPlantKeys, RejectsDegenerateOptions) {
+  std::string text = "abc\n";
+  KeysOptions ko;
+  ko.count = 0;
+  EXPECT_THROW(generate_and_plant_keys(text, ko), std::invalid_argument);
+}
+
+TEST(GenerateMatrix, DeterministicAndInRange) {
+  const Matrix a = generate_matrix(8, 8, 5);
+  const Matrix b = generate_matrix(8, 8, 5);
+  EXPECT_EQ(a, b);
+  for (double v : a.data()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  const Matrix c = generate_matrix(8, 8, 6);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace mcsd::apps

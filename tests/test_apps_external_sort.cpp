@@ -1,0 +1,139 @@
+#include "apps/external_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/datagen.hpp"
+#include "core/io.hpp"
+#include "core/random.hpp"
+#include "core/strings.hpp"
+
+namespace mcsd::apps {
+namespace {
+
+/// Lines of `text` (split on '\n', dropping a trailing empty field).
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::string_view line : split(text, '\n')) {
+    out.emplace_back(line);
+  }
+  if (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+std::string make_input(std::uint64_t bytes, std::uint64_t seed) {
+  LineFileOptions opts;
+  opts.bytes = bytes;
+  opts.seed = seed;
+  return generate_line_file(opts);
+}
+
+TEST(ExternalSort, SingleRunWhenInputFits) {
+  TempDir dir{"esort"};
+  const std::string text = make_input(32 * 1024, 1);
+  ASSERT_TRUE(write_file(dir / "in", text).is_ok());
+  ExternalSortOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  const auto stats = external_sort_lines(dir / "in", dir / "out", opts);
+  ASSERT_TRUE(stats.is_ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().runs, 1u);
+
+  auto expected = lines_of(text);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(lines_of(read_file(dir / "out").value()), expected);
+}
+
+TEST(ExternalSort, MultiRunMergeMatchesInMemorySort) {
+  TempDir dir{"esort"};
+  const std::string text = make_input(512 * 1024, 2);
+  ASSERT_TRUE(write_file(dir / "in", text).is_ok());
+  ExternalSortOptions opts;
+  opts.memory_budget_bytes = 64 * 1024;  // forces many runs
+  const auto stats = external_sort_lines(dir / "in", dir / "out", opts);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_GT(stats.value().runs, 3u);
+
+  auto expected = lines_of(text);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(lines_of(read_file(dir / "out").value()), expected);
+  EXPECT_EQ(stats.value().lines, expected.size());
+}
+
+TEST(ExternalSort, RunFilesAreCleanedUp) {
+  TempDir dir{"esort"};
+  ASSERT_TRUE(write_file(dir / "in", make_input(256 * 1024, 3)).is_ok());
+  ExternalSortOptions opts;
+  opts.memory_budget_bytes = 64 * 1024;
+  ASSERT_TRUE(external_sort_lines(dir / "in", dir / "out", opts).is_ok());
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator{dir.path()}) {
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);  // in + out, no leftover runs
+}
+
+TEST(ExternalSort, EmptyInput) {
+  TempDir dir{"esort"};
+  ASSERT_TRUE(write_file(dir / "in", "").is_ok());
+  const auto stats = external_sort_lines(dir / "in", dir / "out");
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().lines, 0u);
+  EXPECT_EQ(read_file(dir / "out").value(), "");
+}
+
+TEST(ExternalSort, MissingInputFileErrors) {
+  TempDir dir{"esort"};
+  const auto stats = external_sort_lines(dir / "nope", dir / "out");
+  ASSERT_FALSE(stats.is_ok());
+  EXPECT_EQ(stats.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(ExternalSort, InPlaceRejected) {
+  TempDir dir{"esort"};
+  ASSERT_TRUE(write_file(dir / "f", "b\na\n").is_ok());
+  EXPECT_FALSE(external_sort_lines(dir / "f", dir / "f").is_ok());
+}
+
+TEST(ExternalSort, NoTrailingNewlineInputHandled) {
+  TempDir dir{"esort"};
+  ASSERT_TRUE(write_file(dir / "in", "banana\napple\ncherry").is_ok());
+  const auto stats = external_sort_lines(dir / "in", dir / "out");
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(read_file(dir / "out").value(), "apple\nbanana\ncherry\n");
+}
+
+TEST(ExternalSort, DuplicatesPreserved) {
+  TempDir dir{"esort"};
+  ASSERT_TRUE(write_file(dir / "in", "x\ny\nx\nx\ny\n").is_ok());
+  const auto stats = external_sort_lines(dir / "in", dir / "out");
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(read_file(dir / "out").value(), "x\nx\nx\ny\ny\n");
+}
+
+// Budget sweep: output identical whatever the memory budget.
+class ExternalSortBudgetSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExternalSortBudgetSweep, OutputInvariantUnderBudget) {
+  TempDir dir{"esort"};
+  const std::string text = make_input(200 * 1024, 7);
+  ASSERT_TRUE(write_file(dir / "in", text).is_ok());
+  ExternalSortOptions opts;
+  opts.memory_budget_bytes = GetParam();
+  const auto stats = external_sort_lines(dir / "in", dir / "out", opts);
+  ASSERT_TRUE(stats.is_ok());
+  auto expected = lines_of(text);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(lines_of(read_file(dir / "out").value()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ExternalSortBudgetSweep,
+                         ::testing::Values(64 * 1024, 96 * 1024, 256 * 1024,
+                                           1 << 20, 16 << 20));
+
+}  // namespace
+}  // namespace mcsd::apps

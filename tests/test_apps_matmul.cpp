@@ -1,0 +1,137 @@
+#include "apps/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/datagen.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace mcsd::apps {
+namespace {
+
+TEST(Matrix, Accessors) {
+  Matrix m{2, 3};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 7.5;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(PackCoord, RoundTrips) {
+  const auto key = pack_coord(123456, 654321);
+  EXPECT_EQ(coord_row(key), 123456u);
+  EXPECT_EQ(coord_col(key), 654321u);
+}
+
+TEST(MatmulSequential, KnownProduct) {
+  Matrix a{2, 2};
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 3; a.at(1, 1) = 4;
+  Matrix b{2, 2};
+  b.at(0, 0) = 5; b.at(0, 1) = 6;
+  b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = matmul_sequential(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatmulSequential, IdentityIsNeutral) {
+  Matrix a = generate_matrix(5, 5, 77);
+  Matrix eye{5, 5};
+  for (std::size_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0;
+  EXPECT_EQ(matmul_sequential(a, eye), a);
+}
+
+TEST(MatmulSequential, DimensionMismatchThrows) {
+  Matrix a{2, 3};
+  Matrix b{2, 3};
+  EXPECT_THROW(matmul_sequential(a, b), std::invalid_argument);
+}
+
+TEST(MatMulSpec, MissingOperandsThrow) {
+  MatMulSpec spec;
+  mr::Emitter<std::uint64_t, double> emitter{2};
+  EXPECT_THROW(spec.map(mr::IndexChunk{0, 1}, emitter), std::invalid_argument);
+}
+
+TEST(MatMul, EngineMatchesSequential) {
+  const Matrix a = generate_matrix(17, 23, 1);
+  const Matrix b = generate_matrix(23, 11, 2);
+  MatMulSpec spec;
+  spec.a = &a;
+  spec.b = &b;
+  mr::Options opts;
+  opts.num_workers = 3;
+  mr::Engine<MatMulSpec> engine{opts};
+  const auto cells = engine.run(spec, mr::split_index(a.rows(), 8));
+  const Matrix assembled = assemble_matrix(cells, a.rows(), b.cols());
+  const Matrix expected = matmul_sequential(a, b);
+  ASSERT_EQ(assembled.rows(), expected.rows());
+  for (std::size_t i = 0; i < expected.rows(); ++i) {
+    for (std::size_t j = 0; j < expected.cols(); ++j) {
+      EXPECT_NEAR(assembled.at(i, j), expected.at(i, j), 1e-9)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(MatMul, EveryCellEmittedExactlyOnce) {
+  const Matrix a = generate_matrix(9, 4, 3);
+  const Matrix b = generate_matrix(4, 6, 4);
+  MatMulSpec spec;
+  spec.a = &a;
+  spec.b = &b;
+  mr::Engine<MatMulSpec> engine{mr::Options{}};
+  const auto cells = engine.run(spec, mr::split_index(a.rows(), 3));
+  EXPECT_EQ(cells.size(), 9u * 6u);
+  // assemble_matrix throws on duplicates, so success implies uniqueness.
+  EXPECT_NO_THROW(assemble_matrix(cells, 9, 6));
+}
+
+TEST(AssembleMatrix, RejectsOutOfRange) {
+  std::vector<CellPair> cells{{pack_coord(5, 0), 1.0}};
+  EXPECT_THROW(assemble_matrix(cells, 2, 2), std::invalid_argument);
+}
+
+TEST(AssembleMatrix, RejectsDuplicates) {
+  std::vector<CellPair> cells{{pack_coord(0, 0), 1.0},
+                              {pack_coord(0, 0), 2.0}};
+  EXPECT_THROW(assemble_matrix(cells, 1, 1), std::invalid_argument);
+}
+
+// Parameterised shape sweep.
+struct MmShape {
+  std::size_t m, k, n;
+};
+
+class MatMulShapes : public ::testing::TestWithParam<MmShape> {};
+
+TEST_P(MatMulShapes, EngineMatchesSequential) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = generate_matrix(m, k, m * 100 + k);
+  const Matrix b = generate_matrix(k, n, k * 100 + n);
+  MatMulSpec spec;
+  spec.a = &a;
+  spec.b = &b;
+  mr::Options opts;
+  opts.num_workers = 2;
+  mr::Engine<MatMulSpec> engine{opts};
+  const auto cells = engine.run(spec, mr::split_index(m, 4));
+  const Matrix got = assemble_matrix(cells, m, n);
+  const Matrix expected = matmul_sequential(a, b);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(got.at(i, j), expected.at(i, j), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapes,
+                         ::testing::Values(MmShape{1, 1, 1}, MmShape{1, 8, 1},
+                                           MmShape{8, 1, 8}, MmShape{13, 7, 5},
+                                           MmShape{32, 32, 32}));
+
+}  // namespace
+}  // namespace mcsd::apps

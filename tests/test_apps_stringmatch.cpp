@@ -1,0 +1,100 @@
+#include "apps/stringmatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/datagen.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace mcsd::apps {
+namespace {
+
+TEST(StringMatchSequential, FindsPlantedKeys) {
+  const std::string text = "nothing here\nthe KEY is here\nKEY again KEY\n";
+  const auto matches = stringmatch_sequential(text, {"KEY"});
+  // Line-level matching: the third line matches once even with two hits.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].line_offset, 13u);  // "the KEY is here"
+  EXPECT_EQ(matches[1].line_offset, 29u);  // "KEY again KEY"
+}
+
+TEST(StringMatchSequential, MultipleKeysPerLine) {
+  const std::string text = "ALPHA and BETA\n";
+  const auto matches = stringmatch_sequential(text, {"ALPHA", "BETA", "GAMMA"});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].key_index, 0u);
+  EXPECT_EQ(matches[1].key_index, 1u);
+}
+
+TEST(StringMatchSequential, NoKeysNoMatches) {
+  EXPECT_TRUE(stringmatch_sequential("some text\n", {}).empty());
+}
+
+TEST(StringMatchSequential, NoTrailingNewline) {
+  const auto matches = stringmatch_sequential("find TOKEN", {"TOKEN"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].line_offset, 0u);
+}
+
+TEST(StringMatchSequential, EmptyText) {
+  EXPECT_TRUE(stringmatch_sequential("", {"X"}).empty());
+}
+
+TEST(StringMatchSpec, ChunkOffsetsYieldAbsoluteLineOffsets) {
+  StringMatchSpec spec;
+  spec.keys = {"NEEDLE"};
+  mr::Emitter<std::uint64_t, std::uint32_t> emitter{4};
+  // Simulate a chunk starting at absolute offset 100.
+  spec.map(mr::TextChunk{"no\nNEEDLE here\n", 100}, emitter);
+  std::vector<MatchPair> pairs;
+  for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
+    for (const auto& kv : emitter.bucket(b)) pairs.push_back(kv);
+  }
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].key, 103u);  // 100 + len("no\n")
+}
+
+TEST(StringMatch, EngineMatchesSequentialOnGeneratedData) {
+  LineFileOptions lf;
+  lf.bytes = 128 * 1024;
+  std::string text = generate_line_file(lf);
+  KeysOptions ko;
+  ko.count = 6;
+  ko.plant_rate = 0.03;
+  const auto keys = generate_and_plant_keys(text, ko);
+
+  StringMatchSpec spec;
+  spec.keys = keys;
+  mr::Options opts;
+  opts.num_workers = 3;
+  mr::Engine<StringMatchSpec> engine{opts};
+  const auto pairs = engine.run(spec, mr::split_lines(text, 8 * 1024));
+
+  const auto expected = stringmatch_sequential(text, keys);
+  EXPECT_EQ(to_sorted_matches(pairs), expected);
+  EXPECT_GT(expected.size(), 10u);  // planting actually planted
+}
+
+TEST(StringMatch, NoReduceStageOutputCountEqualsEmitCount) {
+  // With the identity reduce, |output| == |emits| — nothing is merged.
+  const std::string text = "AA x\nx AA\nnope\n";
+  StringMatchSpec spec;
+  spec.keys = {"AA"};
+  mr::Options opts;
+  opts.num_workers = 2;
+  mr::Engine<StringMatchSpec> engine{opts};
+  mr::Metrics metrics;
+  const auto pairs = engine.run(spec, mr::split_lines(text, 6), 0, &metrics);
+  EXPECT_EQ(pairs.size(), metrics.map_emits);
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(Match, OrderingByOffsetThenKey) {
+  const Match a{10, 2};
+  const Match b{10, 3};
+  const Match c{11, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace mcsd::apps

@@ -1,0 +1,109 @@
+#include "apps/wordcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/datagen.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace mcsd::apps {
+namespace {
+
+std::map<std::string, std::uint64_t> count_map(std::string_view text) {
+  std::map<std::string, std::uint64_t> m;
+  for (const auto& kv : wordcount_sequential(text)) m[kv.key] = kv.value;
+  return m;
+}
+
+TEST(WordCountSequential, Basics) {
+  const auto m = count_map("the cat and the dog and the bird");
+  EXPECT_EQ(m.at("the"), 3u);
+  EXPECT_EQ(m.at("and"), 2u);
+  EXPECT_EQ(m.at("cat"), 1u);
+  EXPECT_EQ(m.size(), 5u);
+}
+
+TEST(WordCountSequential, CaseInsensitive) {
+  const auto m = count_map("Word word WORD WoRd");
+  EXPECT_EQ(m.at("word"), 4u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(WordCountSequential, DigitsAreWordChars) {
+  const auto m = count_map("x1 x1 42");
+  EXPECT_EQ(m.at("x1"), 2u);
+  EXPECT_EQ(m.at("42"), 1u);
+}
+
+TEST(WordCountSequential, PunctuationSplitsWords) {
+  const auto m = count_map("one,two;three.one!two");
+  EXPECT_EQ(m.at("one"), 2u);
+  EXPECT_EQ(m.at("two"), 2u);
+  EXPECT_EQ(m.at("three"), 1u);
+}
+
+TEST(WordCountSequential, EmptyAndDelimiterOnly) {
+  EXPECT_TRUE(wordcount_sequential("").empty());
+  EXPECT_TRUE(wordcount_sequential("  \n\t ...,;  ").empty());
+}
+
+TEST(WordCountSequential, OutputSortedByKey) {
+  const auto counts = wordcount_sequential("b a c a");
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].key, "a");
+  EXPECT_EQ(counts[1].key, "b");
+  EXPECT_EQ(counts[2].key, "c");
+}
+
+TEST(WordCountSpec, MapEmitsOnePairPerWord) {
+  WordCountSpec spec;
+  mr::Emitter<std::string, std::uint64_t> emitter{4};
+  spec.map(mr::TextChunk{"alpha beta alpha", 0}, emitter);
+  EXPECT_EQ(emitter.count(), 3u);
+}
+
+TEST(WordCountSpec, CombineAndReduceSum) {
+  WordCountSpec spec;
+  const std::uint64_t values[] = {1, 2, 3};
+  EXPECT_EQ(spec.combine("w", values), 6u);
+  EXPECT_EQ(spec.reduce("w", values), 6u);
+}
+
+TEST(SortByFrequencyDesc, PaperOutputOrder) {
+  std::vector<WordCount> counts{{"rare", 1}, {"common", 9}, {"mid", 4},
+                                {"alpha", 4}};
+  sort_by_frequency_desc(counts);
+  EXPECT_EQ(counts[0].key, "common");
+  // Ties break by word ascending.
+  EXPECT_EQ(counts[1].key, "alpha");
+  EXPECT_EQ(counts[2].key, "mid");
+  EXPECT_EQ(counts[3].key, "rare");
+}
+
+TEST(TotalOccurrences, SumsValues) {
+  std::vector<WordCount> counts{{"a", 2}, {"b", 3}};
+  EXPECT_EQ(total_occurrences(counts), 5u);
+  EXPECT_EQ(total_occurrences({}), 0u);
+}
+
+TEST(WordCount, TotalOccurrencesConservedAcrossEngine) {
+  // Total word occurrences is an invariant between sequential and
+  // MapReduce paths, whatever the worker count.
+  CorpusOptions corpus;
+  corpus.bytes = 128 * 1024;
+  const std::string text = generate_corpus(corpus);
+  const auto seq_total = total_occurrences(wordcount_sequential(text));
+
+  mr::Options opts;
+  opts.num_workers = 4;
+  mr::Engine<WordCountSpec> engine{opts};
+  auto out = engine.run(WordCountSpec{}, mr::split_text(text, 8 * 1024));
+  std::uint64_t mr_total = 0;
+  for (const auto& kv : out) mr_total += kv.value;
+  EXPECT_EQ(mr_total, seq_total);
+  EXPECT_GT(seq_total, 0u);
+}
+
+}  // namespace
+}  // namespace mcsd::apps

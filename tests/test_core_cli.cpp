@@ -1,0 +1,102 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+
+namespace mcsd {
+namespace {
+
+using namespace mcsd::literals;
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_flag("verbose", "chatty output");
+  cli.add_option("size", "500M", "input size");
+  cli.add_option("workers", "2", "worker threads");
+  return cli;
+}
+
+Status parse(CliParser& cli, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}).is_ok());
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_EQ(cli.option("size"), "500M");
+  EXPECT_EQ(cli.option_int("workers").value(), 2);
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--size=1.25G", "--workers=8"}).is_ok());
+  EXPECT_EQ(cli.option_bytes("size").value(), 1_GiB + 256_MiB);
+  EXPECT_EQ(cli.option_int("workers").value(), 8);
+}
+
+TEST(Cli, SpaceSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--size", "2G"}).is_ok());
+  EXPECT_EQ(cli.option_bytes("size").value(), 2_GiB);
+}
+
+TEST(Cli, FlagPresence) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose"}).is_ok());
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--verbose=yes"}).is_ok());
+}
+
+TEST(Cli, UnknownOptionErrors) {
+  CliParser cli = make_parser();
+  const Status s = parse(cli, {"--nope"});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.error().message().find("--nope"), std::string::npos);
+}
+
+TEST(Cli, MissingValueErrors) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--size"}).is_ok());
+}
+
+TEST(Cli, PositionalCollected) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"input.txt", "--verbose", "more"}).is_ok());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(Cli, HelpReportsUsage) {
+  CliParser cli = make_parser();
+  const Status s = parse(cli, {"--help"});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kUnavailable);
+  EXPECT_NE(s.error().message().find("--size"), std::string::npos);
+  EXPECT_NE(s.error().message().find("chatty output"), std::string::npos);
+}
+
+TEST(Cli, BadIntReported) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--workers=lots"}).is_ok());
+  EXPECT_FALSE(cli.option_int("workers").is_ok());
+}
+
+TEST(Cli, ReparseResetsState) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose", "pos"}).is_ok());
+  ASSERT_TRUE(parse(cli, {}).is_ok());
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+}  // namespace
+}  // namespace mcsd

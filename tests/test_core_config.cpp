@@ -1,0 +1,115 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsd {
+namespace {
+
+TEST(EscapeValue, RoundTripsSpecials) {
+  const std::string raw = "a=b\nc%d\re";
+  const std::string escaped = escape_value(raw);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('='), std::string::npos);
+  EXPECT_EQ(unescape_value(escaped).value(), raw);
+}
+
+TEST(EscapeValue, PlainTextUnchanged) {
+  EXPECT_EQ(escape_value("hello world"), "hello world");
+}
+
+TEST(UnescapeValue, RejectsTruncatedEscape) {
+  EXPECT_FALSE(unescape_value("abc%4").is_ok());
+  EXPECT_FALSE(unescape_value("abc%").is_ok());
+}
+
+TEST(UnescapeValue, RejectsBadHex) {
+  EXPECT_FALSE(unescape_value("%zz").is_ok());
+}
+
+TEST(KeyValueMap, ParseBasics) {
+  auto map = KeyValueMap::parse("a=1\nb=two\n# comment\n\nc=3\n").value();
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.get("a"), "1");
+  EXPECT_EQ(map.get("b"), "two");
+  EXPECT_EQ(map.get("c"), "3");
+  EXPECT_FALSE(map.get("d").has_value());
+}
+
+TEST(KeyValueMap, ParseRejectsMissingEquals) {
+  EXPECT_FALSE(KeyValueMap::parse("novalue\n").is_ok());
+}
+
+TEST(KeyValueMap, ParseRejectsBadKey) {
+  EXPECT_FALSE(KeyValueMap::parse("=x\n").is_ok());
+  EXPECT_FALSE(KeyValueMap::parse("a b=x\n").is_ok());
+}
+
+TEST(KeyValueMap, SerializeIsSortedAndDeterministic) {
+  KeyValueMap map;
+  map.set("zeta", "1");
+  map.set("alpha", "2");
+  const std::string out = map.serialize();
+  EXPECT_EQ(out, "alpha=2\nzeta=1\n");
+  EXPECT_EQ(KeyValueMap::parse(out).value(), map);
+}
+
+TEST(KeyValueMap, ValueWhitespaceSurvivesRoundTrip) {
+  // Regression: parse used to trim whole lines, eating value padding.
+  KeyValueMap map;
+  map.set("padded", "  spaces at both ends\t ");
+  map.set("tabby", "\t");
+  const auto parsed = KeyValueMap::parse(map.serialize()).value();
+  EXPECT_EQ(parsed.get("padded"), "  spaces at both ends\t ");
+  EXPECT_EQ(parsed.get("tabby"), "\t");
+}
+
+TEST(KeyValueMap, CrlfLineEndingsTolerated) {
+  const auto map = KeyValueMap::parse("a=1\r\nb=two\r\n").value();
+  EXPECT_EQ(map.get("a"), "1");
+  EXPECT_EQ(map.get("b"), "two");
+}
+
+TEST(KeyValueMap, KeyPaddingToleratedValueVerbatim) {
+  const auto map = KeyValueMap::parse("  key  = value \n").value();
+  EXPECT_EQ(map.get("key"), " value ");
+}
+
+TEST(KeyValueMap, RoundTripWithEscapes) {
+  KeyValueMap map;
+  map.set("payload", "multi\nline = tricky % stuff");
+  const auto parsed = KeyValueMap::parse(map.serialize()).value();
+  EXPECT_EQ(parsed.get("payload"), "multi\nline = tricky % stuff");
+}
+
+TEST(KeyValueMap, TypedAccessors) {
+  KeyValueMap map;
+  map.set_int("i", -42);
+  map.set_uint("u", 18'000'000'000'000ULL);
+  map.set_double("d", 2.5);
+  map.set_bool("t", true);
+  map.set_bool("f", false);
+  EXPECT_EQ(map.get_int("i").value(), -42);
+  EXPECT_EQ(map.get_uint("u").value(), 18'000'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(map.get_double("d").value(), 2.5);
+  EXPECT_TRUE(map.get_bool("t").value());
+  EXPECT_FALSE(map.get_bool("f").value());
+}
+
+TEST(KeyValueMap, TypedAccessorErrors) {
+  KeyValueMap map;
+  map.set("x", "notanumber");
+  EXPECT_EQ(map.get_int("x").error().code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(map.get_int("missing").error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(map.get_bool("x").error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(KeyValueMap, GetOrFallbacks) {
+  KeyValueMap map;
+  map.set_int("present", 7);
+  EXPECT_EQ(map.get_int_or("present", 1), 7);
+  EXPECT_EQ(map.get_int_or("absent", 1), 1);
+  EXPECT_EQ(map.get_or("absent", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace mcsd

@@ -1,0 +1,112 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/log.hpp"
+
+namespace mcsd {
+namespace {
+
+TEST(ErrorCode, Names) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(to_string(ErrorCode::kNotFound), "not_found");
+  EXPECT_EQ(to_string(ErrorCode::kOutOfMemory), "out_of_memory");
+  EXPECT_EQ(to_string(ErrorCode::kProtocolError), "protocol_error");
+  EXPECT_EQ(to_string(ErrorCode::kTimeout), "timeout");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s{ErrorCode::kIoError, "disk on fire"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIoError);
+  EXPECT_EQ(s.error().message(), "disk on fire");
+  EXPECT_EQ(s.to_string(), "io_error: disk on fire");
+}
+
+TEST(Status, ErrorAccessOnOkThrows) {
+  Status s;
+  EXPECT_THROW((void)s.error(), std::logic_error);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{ErrorCode::kNotFound, "nope"};
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_FALSE(r.status().is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r{ErrorCode::kInternal, "bug"};
+  EXPECT_THROW((void)r.value(), std::runtime_error);
+}
+
+TEST(Result, ErrorOnValueThrows) {
+  Result<int> r{1};
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string(1000, 'x')};
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(Result, WorksWithMoveOnlyLikeFlow) {
+  const auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string{"fine"};
+    return Error{ErrorCode::kUnavailable, "later"};
+  };
+  EXPECT_TRUE(make(true).is_ok());
+  EXPECT_EQ(make(false).error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(Logger, CaptureCollectsLines) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kDebug);
+  log.capture(true);
+  MCSD_LOG(kInfo, "test") << "hello " << 42;
+  MCSD_LOG(kError, "test") << "bad";
+  const std::string captured = log.drain_captured();
+  log.capture(false);
+  log.set_level(before);
+  EXPECT_NE(captured.find("[INFO] test: hello 42"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR] test: bad"), std::string::npos);
+}
+
+TEST(Logger, LevelFiltersOutput) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kError);
+  log.capture(true);
+  MCSD_LOG(kDebug, "test") << "invisible";
+  MCSD_LOG(kError, "test") << "visible";
+  const std::string captured = log.drain_captured();
+  log.capture(false);
+  log.set_level(before);
+  EXPECT_EQ(captured.find("invisible"), std::string::npos);
+  EXPECT_NE(captured.find("visible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcsd

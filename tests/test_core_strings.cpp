@@ -1,0 +1,90 @@
+#include "core/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsd {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparatorYieldsTrailingEmpty) {
+  const auto parts = split("x,y,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitWhitespace, DropsEmptyFields) {
+  const auto parts = split_whitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWhitespace, AllWhitespaceYieldsNothing) {
+  EXPECT_TRUE(split_whitespace(" \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("HeLLo 123"), "hello 123");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(CharClasses, Delimiters) {
+  EXPECT_TRUE(is_default_delimiter(' '));
+  EXPECT_TRUE(is_default_delimiter('\n'));
+  EXPECT_TRUE(is_default_delimiter('\t'));
+  EXPECT_TRUE(is_default_delimiter('\r'));
+  EXPECT_FALSE(is_default_delimiter('a'));
+  EXPECT_FALSE(is_default_delimiter('.'));
+}
+
+TEST(CharClasses, WordChars) {
+  EXPECT_TRUE(is_word_char('a'));
+  EXPECT_TRUE(is_word_char('Z'));
+  EXPECT_TRUE(is_word_char('0'));
+  EXPECT_FALSE(is_word_char(' '));
+  EXPECT_FALSE(is_word_char('-'));
+}
+
+}  // namespace
+}  // namespace mcsd

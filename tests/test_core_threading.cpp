@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/mpmc_queue.hpp"
+#include "core/thread_pool.hpp"
+
+namespace mcsd {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(MpmcQueue, TryPopEmpty) {
+  MpmcQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, BoundedTryPushFull) {
+  MpmcQueue<int> q{2};
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(MpmcQueue, CloseDrainsThenReturnsEmpty) {
+  MpmcQueue<int> q;
+  q.push(10);
+  q.close();
+  EXPECT_FALSE(q.push(11));
+  EXPECT_EQ(q.pop(), 10);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 2'000;
+  MpmcQueue<int> q{128};
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kItemsEach; ++i) q.push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const long long expected =
+      static_cast<long long>(kProducers) * kItemsEach * (kItemsEach + 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
+  EXPECT_EQ(popped.load(), kProducers * kItemsEach);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool{0}, std::invalid_argument);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  TaskGroup group{pool};
+  for (int i = 0; i < 100; ++i) {
+    group.run([&count] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForWorkersRunsEachIndexOnce) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(8);
+  pool.parallel_for_workers(8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWorkersCountExceedingPoolStillCompletes) {
+  // The caller participates, so count > threads must not deadlock.
+  ThreadPool pool{1};
+  std::atomic<int> total{0};
+  pool.parallel_for_workers(16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForWorkersPropagatesException) {
+  ThreadPool pool{2};
+  EXPECT_THROW(
+      pool.parallel_for_workers(4,
+                                [&](std::size_t i) {
+                                  if (i == 2) throw std::runtime_error("boom");
+                                }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForWorkersSingleRunsInline) {
+  ThreadPool pool{2};
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for_workers(1, [&](std::size_t) {
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstError) {
+  ThreadPool pool{2};
+  TaskGroup group{pool};
+  group.run([] { throw std::runtime_error("task failed"); });
+  group.run([] {});
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  ThreadPool pool{2};
+  TaskGroup group{pool};
+  std::atomic<int> n{0};
+  group.run([&] { n.fetch_add(1); });
+  group.wait();
+  group.run([&] { n.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(n.load(), 2);
+}
+
+TEST(ThreadPool, HeavyConcurrentSum) {
+  ThreadPool pool{4};
+  constexpr std::size_t kTasks = 64;
+  std::vector<long long> partial(kTasks, 0);
+  TaskGroup group{pool};
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    group.run([&partial, t] {
+      long long s = 0;
+      for (int i = 0; i < 10'000; ++i) s += i;
+      partial[t] = s;
+    });
+  }
+  group.wait();
+  const long long each = 10'000LL * 9'999 / 2;
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0LL),
+            each * static_cast<long long>(kTasks));
+}
+
+}  // namespace
+}  // namespace mcsd

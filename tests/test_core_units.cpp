@@ -1,0 +1,64 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsd {
+namespace {
+
+using namespace mcsd::literals;
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(FormatBytes, PaperLabels) {
+  EXPECT_EQ(format_bytes(500_MiB), "500M");
+  EXPECT_EQ(format_bytes(750_MiB), "750M");
+  EXPECT_EQ(format_bytes(1_GiB), "1G");
+  EXPECT_EQ(format_bytes(1_GiB + 256_MiB), "1.25G");
+  EXPECT_EQ(format_bytes(2_GiB), "2G");
+}
+
+TEST(FormatBytes, SmallSizes) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(4096), "4K");
+}
+
+TEST(FormatBytes, TrimsTrailingZeros) {
+  EXPECT_EQ(format_bytes(1_GiB + 512_MiB), "1.5G");
+}
+
+TEST(ParseBytes, PlainAndSuffixed) {
+  EXPECT_EQ(parse_bytes("512").value(), 512u);
+  EXPECT_EQ(parse_bytes("64K").value(), 64_KiB);
+  EXPECT_EQ(parse_bytes("500M").value(), 500_MiB);
+  EXPECT_EQ(parse_bytes("1G").value(), 1_GiB);
+  EXPECT_EQ(parse_bytes("1.25G").value(), 1_GiB + 256_MiB);
+}
+
+TEST(ParseBytes, CaseAndSuffixVariants) {
+  EXPECT_EQ(parse_bytes("500m").value(), 500_MiB);
+  EXPECT_EQ(parse_bytes("500MB").value(), 500_MiB);
+  EXPECT_EQ(parse_bytes("500MiB").value(), 500_MiB);
+  EXPECT_EQ(parse_bytes("2g").value(), 2_GiB);
+}
+
+TEST(ParseBytes, RoundTripsFormat) {
+  for (const std::uint64_t v :
+       {500_MiB, 750_MiB, 1_GiB, 1_GiB + 256_MiB, 2_GiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)).value(), v) << format_bytes(v);
+  }
+}
+
+TEST(ParseBytes, Rejections) {
+  EXPECT_FALSE(parse_bytes("").is_ok());
+  EXPECT_FALSE(parse_bytes("abc").is_ok());
+  EXPECT_FALSE(parse_bytes("10T").is_ok());
+  EXPECT_FALSE(parse_bytes("-5M").is_ok());
+}
+
+}  // namespace
+}  // namespace mcsd

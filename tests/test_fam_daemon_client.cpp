@@ -1,0 +1,275 @@
+// End-to-end smartFAM: daemon and client sharing one log folder — the
+// paper's Fig. 5 message sequence exercised over a real filesystem.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/io.hpp"
+#include "fam/client.hpp"
+#include "fam/daemon.hpp"
+
+namespace mcsd::fam {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<Module> echo_module() {
+  return std::make_shared<FunctionModule>(
+      "echo", [](const KeyValueMap& params) -> Result<KeyValueMap> {
+        KeyValueMap out = params;
+        out.set("echoed", "true");
+        return out;
+      });
+}
+
+std::shared_ptr<Module> adder_module() {
+  return std::make_shared<FunctionModule>(
+      "adder", [](const KeyValueMap& params) -> Result<KeyValueMap> {
+        const auto a = params.get_int("a");
+        const auto b = params.get_int("b");
+        if (!a || !b) {
+          return Error{ErrorCode::kInvalidArgument, "need a and b"};
+        }
+        KeyValueMap out;
+        out.set_int("sum", a.value() + b.value());
+        return out;
+      });
+}
+
+struct FamFixture : ::testing::Test {
+  FamFixture()
+      : daemon(DaemonOptions{log_dir.path(), 1ms, 2}),
+        client(ClientOptions{log_dir.path(), 1ms, 30'000ms}) {}
+
+  TempDir log_dir{"famtest"};
+  Daemon daemon;
+  Client client;
+};
+
+TEST_F(FamFixture, PreloadCreatesLogFile) {
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  EXPECT_TRUE(std::filesystem::exists(log_dir / "echo.log"));
+  EXPECT_TRUE(client.module_available("echo"));
+  EXPECT_FALSE(client.module_available("missing"));
+}
+
+TEST_F(FamFixture, PreloadRejectsDuplicates) {
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  EXPECT_FALSE(daemon.preload(echo_module()).is_ok());
+}
+
+TEST_F(FamFixture, InvokeRoundTrip) {
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+
+  KeyValueMap params;
+  params.set_int("a", 19);
+  params.set_int("b", 23);
+  const auto result = client.invoke("adder", params);
+  ASSERT_TRUE(result.is_ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().get_int("sum").value(), 42);
+  EXPECT_EQ(daemon.requests_handled(), 1u);
+  EXPECT_EQ(daemon.errors_returned(), 0u);
+}
+
+TEST_F(FamFixture, SequentialInvocationsIncrementSeq) {
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+  for (int i = 0; i < 5; ++i) {
+    KeyValueMap params;
+    params.set_int("a", i);
+    params.set_int("b", 100);
+    const auto result = client.invoke("adder", params);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result.value().get_int("sum").value(), 100 + i);
+  }
+  EXPECT_EQ(daemon.requests_handled(), 5u);
+}
+
+TEST_F(FamFixture, ModuleErrorPropagatesToClient) {
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+  KeyValueMap incomplete;
+  incomplete.set_int("a", 1);
+  const auto result = client.invoke("adder", incomplete);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.error().message().find("need a and b"), std::string::npos);
+  EXPECT_EQ(daemon.errors_returned(), 1u);
+}
+
+TEST_F(FamFixture, ThrowingModuleBecomesErrorResponse) {
+  // A module that throws must not kill the dispatch thread; the host
+  // gets an error response and the daemon keeps serving afterwards.
+  ASSERT_TRUE(daemon
+                  .preload(std::make_shared<FunctionModule>(
+                      "bomb",
+                      [](const KeyValueMap&) -> Result<KeyValueMap> {
+                        throw std::runtime_error("kaboom");
+                      }))
+                  .is_ok());
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+
+  const auto boom = client.invoke("bomb", KeyValueMap{});
+  ASSERT_FALSE(boom.is_ok());
+  EXPECT_NE(boom.error().message().find("kaboom"), std::string::npos);
+  EXPECT_EQ(daemon.errors_returned(), 1u);
+
+  // The daemon survived: the next request succeeds.
+  KeyValueMap params;
+  params.set_int("a", 1);
+  params.set_int("b", 2);
+  const auto sum = client.invoke("adder", params);
+  ASSERT_TRUE(sum.is_ok());
+  EXPECT_EQ(sum.value().get_int("sum").value(), 3);
+}
+
+TEST_F(FamFixture, InvokeUnknownModuleFailsFast) {
+  daemon.start();
+  const auto result = client.invoke("ghost", KeyValueMap{});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FamFixture, InvokeInvalidNameRejected) {
+  const auto result = client.invoke("../etc/passwd", KeyValueMap{});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FamFixture, TimeoutWhenDaemonStopped) {
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  // Daemon never started: nothing answers.
+  Client impatient{ClientOptions{log_dir.path(), 1ms, 100ms}};
+  const auto result = impatient.invoke("echo", KeyValueMap{});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(FamFixture, TwoModulesIndependentChannels) {
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+
+  KeyValueMap add;
+  add.set_int("a", 2);
+  add.set_int("b", 3);
+  const auto sum = client.invoke("adder", add);
+  KeyValueMap e;
+  e.set("msg", "hi");
+  const auto echoed = client.invoke("echo", e);
+  ASSERT_TRUE(sum.is_ok());
+  ASSERT_TRUE(echoed.is_ok());
+  EXPECT_EQ(sum.value().get_int("sum").value(), 5);
+  EXPECT_EQ(echoed.value().get("msg"), "hi");
+}
+
+TEST_F(FamFixture, ConcurrentClientsOnDifferentModules) {
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+
+  std::thread t1{[&] {
+    for (int i = 0; i < 3; ++i) {
+      KeyValueMap p;
+      p.set_int("a", i);
+      p.set_int("b", i);
+      const auto r = client.invoke("adder", p);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(r.value().get_int("sum").value(), 2 * i);
+    }
+  }};
+  std::thread t2{[&] {
+    for (int i = 0; i < 3; ++i) {
+      KeyValueMap p;
+      p.set("n", std::to_string(i));
+      const auto r = client.invoke("echo", p);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(r.value().get("n"), std::to_string(i));
+    }
+  }};
+  t1.join();
+  t2.join();
+  EXPECT_EQ(daemon.requests_handled(), 6u);
+}
+
+TEST_F(FamFixture, ConcurrentCallersOnSameModuleSerialise) {
+  ASSERT_TRUE(daemon.preload(adder_module()).is_ok());
+  daemon.start();
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      KeyValueMap p;
+      p.set_int("a", t);
+      p.set_int("b", 10);
+      const auto r = client.invoke("adder", p);
+      if (r.is_ok() && r.value().get_int("sum").value() == 10 + t) {
+        ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), 4);
+  EXPECT_EQ(daemon.requests_handled(), 4u);
+}
+
+TEST(ClientRetry, SecondAttemptSucceedsAfterLateDaemonStart) {
+  TempDir dir{"famretry"};
+  Daemon daemon{DaemonOptions{dir.path(), 1ms, 1}};
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  // Daemon not started yet: the first attempt must time out.
+
+  ClientOptions copts;
+  copts.log_dir = dir.path();
+  copts.poll_interval = 1ms;
+  copts.timeout = 250ms;
+  copts.max_attempts = 4;
+  Client client{copts};
+
+  std::thread late_start{[&] {
+    std::this_thread::sleep_for(400ms);  // after attempt 1 expires
+    daemon.start();
+  }};
+  KeyValueMap params;
+  params.set("msg", "eventually");
+  const auto result = client.invoke("echo", params);
+  late_start.join();
+  ASSERT_TRUE(result.is_ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().get("msg"), "eventually");
+}
+
+TEST(ClientRetry, ExhaustedAttemptsReportAttemptCount) {
+  TempDir dir{"famretry"};
+  Daemon daemon{DaemonOptions{dir.path(), 1ms, 1}};
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  // Never started.
+  ClientOptions copts;
+  copts.log_dir = dir.path();
+  copts.poll_interval = 1ms;
+  copts.timeout = 50ms;
+  copts.max_attempts = 3;
+  Client client{copts};
+  const auto result = client.invoke("echo", KeyValueMap{});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kTimeout);
+  EXPECT_NE(result.error().message().find("attempt 3/3"), std::string::npos);
+}
+
+TEST(ModuleRegistry, Basics) {
+  ModuleRegistry registry;
+  EXPECT_TRUE(registry.add(echo_module()).is_ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_NE(registry.find("echo"), nullptr);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  EXPECT_FALSE(registry.add(nullptr).is_ok());
+  EXPECT_FALSE(registry.add(std::make_shared<FunctionModule>(
+                                "bad name", nullptr))
+                   .is_ok());
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"echo"});
+}
+
+}  // namespace
+}  // namespace mcsd::fam

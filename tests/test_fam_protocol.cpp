@@ -1,0 +1,132 @@
+#include "fam/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hash.hpp"
+
+namespace mcsd::fam {
+namespace {
+
+Record sample_request() {
+  Record r;
+  r.type = RecordType::kRequest;
+  r.seq = 42;
+  r.module = "wordcount";
+  r.payload.set("input", "/data/corpus.txt");
+  r.payload.set_uint("partition_size", 600ULL << 20);
+  return r;
+}
+
+TEST(ValidModuleName, AcceptsAndRejects) {
+  EXPECT_TRUE(valid_module_name("wordcount"));
+  EXPECT_TRUE(valid_module_name("string-match_2"));
+  EXPECT_FALSE(valid_module_name(""));
+  EXPECT_FALSE(valid_module_name("bad name"));
+  EXPECT_FALSE(valid_module_name("../escape"));
+  EXPECT_FALSE(valid_module_name("dot.log"));
+}
+
+TEST(LogFileName, AppendsSuffix) {
+  EXPECT_EQ(log_file_name("wordcount"), "wordcount.log");
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  const Record original = sample_request();
+  const auto decoded = decode_record(encode_record(original)).value();
+  EXPECT_EQ(decoded.type, RecordType::kRequest);
+  EXPECT_EQ(decoded.seq, 42u);
+  EXPECT_EQ(decoded.module, "wordcount");
+  EXPECT_EQ(decoded.payload.get("input"), "/data/corpus.txt");
+  EXPECT_EQ(decoded.payload.get_uint("partition_size").value(), 600ULL << 20);
+}
+
+TEST(Protocol, ResponseRoundTripOk) {
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 7;
+  r.module = "matmul";
+  r.ok = true;
+  r.payload.set_double("checksum", 3.25);
+  const auto decoded = decode_record(encode_record(r)).value();
+  EXPECT_EQ(decoded.type, RecordType::kResponse);
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_DOUBLE_EQ(decoded.payload.get_double("checksum").value(), 3.25);
+}
+
+TEST(Protocol, ResponseRoundTripError) {
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 8;
+  r.module = "matmul";
+  r.ok = false;
+  r.error_message = "dimension mismatch";
+  const auto decoded = decode_record(encode_record(r)).value();
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error_message, "dimension mismatch");
+}
+
+TEST(Protocol, PayloadWithReservedLookingValuesSurvives) {
+  Record r = sample_request();
+  r.payload.set("tricky", "mcsd.type=response\nmcsd.seq=999");
+  const auto decoded = decode_record(encode_record(r)).value();
+  EXPECT_EQ(decoded.seq, 42u);  // reserved keys not spoofable via values
+  EXPECT_EQ(decoded.payload.get("tricky"), "mcsd.type=response\nmcsd.seq=999");
+}
+
+TEST(Protocol, ReservedKeysStrippedFromPayload) {
+  const auto decoded = decode_record(encode_record(sample_request())).value();
+  EXPECT_FALSE(decoded.payload.contains("mcsd.type"));
+  EXPECT_FALSE(decoded.payload.contains("mcsd.seq"));
+}
+
+TEST(Protocol, CrcDetectsCorruption) {
+  std::string wire = encode_record(sample_request());
+  // Flip a byte in the body (not the crc line).
+  wire[wire.find("wordcount")] = 'X';
+  const auto decoded = decode_record(wire);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(Protocol, MissingCrcRejected) {
+  EXPECT_FALSE(decode_record("mcsd.type=request\nmcsd.seq=1\n").is_ok());
+}
+
+TEST(Protocol, EmptyAndGarbageRejected) {
+  EXPECT_FALSE(decode_record("").is_ok());
+  EXPECT_FALSE(decode_record("complete garbage").is_ok());
+  EXPECT_FALSE(decode_record("# just a comment\n").is_ok());
+}
+
+TEST(Protocol, MissingTypeRejected) {
+  KeyValueMap map;
+  map.set("mcsd.seq", "1");
+  map.set("mcsd.module", "m");
+  std::string body = map.serialize();
+  // Manually frame with a valid crc.
+  const std::string wire =
+      body + "mcsd.crc=" + std::to_string(fnv1a(body)) + "\n";
+  const auto decoded = decode_record(wire);
+  ASSERT_FALSE(decoded.is_ok());
+}
+
+TEST(Protocol, BadSeqRejected) {
+  Record r = sample_request();
+  std::string wire = encode_record(r);
+  // Corrupting seq also breaks the crc; craft a fresh record instead.
+  KeyValueMap map;
+  map.set("mcsd.type", "request");
+  map.set("mcsd.seq", "notanumber");
+  map.set("mcsd.module", "m");
+  const std::string body = map.serialize();
+  const auto decoded = decode_record(
+      body + "mcsd.crc=" + std::to_string(fnv1a(body)) + "\n");
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(Protocol, EncodeIsDeterministic) {
+  EXPECT_EQ(encode_record(sample_request()), encode_record(sample_request()));
+}
+
+}  // namespace
+}  // namespace mcsd::fam

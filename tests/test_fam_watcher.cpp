@@ -1,0 +1,144 @@
+#include "fam/watcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "core/io.hpp"
+
+namespace mcsd::fam {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct ChangeLog {
+  std::mutex mutex;
+  std::vector<std::string> files;
+
+  ChangeCallback callback() {
+    return [this](const std::filesystem::path& p) {
+      std::lock_guard lock{mutex};
+      files.push_back(p.filename().string());
+    };
+  }
+
+  std::vector<std::string> snapshot() {
+    std::lock_guard lock{mutex};
+    return files;
+  }
+};
+
+TEST(FileWatcher, DetectsNewFile) {
+  TempDir dir{"fam"};
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  ASSERT_TRUE(write_file(dir / "a.log", "hello").is_ok());
+  watcher.poll_once();
+  const auto seen = log.snapshot();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "a.log");
+}
+
+TEST(FileWatcher, DetectsContentChangeSameSize) {
+  // Same size, same (coarse) mtime second: the content hash must catch it.
+  TempDir dir{"fam"};
+  ASSERT_TRUE(write_file(dir / "a.log", "AAAA").is_ok());
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  watcher.poll_once();
+  EXPECT_TRUE(log.snapshot().empty());  // pre-existing state: no replay
+  ASSERT_TRUE(write_file(dir / "a.log", "BBBB").is_ok());
+  watcher.poll_once();
+  EXPECT_EQ(log.snapshot().size(), 1u);
+}
+
+TEST(FileWatcher, NoEventWithoutChange) {
+  TempDir dir{"fam"};
+  ASSERT_TRUE(write_file(dir / "a.log", "x").is_ok());
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  watcher.poll_once();
+  watcher.poll_once();
+  watcher.poll_once();
+  EXPECT_TRUE(log.snapshot().empty());
+  EXPECT_EQ(watcher.events_fired(), 0u);
+}
+
+TEST(FileWatcher, DoesNotReplayPreexistingFiles) {
+  TempDir dir{"fam"};
+  ASSERT_TRUE(write_file(dir / "old1.log", "1").is_ok());
+  ASSERT_TRUE(write_file(dir / "old2.log", "2").is_ok());
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  watcher.poll_once();
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(FileWatcher, TracksMultipleFiles) {
+  TempDir dir{"fam"};
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  ASSERT_TRUE(write_file(dir / "x.log", "1").is_ok());
+  ASSERT_TRUE(write_file(dir / "y.log", "2").is_ok());
+  watcher.poll_once();
+  auto seen = log.snapshot();
+  std::set<std::string> names{seen.begin(), seen.end()};
+  EXPECT_EQ(names, (std::set<std::string>{"x.log", "y.log"}));
+}
+
+TEST(FileWatcher, BackgroundThreadFiresCallback) {
+  TempDir dir{"fam"};
+  std::atomic<int> events{0};
+  FileWatcher watcher{dir.path(), 1ms,
+                      [&](const std::filesystem::path&) { events.fetch_add(1); }};
+  watcher.start();
+  ASSERT_TRUE(write_file(dir / "live.log", "ping").is_ok());
+  for (int i = 0; i < 500 && events.load() == 0; ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+  watcher.stop();
+  EXPECT_GE(events.load(), 1);
+}
+
+TEST(FileWatcher, StartStopIdempotent) {
+  TempDir dir{"fam"};
+  FileWatcher watcher{dir.path(), 1ms, nullptr};
+  watcher.start();
+  watcher.start();
+  watcher.stop();
+  watcher.stop();  // no crash, no deadlock
+}
+
+TEST(FileWatcher, IgnoresAtomicWriteStagingFiles) {
+  // Regression: write_file_atomic stages as "<name>.tmp.<n>" before the
+  // rename.  A watcher that fires on the staging file hands the daemon a
+  // request whose response the rename then clobbers — the client hangs.
+  TempDir dir{"fam"};
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  ASSERT_TRUE(write_file(dir / "mod.log.tmp.7", "staged request").is_ok());
+  watcher.poll_once();
+  EXPECT_TRUE(log.snapshot().empty());
+  // The real file still fires.
+  ASSERT_TRUE(write_file_atomic(dir / "mod.log", "request").is_ok());
+  watcher.poll_once();
+  const auto seen = log.snapshot();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "mod.log");
+}
+
+TEST(FileWatcher, IgnoresSubdirectories) {
+  TempDir dir{"fam"};
+  ChangeLog log;
+  FileWatcher watcher{dir.path(), 1ms, log.callback()};
+  std::filesystem::create_directory(dir / "subdir");
+  watcher.poll_once();
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace mcsd::fam

@@ -1,0 +1,216 @@
+#include "mapreduce/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/stringmatch.hpp"
+#include "apps/wordcount.hpp"
+#include "core/units.hpp"
+
+namespace mcsd::mr {
+namespace {
+
+using apps::WordCountSpec;
+using namespace mcsd::literals;
+
+std::map<std::string, std::uint64_t> to_map(
+    const std::vector<KV<std::string, std::uint64_t>>& pairs) {
+  std::map<std::string, std::uint64_t> m;
+  for (const auto& kv : pairs) m[kv.key] += kv.value;
+  return m;
+}
+
+TEST(Engine, WordCountMatchesSequentialReference) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 256 * 1024;
+  corpus.vocabulary = 500;
+  const std::string text = apps::generate_corpus(corpus);
+
+  Options opts;
+  opts.num_workers = 3;
+  Engine<WordCountSpec> engine{opts};
+  const auto chunks = split_text(text, 16 * 1024);
+  const auto parallel = engine.run(WordCountSpec{}, chunks);
+  const auto reference = apps::wordcount_sequential(text);
+
+  EXPECT_EQ(to_map(parallel), to_map(reference));
+}
+
+TEST(Engine, EmptyInputYieldsEmptyOutput) {
+  Engine<WordCountSpec> engine{Options{}};
+  const std::vector<TextChunk> none;
+  EXPECT_TRUE(engine.run(WordCountSpec{}, none).empty());
+}
+
+TEST(Engine, SortedOutputIsSortedByKey) {
+  Options opts;
+  opts.num_workers = 2;
+  opts.sort_output_by_key = true;
+  Engine<WordCountSpec> engine{opts};
+  const std::string text = "pear apple mango apple pear apple";
+  const auto out = engine.run(WordCountSpec{}, split_text(text, 8));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key, "apple");
+  EXPECT_EQ(out[0].value, 3u);
+  EXPECT_EQ(out[1].key, "mango");
+  EXPECT_EQ(out[2].key, "pear");
+  EXPECT_EQ(out[2].value, 2u);
+}
+
+TEST(Engine, MetricsArePopulated) {
+  Options opts;
+  opts.num_workers = 2;
+  Engine<WordCountSpec> engine{opts};
+  const std::string text = "one two two three three three";
+  Metrics metrics;
+  engine.run(WordCountSpec{}, split_text(text, 8), 0, &metrics);
+  EXPECT_GT(metrics.chunks, 0u);
+  EXPECT_GT(metrics.map_emits, 0u);
+  EXPECT_EQ(metrics.unique_keys, 3u);
+  EXPECT_GT(metrics.peak_intermediate_bytes, 0u);
+}
+
+TEST(Engine, OptionsValidation) {
+  Options bad;
+  bad.num_workers = 0;
+  EXPECT_THROW(Engine<WordCountSpec>{bad}, std::invalid_argument);
+
+  Options bad_fraction;
+  bad_fraction.usable_memory_fraction = 0.0;
+  EXPECT_THROW(Engine<WordCountSpec>{bad_fraction}, std::invalid_argument);
+}
+
+TEST(Engine, ReduceBucketsDefaultScalesWithWorkers) {
+  Options opts;
+  opts.num_workers = 3;
+  EXPECT_EQ(opts.effective_reduce_buckets(), 12u);
+  opts.num_reduce_buckets = 5;
+  EXPECT_EQ(opts.effective_reduce_buckets(), 5u);
+}
+
+TEST(Engine, MemoryOverflowWhenInputExceedsUsableBudget) {
+  Options opts;
+  opts.num_workers = 2;
+  opts.memory_budget_bytes = 1_MiB;
+  opts.usable_memory_fraction = 0.6;  // 614 KiB usable
+  Engine<WordCountSpec> engine{opts};
+
+  apps::CorpusOptions corpus;
+  corpus.bytes = 700 * 1024;  // > usable
+  const std::string text = apps::generate_corpus(corpus);
+  EXPECT_THROW(engine.run(WordCountSpec{}, split_text(text, 32 * 1024)),
+               MemoryOverflowError);
+}
+
+TEST(Engine, MemoryOverflowReportsRequiredAndBudget) {
+  Options opts;
+  opts.memory_budget_bytes = 1_MiB;
+  Engine<WordCountSpec> engine{opts};
+  const std::string text(800 * 1024, 'a');
+  try {
+    engine.run(WordCountSpec{}, split_text(text, 64 * 1024));
+    FAIL() << "expected MemoryOverflowError";
+  } catch (const MemoryOverflowError& e) {
+    EXPECT_GT(e.required_bytes(), e.budget_bytes());
+    EXPECT_EQ(e.budget_bytes(),
+              static_cast<std::uint64_t>(0.6 * 1_MiB));
+  }
+}
+
+TEST(Engine, IntermediateGrowthTriggersOverflow) {
+  // Input fits the usable budget, but WC's emitted pairs push the
+  // footprint past it mid-map: the engine must notice and throw — the
+  // exact Phoenix behaviour the paper's partition module works around.
+  Options opts;
+  opts.num_workers = 2;
+  opts.memory_budget_bytes = 600 * 1024;
+  opts.usable_memory_fraction = 0.6;  // 360 KiB usable
+  Engine<WordCountSpec> engine{opts};
+
+  apps::CorpusOptions corpus;
+  corpus.bytes = 300 * 1024;  // fits, until intermediates pile on
+  corpus.vocabulary = 40'000; // high-entropy keys defeat combining
+  corpus.seed = 9;
+  const std::string text = apps::generate_corpus(corpus);
+  EXPECT_THROW(engine.run(WordCountSpec{}, split_text(text, 16 * 1024)),
+               MemoryOverflowError);
+}
+
+TEST(Engine, UnlimitedBudgetNeverOverflows) {
+  Options opts;
+  opts.memory_budget_bytes = 0;
+  Engine<WordCountSpec> engine{opts};
+  const std::string text(128 * 1024, 'x');  // one giant "word"
+  EXPECT_NO_THROW(engine.run(WordCountSpec{}, split_text(text, 8 * 1024)));
+}
+
+TEST(Engine, IdentityReduceWhenSpecHasNone) {
+  // StringMatchSpec has no reduce: every emitted pair must pass through.
+  apps::LineFileOptions lf;
+  lf.bytes = 64 * 1024;
+  std::string text = apps::generate_line_file(lf);
+  apps::KeysOptions ko;
+  ko.plant_rate = 0.05;
+  const auto keys = apps::generate_and_plant_keys(text, ko);
+
+  apps::StringMatchSpec spec;
+  spec.keys = keys;
+  Options opts;
+  opts.num_workers = 2;
+  Engine<apps::StringMatchSpec> engine{opts};
+  const auto pairs = engine.run(spec, split_lines(text, 8 * 1024));
+  const auto expected = apps::stringmatch_sequential(text, keys);
+  EXPECT_EQ(apps::to_sorted_matches(pairs), expected);
+  EXPECT_FALSE(expected.empty());
+}
+
+// Worker-count sweep: output must be identical for any parallelism level.
+class EngineWorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineWorkerSweep, WordCountInvariantUnderParallelism) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 96 * 1024;
+  corpus.vocabulary = 300;
+  corpus.seed = GetParam();  // vary data with workers too
+  const std::string text = apps::generate_corpus(corpus);
+
+  Options opts;
+  opts.num_workers = GetParam();
+  opts.sort_output_by_key = true;
+  Engine<WordCountSpec> engine{opts};
+  const auto out = engine.run(WordCountSpec{}, split_text(text, 4 * 1024));
+  const auto reference = apps::wordcount_sequential(text);
+  ASSERT_EQ(out.size(), reference.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, reference[i].key);
+    EXPECT_EQ(out[i].value, reference[i].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, EngineWorkerSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+// Chunk-size sweep: result independent of map granularity.
+class EngineChunkSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineChunkSweep, ResultIndependentOfChunkSize) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 64 * 1024;
+  corpus.vocabulary = 200;
+  const std::string text = apps::generate_corpus(corpus);
+  Options opts;
+  opts.num_workers = 2;
+  Engine<WordCountSpec> engine{opts};
+  const auto out = engine.run(WordCountSpec{}, split_text(text, GetParam()));
+  EXPECT_EQ(to_map(out), to_map(apps::wordcount_sequential(text)));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkBytes, EngineChunkSweep,
+                         ::testing::Values(128, 1024, 8192, 65536, 1 << 20));
+
+}  // namespace
+}  // namespace mcsd::mr

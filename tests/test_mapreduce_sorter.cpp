@@ -1,0 +1,119 @@
+#include "mapreduce/sorter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace mcsd::mr {
+namespace {
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.next();
+  return out;
+}
+
+TEST(ParallelSort, EmptyAndSingle) {
+  ThreadPool pool{2};
+  std::vector<std::uint64_t> empty;
+  parallel_sort(empty, pool);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<std::uint64_t> one{42};
+  parallel_sort(one, pool);
+  EXPECT_EQ(one, std::vector<std::uint64_t>{42});
+}
+
+TEST(ParallelSort, SmallFallsBackToSerial) {
+  ThreadPool pool{4};
+  auto values = random_values(100, 1);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(values, pool);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelSort, LargeMatchesStdSort) {
+  ThreadPool pool{3};
+  auto values = random_values(200'000, 2);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(values, pool);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelSort, CustomComparator) {
+  ThreadPool pool{2};
+  auto values = random_values(50'000, 3);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end(), std::greater<>{});
+  parallel_sort(values, pool, std::greater<>{});
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelSort, StringsSort) {
+  ThreadPool pool{2};
+  Rng rng{4};
+  std::vector<std::string> values;
+  values.reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) {
+    std::string s;
+    const auto len = 1 + rng.next_below(12);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    values.push_back(std::move(s));
+  }
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(values, pool);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  ThreadPool pool{4};
+  std::vector<std::uint64_t> asc(100'000);
+  for (std::size_t i = 0; i < asc.size(); ++i) asc[i] = i;
+  auto rev = asc;
+  std::reverse(rev.begin(), rev.end());
+
+  auto expected = asc;
+  parallel_sort(asc, pool);
+  EXPECT_EQ(asc, expected);
+  parallel_sort(rev, pool);
+  EXPECT_EQ(rev, expected);
+}
+
+TEST(ParallelSort, ManyDuplicates) {
+  ThreadPool pool{3};
+  Rng rng{5};
+  std::vector<std::uint64_t> values(120'000);
+  for (auto& v : values) v = rng.next_below(7);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(values, pool);
+  EXPECT_EQ(values, expected);
+}
+
+// Worker-count sweep.
+class ParallelSortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelSortSweep, MatchesStdSortAtEveryWidth) {
+  ThreadPool pool{GetParam()};
+  auto values = random_values(64'000 + GetParam() * 1000, GetParam());
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(values, pool);
+  EXPECT_EQ(values, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelSortSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+}  // namespace
+}  // namespace mcsd::mr

@@ -1,0 +1,152 @@
+#include "mapreduce/splitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "core/random.hpp"
+
+namespace mcsd::mr {
+namespace {
+
+std::string reassemble(const std::vector<TextChunk>& chunks) {
+  std::string out;
+  for (const auto& c : chunks) out += c.text;
+  return out;
+}
+
+TEST(SplitText, EmptyInput) {
+  EXPECT_TRUE(split_text("", 16).empty());
+}
+
+TEST(SplitText, SingleChunkWhenSmall) {
+  const auto chunks = split_text("tiny input", 1024);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].text, "tiny input");
+  EXPECT_EQ(chunks[0].offset, 0u);
+}
+
+TEST(SplitText, ConcatenationReproducesInput) {
+  const std::string input = "the quick brown fox jumps over the lazy dog ";
+  for (std::size_t target : {1u, 3u, 7u, 10u, 100u}) {
+    EXPECT_EQ(reassemble(split_text(input, target)), input) << target;
+  }
+}
+
+TEST(SplitText, NeverCutsAWord) {
+  const std::string input = "alpha beta gamma delta epsilon zeta";
+  const auto chunks = split_text(input, 8);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    // Every chunk but the last ends with a delimiter...
+    EXPECT_TRUE(is_default_delimiter(chunks[i].text.back()))
+        << "chunk " << i << ": '" << chunks[i].text << "'";
+    // ...and the next chunk starts with a word byte.
+    EXPECT_FALSE(is_default_delimiter(chunks[i + 1].text.front()));
+  }
+}
+
+TEST(SplitText, OffsetsAreAbsolute) {
+  const std::string input = "aa bb cc dd ee ff gg hh";
+  const auto chunks = split_text(input, 5);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(input.substr(c.offset, c.text.size()), c.text);
+  }
+}
+
+TEST(SplitText, OversizedRecordStaysWhole) {
+  const std::string input = "short averyveryverylongword tail";
+  const auto chunks = split_text(input, 4);
+  for (const auto& c : chunks) {
+    // The long word must appear intact in exactly one chunk.
+    if (c.text.find("averyvery") != std::string_view::npos) {
+      EXPECT_NE(c.text.find("averyveryverylongword"), std::string_view::npos);
+    }
+  }
+  EXPECT_EQ(reassemble(chunks), input);
+}
+
+TEST(SplitText, ZeroTargetTreatedAsOne) {
+  const auto chunks = split_text("a b", 0);
+  EXPECT_EQ(reassemble(chunks), "a b");
+}
+
+// Property sweep: random inputs, random chunk targets.
+class SplitTextProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitTextProperty, InvariantsHold) {
+  mcsd::Rng rng{GetParam()};
+  std::string input;
+  const auto words = 50 + rng.next_below(200);
+  for (std::uint64_t w = 0; w < words; ++w) {
+    const auto len = 1 + rng.next_below(12);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    input.push_back(rng.next_below(8) == 0 ? '\n' : ' ');
+  }
+  const std::size_t target = 1 + rng.next_below(64);
+  const auto chunks = split_text(input, target);
+
+  EXPECT_EQ(reassemble(chunks), input);
+  std::size_t expected_offset = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_FALSE(chunks[i].text.empty());
+    EXPECT_EQ(chunks[i].offset, expected_offset);
+    expected_offset += chunks[i].text.size();
+    if (i + 1 < chunks.size()) {
+      EXPECT_TRUE(is_default_delimiter(chunks[i].text.back()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitTextProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(SplitLines, AlignsOnNewlines) {
+  const std::string input = "line one\nline two\nline three\n";
+  const auto chunks = split_lines(input, 10);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].text.back(), '\n');
+  }
+  EXPECT_EQ(reassemble(chunks), input);
+}
+
+TEST(SplitIndex, EvenSplit) {
+  const auto chunks = split_index(12, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(SplitIndex, RemainderSpreadsOverFirstChunks) {
+  const auto chunks = split_index(10, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].size(), 3u);
+  EXPECT_EQ(chunks[1].size(), 3u);
+  EXPECT_EQ(chunks[2].size(), 2u);
+  EXPECT_EQ(chunks[3].size(), 2u);
+}
+
+TEST(SplitIndex, CoversExactlyOnce) {
+  const auto chunks = split_index(37, 5);
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, expected_begin);
+    covered += c.size();
+    expected_begin = c.end;
+  }
+  EXPECT_EQ(covered, 37u);
+}
+
+TEST(SplitIndex, MorePiecesThanItems) {
+  const auto chunks = split_index(3, 10);
+  EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(SplitIndex, ZeroItems) {
+  EXPECT_TRUE(split_index(0, 4).empty());
+}
+
+}  // namespace
+}  // namespace mcsd::mr

@@ -1,0 +1,105 @@
+#include "partition/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/random.hpp"
+
+namespace mcsd::part {
+namespace {
+
+TEST(IntegrityCheck, CleanBoundaryNeedsNoDisplacement) {
+  //               0123456789
+  const std::string s = "abc def gh";
+  // Draft cut at 4 ('d'): previous byte is a space -> record boundary.
+  const auto r = integrity_check(s, 4);
+  EXPECT_EQ(r.displacement, 0u);
+  EXPECT_FALSE(r.hit_end);
+}
+
+TEST(IntegrityCheck, MidWordSlidesToNextDelimiter) {
+  const std::string s = "abc def gh";
+  // Draft cut at 5 (middle of "def"): slide to after "def " -> cut at 8.
+  const auto r = integrity_check(s, 5);
+  EXPECT_EQ(5 + r.displacement, 8u);
+}
+
+TEST(IntegrityCheck, AbsorbsDelimiterRun) {
+  const std::string s = "abc   def";
+  // Draft cut at 4 (inside the space run): absorb the run, cut at 6.
+  const auto r = integrity_check(s, 4);
+  EXPECT_EQ(4 + r.displacement, 6u);
+}
+
+TEST(IntegrityCheck, DraftAtOrPastEnd) {
+  const std::string s = "abc";
+  EXPECT_TRUE(integrity_check(s, 3).hit_end);
+  EXPECT_TRUE(integrity_check(s, 10).hit_end);
+  EXPECT_EQ(integrity_check(s, 3).displacement, 0u);
+}
+
+TEST(IntegrityCheck, WordRunningToEndOfInput) {
+  const std::string s = "abc defgh";
+  // Cut mid final word: scan hits end of input.
+  const auto r = integrity_check(s, 6);
+  EXPECT_TRUE(r.hit_end);
+  EXPECT_EQ(6 + r.displacement, s.size());
+}
+
+TEST(IntegrityCheck, CustomDelimiter) {
+  const std::string s = "a,b,,c";
+  const auto is_comma = [](char c) { return c == ','; };
+  const auto r = integrity_check(s, 1, is_comma);  // at the first comma?
+  // Position 1 is ','; previous byte 'a' is not a delimiter -> mid-record?
+  // No: s[0]='a', cut=1 -> s[cut-1] not delim -> slide to first ','=1,
+  // then absorb run -> cut at 2.
+  EXPECT_EQ(1 + r.displacement, 2u);
+}
+
+TEST(IntegrityCheck, NewlineDelimiterForLines) {
+  const std::string s = "line one\nline two\n";
+  const auto r = integrity_check(s, 4, newline_delimiter());
+  EXPECT_EQ(4 + r.displacement, 9u);  // after the first '\n'
+}
+
+TEST(IntegrityCheck, CutAtStartIsClean) {
+  const std::string s = "word and more";
+  const auto r = integrity_check(s, 0);
+  EXPECT_EQ(r.displacement, 0u);
+}
+
+// Property: the adjusted cut always lands after a delimiter (or at the
+// end), and never moves backwards.
+class IntegrityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegrityProperty, AdjustedCutOnRecordBoundary) {
+  mcsd::Rng rng{GetParam()};
+  std::string s;
+  for (int w = 0; w < 100; ++w) {
+    const auto len = 1 + rng.next_below(10);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    s.push_back(' ');
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto draft = static_cast<std::size_t>(rng.next_below(s.size() + 8));
+    const auto r = integrity_check(s, draft);
+    const std::size_t cut = draft + r.displacement;
+    EXPECT_GE(cut, draft);
+    if (cut < s.size()) {
+      EXPECT_TRUE(mcsd::is_default_delimiter(s[cut - 1]))
+          << "cut=" << cut << " draft=" << draft;
+      EXPECT_FALSE(mcsd::is_default_delimiter(s[cut]));
+    } else {
+      EXPECT_TRUE(r.hit_end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrityProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace mcsd::part

@@ -1,0 +1,144 @@
+// Cross-cutting property tests: determinism and roundtrip invariants
+// exercised over randomised inputs (seed-parameterised sweeps).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/wordcount.hpp"
+#include "core/config.hpp"
+#include "core/random.hpp"
+#include "core/units.hpp"
+#include "fam/protocol.hpp"
+#include "mapreduce/engine.hpp"
+#include "partition/partitioner.hpp"
+
+namespace mcsd {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EngineSortedOutputIsRunToRunDeterministic) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 48 * 1024;
+  corpus.vocabulary = 200;
+  corpus.seed = GetParam();
+  const std::string text = apps::generate_corpus(corpus);
+
+  mr::Options opts;
+  opts.num_workers = 3;
+  opts.sort_output_by_key = true;
+  mr::Engine<apps::WordCountSpec> engine{opts};
+  const auto chunks = mr::split_text(text, 4 * 1024);
+  const auto a = engine.run(apps::WordCountSpec{}, chunks);
+  const auto b = engine.run(apps::WordCountSpec{}, chunks);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST_P(SeedSweep, KeyValueMapRoundTripsArbitraryBytes) {
+  Rng rng{GetParam()};
+  KeyValueMap map;
+  const auto entries = 1 + rng.next_below(12);
+  for (std::uint64_t e = 0; e < entries; ++e) {
+    std::string key = "k" + std::to_string(e);
+    std::string value;
+    const auto len = rng.next_below(64);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      value.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    map.set(std::move(key), std::move(value));
+  }
+  const auto parsed = KeyValueMap::parse(map.serialize());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), map);
+}
+
+TEST_P(SeedSweep, FamRecordRoundTripsArbitraryPayload) {
+  Rng rng{GetParam() ^ 0xFA3};
+  fam::Record record;
+  record.type = rng.next_below(2) == 0 ? fam::RecordType::kRequest
+                                       : fam::RecordType::kResponse;
+  record.seq = rng.next();
+  record.module = "module-" + std::to_string(rng.next_below(100));
+  if (record.type == fam::RecordType::kResponse && rng.next_below(2) == 0) {
+    record.ok = false;
+    record.error_message = "err\nwith=weird%chars";
+  }
+  const auto fields = rng.next_below(8);
+  for (std::uint64_t f = 0; f < fields; ++f) {
+    std::string value;
+    const auto len = rng.next_below(40);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      value.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    record.payload.set("field" + std::to_string(f), std::move(value));
+  }
+
+  const auto decoded = fam::decode_record(fam::encode_record(record));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().type, record.type);
+  EXPECT_EQ(decoded.value().seq, record.seq);
+  EXPECT_EQ(decoded.value().module, record.module);
+  EXPECT_EQ(decoded.value().ok, record.ok);
+  EXPECT_EQ(decoded.value().payload, record.payload);
+}
+
+TEST_P(SeedSweep, FormatParseBytesRoundTripsRoundSizes) {
+  Rng rng{GetParam() ^ 0xB17E5};
+  for (int i = 0; i < 20; ++i) {
+    // Round MiB values survive format->parse exactly (format emits at
+    // most two decimals, exact for quarter-GiB and whole-MiB points).
+    const std::uint64_t bytes = (1 + rng.next_below(4096)) << 20;
+    const auto parsed = parse_bytes(format_bytes(bytes));
+    ASSERT_TRUE(parsed.is_ok()) << format_bytes(bytes);
+    // Within 1% after the two-decimal rounding.
+    const double err =
+        std::abs(static_cast<double>(parsed.value()) -
+                 static_cast<double>(bytes)) /
+        static_cast<double>(bytes);
+    EXPECT_LT(err, 0.01) << format_bytes(bytes);
+  }
+}
+
+TEST_P(SeedSweep, PartitionThenEngineEqualsDirectEngine) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 40 * 1024;
+  corpus.vocabulary = 120;
+  corpus.seed = GetParam() * 7 + 3;
+  const std::string text = apps::generate_corpus(corpus);
+
+  mr::Options opts;
+  opts.num_workers = 2;
+  mr::Engine<apps::WordCountSpec> engine{opts};
+
+  // Direct run over the whole text.
+  std::map<std::string, std::uint64_t> direct;
+  for (const auto& kv :
+       engine.run(apps::WordCountSpec{}, mr::split_text(text, 4 * 1024))) {
+    direct[kv.key] += kv.value;
+  }
+
+  // Fragment first, run per fragment, sum.
+  Rng rng{GetParam()};
+  part::PartitionOptions popts;
+  popts.partition_size = 512 + rng.next_below(8 * 1024);
+  std::map<std::string, std::uint64_t> fragmented;
+  for (const auto& fragment : part::partition(text, popts)) {
+    for (const auto& kv : engine.run(apps::WordCountSpec{},
+                                     mr::split_text(fragment.text, 2048))) {
+      fragmented[kv.key] += kv.value;
+    }
+  }
+  EXPECT_EQ(direct, fragmented);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mcsd

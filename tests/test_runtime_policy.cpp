@@ -1,0 +1,90 @@
+#include "runtime/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+
+namespace mcsd::rt {
+namespace {
+
+using namespace mcsd::literals;
+
+// The Table-I shaped policy: quad 1.33x host, duo 1.0x storage node.
+OffloadPolicy table1_policy() { return OffloadPolicy{}; }
+
+TEST(SiteSpec, CapabilityScalesWithCoresAndSpeed) {
+  EXPECT_DOUBLE_EQ((SiteSpec{1, 1.0, 0.9}.capability()), 1.0);
+  EXPECT_DOUBLE_EQ((SiteSpec{2, 1.0, 0.9}.capability()), 1.9);
+  EXPECT_DOUBLE_EQ((SiteSpec{1, 2.0, 0.9}.capability()), 2.0);
+  EXPECT_DOUBLE_EQ((SiteSpec{4, 1.0, 1.0}.capability()), 4.0);
+}
+
+TEST(OffloadPolicy, DataIntensiveJobOffloads) {
+  // Word-count-like: cheap per byte, big input living on the SD node.
+  // Pulling 1 GiB over NFS costs ~11 s; running on the (slower) SD node
+  // avoids it entirely.
+  const auto d = table1_policy().decide(1_GiB, 1.0 / 25.0);
+  EXPECT_EQ(d.placement, Placement::kStorageNode);
+  EXPECT_LT(d.offload_seconds, d.host_seconds);
+}
+
+TEST(OffloadPolicy, ComputeIntensiveJobStaysOnHost) {
+  // Matrix-multiply-like: expensive per byte — the transfer amortises
+  // and the host's bigger capability wins.
+  const auto d = table1_policy().decide(256_MiB, 1.0 / 8.0);
+  EXPECT_EQ(d.placement, Placement::kHost);
+}
+
+TEST(OffloadPolicy, TinyJobStaysOnHost) {
+  // A 1 MiB job finishes before the FAM round trip matters either way,
+  // but the transfer is negligible and the host is simply faster.
+  const auto d = table1_policy().decide(1_MiB, 1.0 / 8.0);
+  EXPECT_EQ(d.placement, Placement::kHost);
+}
+
+TEST(OffloadPolicy, DataOnHostRemovesPullAndFlipsDecision) {
+  // The same data-intensive job whose input is *already on the host*:
+  // no transfer to save, host capability wins.
+  OffloadPolicy policy = table1_policy();
+  const auto on_storage = policy.decide(1_GiB, 1.0 / 25.0, true);
+  const auto on_host = policy.decide(1_GiB, 1.0 / 25.0, false);
+  EXPECT_EQ(on_storage.placement, Placement::kStorageNode);
+  EXPECT_EQ(on_host.placement, Placement::kHost);
+}
+
+TEST(OffloadPolicy, FasterNetworkFavoursHost) {
+  // Crank network bandwidth until the pull is free-ish: the crossover
+  // the paper's future-work Infiniband upgrade probes.
+  OffloadPolicy slow = table1_policy();
+  slow.network_mibps = 10.0;
+  OffloadPolicy fast = table1_policy();
+  fast.network_mibps = 100'000.0;
+  EXPECT_EQ(slow.decide(500_MiB, 1.0 / 25.0).placement,
+            Placement::kStorageNode);
+  EXPECT_EQ(fast.decide(500_MiB, 1.0 / 25.0).placement, Placement::kHost);
+}
+
+TEST(OffloadPolicy, StrongerStorageNodeWidensOffloadRegion) {
+  OffloadPolicy weak = table1_policy();
+  weak.storage = SiteSpec{1, 0.5, 0.9};
+  OffloadPolicy strong = table1_policy();
+  strong.storage = SiteSpec{8, 1.33, 0.95};
+  // A moderately compute-heavy job: the weak SD loses, the strong wins.
+  const double rate = 1.0 / 15.0;
+  EXPECT_EQ(weak.decide(300_MiB, rate).placement, Placement::kHost);
+  EXPECT_EQ(strong.decide(300_MiB, rate).placement, Placement::kStorageNode);
+}
+
+TEST(OffloadPolicy, DecisionExposesBothCosts) {
+  const auto d = table1_policy().decide(500_MiB, 1.0 / 25.0);
+  EXPECT_GT(d.host_seconds, 0.0);
+  EXPECT_GT(d.offload_seconds, 0.0);
+}
+
+TEST(PlacementToString, Names) {
+  EXPECT_STREQ(to_string(Placement::kHost), "host");
+  EXPECT_STREQ(to_string(Placement::kStorageNode), "storage-node");
+}
+
+}  // namespace
+}  // namespace mcsd::rt

@@ -1,0 +1,59 @@
+#include "cluster/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsd::sim {
+namespace {
+
+CalibrationOptions fast_options() {
+  CalibrationOptions opts;
+  opts.text_bytes = 256 * 1024;  // keep the test quick
+  opts.matrix_dim = 48;
+  opts.repetitions = 1;
+  return opts;
+}
+
+TEST(Calibration, MeasuresPositiveRates) {
+  const CalibrationResult r = calibrate(fast_options());
+  EXPECT_GT(r.wordcount_mibps, 0.0);
+  EXPECT_GT(r.stringmatch_mibps, 0.0);
+  EXPECT_GT(r.matmul_mibps, 0.0);
+  EXPECT_GT(r.measure_seconds, 0.0);
+}
+
+TEST(Calibration, StringMatchFasterThanWordCount) {
+  // SM is a scan; WC allocates and hashes.  Any machine should order
+  // them this way — the same ordering the fixed profiles encode.
+  const CalibrationResult r = calibrate(fast_options());
+  EXPECT_GT(r.stringmatch_mibps, r.wordcount_mibps);
+}
+
+TEST(Calibration, ProfilesInheritAlgorithmicConstants) {
+  CalibrationResult r;
+  r.wordcount_mibps = 100.0;
+  r.stringmatch_mibps = 200.0;
+  r.matmul_mibps = 10.0;
+  const AppProfile wc = calibrated_wordcount_profile(r);
+  EXPECT_DOUBLE_EQ(wc.seconds_per_mib, 0.01);
+  EXPECT_DOUBLE_EQ(wc.footprint_factor, wordcount_profile().footprint_factor);
+  EXPECT_DOUBLE_EQ(wc.parallel_fraction,
+                   wordcount_profile().parallel_fraction);
+
+  const AppProfile sm = calibrated_stringmatch_profile(r);
+  EXPECT_DOUBLE_EQ(sm.seconds_per_mib, 0.005);
+  EXPECT_DOUBLE_EQ(sm.dirty_footprint_factor,
+                   stringmatch_profile().dirty_footprint_factor);
+
+  const AppProfile mm = calibrated_matmul_profile(r);
+  EXPECT_DOUBLE_EQ(mm.seconds_per_mib, 0.1);
+  EXPECT_FALSE(mm.partitionable);
+}
+
+TEST(Calibration, ZeroRateKeepsDefault) {
+  const CalibrationResult zeros{};
+  const AppProfile wc = calibrated_wordcount_profile(zeros);
+  EXPECT_DOUBLE_EQ(wc.seconds_per_mib, wordcount_profile().seconds_per_mib);
+}
+
+}  // namespace
+}  // namespace mcsd::sim

@@ -1,0 +1,158 @@
+#include "cluster/jobmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/profiles.hpp"
+#include "cluster/testbed.hpp"
+#include "core/units.hpp"
+
+namespace mcsd::sim {
+namespace {
+
+using namespace mcsd::literals;
+
+JobSpec wc_job(std::uint64_t bytes, ExecMode mode,
+               std::uint64_t partition = 0) {
+  JobSpec job;
+  job.app = wordcount_profile();
+  job.input_bytes = bytes;
+  job.mode = mode;
+  job.partition_size = partition;
+  return job;
+}
+
+TEST(JobModel, SequentialIgnoresCores) {
+  const NodeSpec duo = sd_node_duo();
+  const NodeSpec quad = sd_node_quad();
+  const auto on_duo = model_job(duo, wc_job(100_MiB, ExecMode::kSequential));
+  // Same reference speed, more cores: sequential time only changes with
+  // core_speed (quad core is 1.33x), never with core count.
+  const auto on_single =
+      model_job(sd_node_single(), wc_job(100_MiB, ExecMode::kSequential));
+  EXPECT_DOUBLE_EQ(on_duo.total_seconds(), on_single.total_seconds());
+  const auto on_quad = model_job(quad, wc_job(100_MiB, ExecMode::kSequential));
+  EXPECT_LT(on_quad.compute_seconds, on_duo.compute_seconds);
+}
+
+TEST(JobModel, ParallelNativeFasterThanSequential) {
+  const NodeSpec duo = sd_node_duo();
+  const auto seq = model_job(duo, wc_job(200_MiB, ExecMode::kSequential));
+  const auto par = model_job(duo, wc_job(200_MiB, ExecMode::kParallelNative));
+  EXPECT_LT(par.total_seconds(), seq.total_seconds());
+}
+
+TEST(JobModel, QuadBeatsDuoOnParallelWork) {
+  const auto duo = model_job(sd_node_duo(),
+                             wc_job(500_MiB, ExecMode::kParallelNative));
+  const auto quad = model_job(sd_node_quad(),
+                              wc_job(500_MiB, ExecMode::kParallelNative));
+  EXPECT_LT(quad.compute_seconds, duo.compute_seconds);
+}
+
+TEST(JobModel, NativeFailsAboveMemoryCeiling) {
+  // 2 GiB node, ceiling 0.75 -> 1.5 GiB: the paper's ">1.5G overflows".
+  const NodeSpec duo = sd_node_duo();
+  const auto ok = model_job(duo, wc_job(1433_MiB, ExecMode::kParallelNative));
+  EXPECT_TRUE(ok.completed);
+  const auto fail =
+      model_job(duo, wc_job(1640_MiB, ExecMode::kParallelNative));
+  EXPECT_FALSE(fail.completed);
+  EXPECT_NE(fail.failure.find("memory overflow"), std::string::npos);
+}
+
+TEST(JobModel, PartitionedSurvivesAboveCeiling) {
+  const NodeSpec duo = sd_node_duo();
+  const auto run = model_job(
+      duo, wc_job(2048_MiB, ExecMode::kParallelPartitioned, 600_MiB));
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.fragments, 4u);  // ceil(2048 / 600)
+  EXPECT_DOUBLE_EQ(run.thrash_seconds, 0.0);
+}
+
+TEST(JobModel, NativeThrashesWhenFootprintExceedsMemory) {
+  // 1 GiB of WC input -> 3 GiB footprint on a 2 GiB node: thrash, while
+  // the partitioned run (600 MiB fragments -> 1.8 GiB peak) stays clean.
+  const NodeSpec duo = sd_node_duo();
+  const auto native = model_job(duo, wc_job(1_GiB, ExecMode::kParallelNative));
+  ASSERT_TRUE(native.completed);
+  EXPECT_GT(native.thrash_seconds, 0.0);
+  const auto part = model_job(
+      duo, wc_job(1_GiB, ExecMode::kParallelPartitioned, 600_MiB));
+  EXPECT_DOUBLE_EQ(part.thrash_seconds, 0.0);
+  EXPECT_LT(part.total_seconds(), native.total_seconds());
+}
+
+TEST(JobModel, PartitionedAutoSizePicksFittingFragment) {
+  const NodeSpec duo = sd_node_duo();
+  const auto run = model_job(
+      duo, wc_job(1_GiB, ExecMode::kParallelPartitioned, /*partition=*/0));
+  EXPECT_TRUE(run.completed);
+  EXPECT_GT(run.fragments, 1u);
+  EXPECT_LE(run.peak_footprint_bytes, duo.usable_memory());
+  EXPECT_DOUBLE_EQ(run.thrash_seconds, 0.0);
+}
+
+TEST(JobModel, PartitionOverheadGrowsWithFragmentCount) {
+  const NodeSpec duo = sd_node_duo();
+  const auto few = model_job(
+      duo, wc_job(1_GiB, ExecMode::kParallelPartitioned, 512_MiB));
+  const auto many = model_job(
+      duo, wc_job(1_GiB, ExecMode::kParallelPartitioned, 64_MiB));
+  EXPECT_GT(many.fragments, few.fragments);
+  EXPECT_GT(many.overhead_seconds, few.overhead_seconds);
+}
+
+TEST(JobModel, NonPartitionableAppFallsBackToNative) {
+  JobSpec job;
+  job.app = matmul_profile();
+  job.input_bytes = 256_MiB;
+  job.mode = ExecMode::kParallelPartitioned;
+  job.partition_size = 64_MiB;
+  const auto run = model_job(host_node(), job);
+  EXPECT_EQ(run.fragments, 1u);
+  EXPECT_DOUBLE_EQ(run.overhead_seconds, 0.0);
+}
+
+TEST(JobModel, SmallInputsPartitionedEqualsNativeModulo) {
+  // Below the memory threshold the two parallel modes should be close —
+  // the paper: "when the data size is in a reasonable interval ... the
+  // traditional parallel approach provides almost the same performance".
+  const NodeSpec duo = sd_node_duo();
+  const auto native =
+      model_job(duo, wc_job(500_MiB, ExecMode::kParallelNative));
+  const auto part = model_job(
+      duo, wc_job(500_MiB, ExecMode::kParallelPartitioned, 600_MiB));
+  EXPECT_NEAR(part.total_seconds() / native.total_seconds(), 1.0, 0.1);
+}
+
+TEST(JobModel, ReadOverlapOnlyForParallelModes) {
+  const NodeSpec duo = sd_node_duo();
+  EXPECT_FALSE(model_job(duo, wc_job(100_MiB, ExecMode::kSequential))
+                   .read_overlaps_compute);
+  EXPECT_TRUE(model_job(duo, wc_job(100_MiB, ExecMode::kParallelNative))
+                  .read_overlaps_compute);
+  EXPECT_TRUE(
+      model_job(duo, wc_job(100_MiB, ExecMode::kParallelPartitioned, 50_MiB))
+          .read_overlaps_compute);
+}
+
+TEST(JobModel, CostScalesWithInput) {
+  const NodeSpec duo = sd_node_duo();
+  const auto small =
+      model_job(duo, wc_job(250_MiB, ExecMode::kParallelPartitioned, 100_MiB));
+  const auto large =
+      model_job(duo, wc_job(500_MiB, ExecMode::kParallelPartitioned, 100_MiB));
+  EXPECT_GT(large.total_seconds(), small.total_seconds());
+  EXPECT_LT(large.total_seconds(), 3.0 * small.total_seconds());  // ~linear
+}
+
+TEST(JobModel, AvailableMemoryParameterDrivesThrash) {
+  const NodeSpec host = host_node();
+  JobSpec job = wc_job(700_MiB, ExecMode::kParallelNative);
+  const auto alone = model_job(host, job, host.usable_memory(), SwapModel{});
+  const auto squeezed = model_job(host, job, 512_MiB, SwapModel{});
+  EXPECT_GT(squeezed.thrash_seconds, alone.thrash_seconds);
+}
+
+}  // namespace
+}  // namespace mcsd::sim

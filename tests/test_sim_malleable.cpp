@@ -1,0 +1,108 @@
+#include "cluster/malleable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsd::sim {
+namespace {
+
+const CpuModel kQuad{4, 1.0};
+const CpuModel kDuo{2, 1.0};
+
+TEST(Malleable, EmptyJobListIsInstant) {
+  const auto r = schedule_malleable({}, kQuad);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 0.0);
+}
+
+TEST(Malleable, SingleSerialJob) {
+  const auto r = schedule_malleable({{"s", 10.0, 0.0, 0}}, kQuad);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 10.0);
+}
+
+TEST(Malleable, SingleParallelJobUsesAllCores) {
+  const auto r = schedule_malleable({{"p", 0.0, 40.0, 0}}, kQuad);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 10.0);  // 40 core-s / 4 cores
+}
+
+TEST(Malleable, MaxThreadsCapsAllocation) {
+  const auto r = schedule_malleable({{"p", 0.0, 40.0, 2}}, kQuad);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 20.0);  // only 2 of 4 cores usable
+}
+
+TEST(Malleable, CoreSpeedScalesParallelWork) {
+  const CpuModel fast{4, 2.0};
+  const auto r = schedule_malleable({{"p", 0.0, 40.0, 0}}, fast);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 5.0);
+}
+
+TEST(Malleable, SerialThenParallelSequence) {
+  const auto r = schedule_malleable({{"sp", 4.0, 8.0, 0}}, kDuo);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 8.0);  // 4 serial + 8/2 parallel
+}
+
+TEST(Malleable, TwoEqualJobsShareCoresFairly) {
+  const auto r = schedule_malleable(
+      {{"a", 0.0, 20.0, 0}, {"b", 0.0, 20.0, 0}}, kQuad);
+  // Each gets 2 cores: 20 / 2 = 10 s, both finish together.
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[1], 10.0);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 10.0);
+}
+
+TEST(Malleable, SurvivorInheritsFreedCores) {
+  const auto r = schedule_malleable(
+      {{"short", 0.0, 8.0, 0}, {"long", 0.0, 40.0, 0}}, kQuad);
+  // Phase 1: 2+2 cores.  Short finishes at 4 s (8/2).  Long has consumed
+  // 8 of 40, then runs on 4 cores: 32/4 = 8 s more -> 12 s total.
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[1], 12.0);
+}
+
+TEST(Malleable, CapFreesCoresForOthers) {
+  const auto r = schedule_malleable(
+      {{"capped", 0.0, 10.0, 1}, {"wide", 0.0, 30.0, 0}}, kQuad);
+  // capped gets 1 core; wide gets the other 3: 30/3 = 10 s; both 10 s.
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[1], 10.0);
+}
+
+TEST(Malleable, SerialJobDoesNotStallParallelPeer) {
+  const auto r = schedule_malleable(
+      {{"serial", 12.0, 0.0, 0}, {"parallel", 0.0, 12.0, 0}}, kQuad);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 12.0);
+  // Parallel peer holds 2 cores while sharing: 12/2 = 6 s.
+  EXPECT_DOUBLE_EQ(r.finish_seconds[1], 6.0);
+}
+
+TEST(Malleable, ThreeJobsOnFourCores) {
+  const auto r = schedule_malleable(
+      {{"a", 0.0, 12.0, 0}, {"b", 0.0, 12.0, 0}, {"c", 0.0, 12.0, 0}},
+      kQuad);
+  // 4/3 cores each: 12 / (4/3) = 9 s.
+  for (double f : r.finish_seconds) EXPECT_NEAR(f, 9.0, 1e-9);
+}
+
+TEST(Malleable, ZeroWorkJobFinishesAtZero) {
+  const auto r = schedule_malleable(
+      {{"noop", 0.0, 0.0, 0}, {"real", 5.0, 0.0, 0}}, kDuo);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.finish_seconds[1], 5.0);
+}
+
+TEST(Malleable, RejectsNegativeWork) {
+  EXPECT_THROW(schedule_malleable({{"bad", -1.0, 0.0, 0}}, kDuo),
+               std::invalid_argument);
+}
+
+TEST(Malleable, RejectsBadCpu) {
+  EXPECT_THROW(schedule_malleable({{"j", 1.0, 1.0, 0}}, CpuModel{0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Malleable, MakespanIsMaxFinish) {
+  const auto r = schedule_malleable(
+      {{"a", 1.0, 0.0, 0}, {"b", 0.0, 100.0, 1}}, kQuad);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, r.finish_seconds[1]);
+}
+
+}  // namespace
+}  // namespace mcsd::sim

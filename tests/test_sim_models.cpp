@@ -1,0 +1,164 @@
+#include "cluster/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/profiles.hpp"
+#include "cluster/smb.hpp"
+#include "cluster/testbed.hpp"
+#include "core/units.hpp"
+
+namespace mcsd::sim {
+namespace {
+
+using namespace mcsd::literals;
+
+TEST(DiskModel, ReadScalesLinearly) {
+  DiskModel disk;
+  const double t1 = disk.read_seconds(100_MiB);
+  const double t2 = disk.read_seconds(200_MiB);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR((t2 - disk.seek_seconds) / (t1 - disk.seek_seconds), 2.0, 1e-9);
+}
+
+TEST(DiskModel, WriteSlowerThanRead) {
+  DiskModel disk;
+  EXPECT_GT(disk.write_seconds(1_GiB), disk.read_seconds(1_GiB));
+}
+
+TEST(NicModel, GigabitIsAbout119MiBps) {
+  NicModel nic;
+  EXPECT_NEAR(nic.raw_mibps(), 119.2, 0.2);
+}
+
+TEST(NfsModel, TransferBoundedBySlowerNicAndEfficiency) {
+  NfsModel nfs;
+  NicModel fast;
+  NicModel slow;
+  slow.bandwidth_mbps = 100.0;
+  const double t = nfs.transfer_seconds(100_MiB, fast, slow, 0.0);
+  // 100 Mbps * 0.8 efficiency ≈ 9.54 MiB/s → ≈ 10.5 s.
+  EXPECT_GT(t, 10.0);
+  EXPECT_LT(t, 11.0);
+}
+
+TEST(NfsModel, BackgroundUtilizationSlowsTransfer) {
+  NfsModel nfs;
+  NicModel nic;
+  const double quiet = nfs.transfer_seconds(500_MiB, nic, nic, 0.0);
+  const double busy = nfs.transfer_seconds(500_MiB, nic, nic, 0.5);
+  EXPECT_NEAR(busy / quiet, 2.0, 0.05);
+}
+
+TEST(SwapModel, NoThrashWhenFits) {
+  SwapModel swap;
+  DiskModel disk;
+  EXPECT_DOUBLE_EQ(swap.thrash_seconds(1_GiB, 2_GiB, disk), 0.0);
+  EXPECT_DOUBLE_EQ(swap.thrash_seconds(2_GiB, 2_GiB, disk), 0.0);
+}
+
+TEST(SwapModel, ThrashGrowsSuperlinearlyWithOverflow) {
+  SwapModel swap;
+  DiskModel disk;
+  const double t2 = swap.thrash_seconds(2_GiB, 1_GiB, disk);   // 2x over
+  const double t3 = swap.thrash_seconds(3_GiB, 1_GiB, disk);   // 3x over
+  EXPECT_GT(t2, 0.0);
+  // Superlinear: tripling footprint more than triples the penalty.
+  EXPECT_GT(t3, 3.0 * t2 * 0.99);
+}
+
+TEST(SwapModel, ZeroAvailableMemoryIsGuarded) {
+  SwapModel swap;
+  DiskModel disk;
+  EXPECT_DOUBLE_EQ(swap.thrash_seconds(1_GiB, 0, disk), 0.0);
+}
+
+TEST(CpuModel, PerfectSerialJobIgnoresCores) {
+  CpuModel cpu{4, 1.0};
+  EXPECT_DOUBLE_EQ(cpu.compute_seconds(10.0, 4, 0.0), 10.0);
+}
+
+TEST(CpuModel, AmdahlSpeedup) {
+  CpuModel cpu{2, 1.0};
+  const double t1 = cpu.compute_seconds(10.0, 1, 0.95);
+  const double t2 = cpu.compute_seconds(10.0, 2, 0.95);
+  EXPECT_NEAR(t1 / t2, 1.0 / (0.05 + 0.95 / 2), 1e-9);
+}
+
+TEST(CpuModel, ThreadsCappedByCores) {
+  CpuModel cpu{2, 1.0};
+  EXPECT_DOUBLE_EQ(cpu.compute_seconds(10.0, 8, 1.0),
+                   cpu.compute_seconds(10.0, 2, 1.0));
+}
+
+TEST(CpuModel, CoreSpeedScales) {
+  CpuModel slow{1, 1.0};
+  CpuModel fast{1, 2.0};
+  EXPECT_DOUBLE_EQ(slow.compute_seconds(10.0, 1, 0.5),
+                   2.0 * fast.compute_seconds(10.0, 1, 0.5));
+}
+
+TEST(NodeSpec, UsableMemorySubtractsReserve) {
+  NodeSpec node;
+  node.memory_bytes = 2_GiB;
+  node.os_reserve_bytes = 200_MiB;
+  EXPECT_EQ(node.usable_memory(), 2_GiB - 200_MiB);
+  node.os_reserve_bytes = 3_GiB;
+  EXPECT_EQ(node.usable_memory(), 0u);
+}
+
+TEST(Testbed, Table1Configuration) {
+  const Testbed tb = table1_testbed();
+  EXPECT_EQ(tb.host.cpu.cores, 4u);         // Core2 Quad Q9400
+  EXPECT_EQ(tb.sd_duo.cpu.cores, 2u);       // Core2 Duo E4400
+  EXPECT_EQ(tb.sd_single.cpu.cores, 1u);    // traditional SD baseline
+  EXPECT_EQ(tb.compute.size(), 3u);         // 3x Celeron 450
+  EXPECT_EQ(tb.compute[0].cpu.cores, 1u);
+  EXPECT_EQ(tb.host.memory_bytes, 2_GiB);   // 2 GB per Table I
+  EXPECT_EQ(tb.sd_duo.memory_bytes, 2_GiB);
+  EXPECT_DOUBLE_EQ(tb.host.nic.bandwidth_mbps, 1000.0);  // 1 GbE
+  EXPECT_GT(tb.host.cpu.core_speed, tb.sd_duo.cpu.core_speed);
+}
+
+TEST(Profiles, PaperFootprintFactors) {
+  EXPECT_DOUBLE_EQ(wordcount_profile().footprint_factor, 3.0);
+  EXPECT_DOUBLE_EQ(stringmatch_profile().footprint_factor, 2.0);
+  EXPECT_TRUE(wordcount_profile().partitionable);
+  EXPECT_TRUE(stringmatch_profile().partitionable);
+  EXPECT_FALSE(matmul_profile().partitionable);
+}
+
+TEST(Profiles, MatmulIsComputeBound) {
+  EXPECT_GT(matmul_profile().seconds_per_mib,
+            wordcount_profile().seconds_per_mib);
+  EXPECT_GT(wordcount_profile().seconds_per_mib,
+            stringmatch_profile().seconds_per_mib);
+}
+
+TEST(Smb, UtilizationOnlyOnParticipatingLinks) {
+  SmbTraffic smb{SmbConfig{}};
+  NicModel nic;
+  EXPECT_DOUBLE_EQ(smb.utilization_for(false, false, nic), 0.0);
+  EXPECT_GT(smb.utilization_for(true, false, nic), 0.0);
+  EXPECT_EQ(smb.utilization_for(true, false, nic),
+            smb.utilization_for(true, true, nic));
+}
+
+TEST(Smb, UtilizationClampedBelow09) {
+  SmbConfig cfg;
+  cfg.messages_per_second = 1e9;  // absurd offered load
+  SmbTraffic smb{cfg};
+  EXPECT_DOUBLE_EQ(smb.link_utilization(NicModel{}), 0.9);
+}
+
+TEST(Smb, OfferedLoadScalesWithMessageRate) {
+  SmbConfig slow_cfg;
+  slow_cfg.messages_per_second = 100;
+  SmbConfig fast_cfg;
+  fast_cfg.messages_per_second = 200;
+  EXPECT_NEAR(SmbTraffic{fast_cfg}.offered_mibps_per_node() /
+                  SmbTraffic{slow_cfg}.offered_mibps_per_node(),
+              2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcsd::sim

@@ -1,0 +1,231 @@
+// Shape tests for the paper's evaluation: these encode the qualitative
+// claims of Section V against the simulator, so a model regression that
+// would flip a figure's conclusion fails CI.
+#include "cluster/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/profiles.hpp"
+#include "core/units.hpp"
+
+namespace mcsd::sim {
+namespace {
+
+using namespace mcsd::literals;
+
+constexpr std::uint64_t kPartition600M = 600_MiB;
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  Testbed tb = table1_testbed();
+  AppProfile wc = wordcount_profile();
+  AppProfile sm = stringmatch_profile();
+  AppProfile mm = matmul_profile();
+};
+
+// ---- Fig. 8 single-application shapes --------------------------------
+
+TEST_F(ScenarioTest, Fig8a_PartitionedBeatsSequentialByAbout2xOnDuo) {
+  for (const std::uint64_t bytes : {500_MiB, 750_MiB, 1_GiB}) {
+    const auto seq =
+        run_single_app(tb, tb.sd_duo, wc, bytes, ExecMode::kSequential);
+    const auto part = run_single_app(tb, tb.sd_duo, wc, bytes,
+                                     ExecMode::kParallelPartitioned,
+                                     kPartition600M);
+    const double speedup = seq.seconds() / part.seconds();
+    EXPECT_GT(speedup, 1.5) << format_bytes(bytes);
+    EXPECT_LT(speedup, 3.0) << format_bytes(bytes);
+  }
+}
+
+TEST_F(ScenarioTest, Fig8a_QuadOutspeedsDuo) {
+  const std::uint64_t bytes = 1_GiB;
+  for (const AppProfile& app : {wc, sm}) {
+    const auto seq_duo =
+        run_single_app(tb, tb.sd_duo, app, bytes, ExecMode::kSequential);
+    const auto part_duo = run_single_app(
+        tb, tb.sd_duo, app, bytes, ExecMode::kParallelPartitioned,
+        kPartition600M);
+    const auto seq_quad =
+        run_single_app(tb, tb.sd_quad, app, bytes, ExecMode::kSequential);
+    const auto part_quad = run_single_app(
+        tb, tb.sd_quad, app, bytes, ExecMode::kParallelPartitioned,
+        kPartition600M);
+    const double duo_speedup = seq_duo.seconds() / part_duo.seconds();
+    const double quad_speedup = seq_quad.seconds() / part_quad.seconds();
+    EXPECT_GT(quad_speedup, duo_speedup) << app.name;
+  }
+}
+
+TEST_F(ScenarioTest, Fig8a_PartitionedMatchesNativeBelowThreshold) {
+  // "when the data size is in a reasonable interval ... the traditional
+  // parallel approach provides almost the same performance".
+  const auto native = run_single_app(tb, tb.sd_duo, wc, 500_MiB,
+                                     ExecMode::kParallelNative);
+  const auto part = run_single_app(tb, tb.sd_duo, wc, 500_MiB,
+                                   ExecMode::kParallelPartitioned,
+                                   kPartition600M);
+  EXPECT_NEAR(native.seconds() / part.seconds(), 1.0, 0.15);
+}
+
+TEST_F(ScenarioTest, Fig8_WordCountNativeCollapsesAtLargeSizes) {
+  // "the elapsed time of Partition-enabled approach is only 1/6 of the
+  // traditional one" for huge WC inputs.
+  const auto native =
+      run_single_app(tb, tb.sd_duo, wc, 1_GiB + 256_MiB,
+                     ExecMode::kParallelNative);
+  const auto part = run_single_app(tb, tb.sd_duo, wc, 1_GiB + 256_MiB,
+                                   ExecMode::kParallelPartitioned,
+                                   kPartition600M);
+  ASSERT_TRUE(native.completed());
+  const double ratio = native.seconds() / part.seconds();
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 15.0);
+}
+
+TEST_F(ScenarioTest, Fig8b_NativeFailsAbove1500M) {
+  // "the traditional Phoenix cannot support the Word-count and the
+  // String-match for data size larger than 1.5G".
+  for (const AppProfile& app : {wc, sm}) {
+    const auto at_2g = run_single_app(tb, tb.sd_duo, app, 2_GiB,
+                                      ExecMode::kParallelNative);
+    EXPECT_FALSE(at_2g.completed()) << app.name;
+    const auto part = run_single_app(tb, tb.sd_duo, app, 2_GiB,
+                                     ExecMode::kParallelPartitioned,
+                                     kPartition600M);
+    EXPECT_TRUE(part.completed()) << app.name;
+  }
+}
+
+TEST_F(ScenarioTest, Fig8bc_PartitionedGrowthIsNearLinear) {
+  // The paper's growth curves are "linear-like" for the partitioned runs.
+  for (const AppProfile& app : {wc, sm}) {
+    const auto t1 = run_single_app(tb, tb.sd_duo, app, 500_MiB,
+                                   ExecMode::kParallelPartitioned,
+                                   kPartition600M)
+                        .seconds();
+    const auto t4 = run_single_app(tb, tb.sd_duo, app, 2_GiB,
+                                   ExecMode::kParallelPartitioned,
+                                   kPartition600M)
+                        .seconds();
+    EXPECT_NEAR(t4 / t1, 4.0, 1.2) << app.name;  // 4x data -> ~4x time
+  }
+}
+
+// ---- Fig. 9 / Fig. 10 multi-application shapes ------------------------
+
+TEST_F(ScenarioTest, Fig9_McsdBeatsTraditionalSdByAbout2x) {
+  // "compared with the traditional (single-core processor equipped) SD,
+  // the McSD ... averagely improves the overall performance by 2X".
+  for (const std::uint64_t bytes : {500_MiB, 750_MiB, 1_GiB, 1_GiB + 256_MiB}) {
+    const auto trad = run_pair(tb, PairScenario::kTraditionalSd, mm, wc,
+                               bytes, kPartition600M);
+    const auto mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                               bytes, kPartition600M);
+    const double speedup = speedup_vs(trad, mcsd);
+    EXPECT_GT(speedup, 1.4) << format_bytes(bytes);
+    EXPECT_LT(speedup, 3.5) << format_bytes(bytes);
+  }
+}
+
+TEST_F(ScenarioTest, Fig9_HostOnlyBlowsUpPastMemoryThreshold) {
+  // Below the threshold: modest speedup.  Past it: the non-partitioned
+  // host-only run thrashes and the ratio explodes (paper: up to ~17x).
+  const auto small_host = run_pair(tb, PairScenario::kHostOnly, mm, wc,
+                                   500_MiB, kPartition600M);
+  const auto small_mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                                   500_MiB, kPartition600M);
+  const double small_speedup = speedup_vs(small_host, small_mcsd);
+  EXPECT_LT(small_speedup, 4.0);
+
+  const auto big_host = run_pair(tb, PairScenario::kHostOnly, mm, wc,
+                                 1_GiB + 256_MiB, kPartition600M);
+  const auto big_mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                                 1_GiB + 256_MiB, kPartition600M);
+  const double big_speedup = speedup_vs(big_host, big_mcsd);
+  EXPECT_GT(big_speedup, 6.0);
+  EXPECT_LT(big_speedup, 30.0);
+  EXPECT_GT(big_speedup, small_speedup * 2);
+}
+
+TEST_F(ScenarioTest, Fig9_NoPartitionBlowsUpButLessThanHostOnly) {
+  const std::uint64_t bytes = 1_GiB + 256_MiB;
+  const auto host = run_pair(tb, PairScenario::kHostOnly, mm, wc, bytes,
+                             kPartition600M);
+  const auto nopart = run_pair(tb, PairScenario::kMcsdNoPartition, mm, wc,
+                               bytes, kPartition600M);
+  const auto mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                             bytes, kPartition600M);
+  const double host_speedup = speedup_vs(host, mcsd);
+  const double nopart_speedup = speedup_vs(nopart, mcsd);
+  EXPECT_GT(nopart_speedup, 3.0);
+  EXPECT_GT(host_speedup, nopart_speedup);  // host-only is the worst case
+}
+
+TEST_F(ScenarioTest, Fig9_NoPartitionNearParityBelowThreshold) {
+  // "the McSD can only make slightly improvement when the data size are
+  // 500MB and 750MB (below the threshold)".
+  const auto nopart = run_pair(tb, PairScenario::kMcsdNoPartition, mm, wc,
+                               500_MiB, kPartition600M);
+  const auto mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                             500_MiB, kPartition600M);
+  EXPECT_NEAR(speedup_vs(nopart, mcsd), 1.0, 0.25);
+}
+
+TEST_F(ScenarioTest, Fig10_StringMatchSpeedupsStayNear2x) {
+  // MM/SM: "the speedups ... are both averagely 2X" — no blow-up,
+  // because SM's 2x footprint barely exceeds node memory.
+  for (const std::uint64_t bytes : {500_MiB, 750_MiB, 1_GiB, 1_GiB + 256_MiB}) {
+    const auto mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, sm,
+                               bytes, kPartition600M);
+    for (const PairScenario s :
+         {PairScenario::kHostOnly, PairScenario::kTraditionalSd,
+          PairScenario::kMcsdNoPartition}) {
+      const auto other = run_pair(tb, s, mm, sm, bytes, kPartition600M);
+      const double speedup = speedup_vs(other, mcsd);
+      EXPECT_GT(speedup, 0.8) << to_string(s) << " " << format_bytes(bytes);
+      EXPECT_LT(speedup, 5.0) << to_string(s) << " " << format_bytes(bytes);
+    }
+  }
+}
+
+TEST_F(ScenarioTest, Fig10_MilderThanFig9PastThreshold) {
+  // At 1.25G the WC pair must blow up far more than the SM pair.
+  const std::uint64_t bytes = 1_GiB + 256_MiB;
+  const auto wc_host = run_pair(tb, PairScenario::kHostOnly, mm, wc, bytes,
+                                kPartition600M);
+  const auto wc_ref = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                               bytes, kPartition600M);
+  const auto sm_host = run_pair(tb, PairScenario::kHostOnly, mm, sm, bytes,
+                                kPartition600M);
+  const auto sm_ref = run_pair(tb, PairScenario::kMcsdPartitioned, mm, sm,
+                               bytes, kPartition600M);
+  EXPECT_GT(speedup_vs(wc_host, wc_ref), 2.0 * speedup_vs(sm_host, sm_ref));
+}
+
+TEST_F(ScenarioTest, ScenarioResultsCarryDetail) {
+  const auto r = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc, 1_GiB,
+                          kPartition600M);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  EXPECT_GT(r.data_job_seconds, 0.0);
+  EXPECT_GT(r.compute_job_seconds, 0.0);
+  EXPECT_GE(r.makespan_seconds,
+            std::max(r.compute_job_seconds, r.data_job_seconds) - 1e-9);
+  EXPECT_GT(r.data_job_cost.fragments, 1u);
+}
+
+TEST_F(ScenarioTest, SpeedupVsHandlesFailures) {
+  PairResult bad;
+  bad.completed = false;
+  PairResult good;
+  good.completed = true;
+  good.makespan_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(speedup_vs(bad, good), 0.0);
+  EXPECT_DOUBLE_EQ(speedup_vs(good, bad), 0.0);
+}
+
+}  // namespace
+}  // namespace mcsd::sim

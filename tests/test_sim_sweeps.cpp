@@ -1,0 +1,181 @@
+// Parameterised property sweeps over the simulator: invariants that must
+// hold at *every* point of the evaluation space, not just the paper's
+// four sampled sizes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/profiles.hpp"
+#include "cluster/scenarios.hpp"
+#include "core/units.hpp"
+
+namespace mcsd::sim {
+namespace {
+
+using namespace mcsd::literals;
+
+constexpr std::uint64_t kPartition = 600_MiB;
+
+// ---- sweep axis: data size in MiB --------------------------------------
+
+class SizeSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Testbed tb = table1_testbed();
+  AppProfile wc = wordcount_profile();
+  AppProfile sm = stringmatch_profile();
+  AppProfile mm = matmul_profile();
+
+  [[nodiscard]] std::uint64_t bytes() const { return GetParam() * kMiB; }
+  static constexpr std::uint64_t kMiB = 1ULL << 20;
+};
+
+TEST_P(SizeSweep, CostsArePositiveAndFinite) {
+  for (const AppProfile& app : {wc, sm}) {
+    for (const ExecMode mode :
+         {ExecMode::kSequential, ExecMode::kParallelPartitioned}) {
+      const auto run =
+          run_single_app(tb, tb.sd_duo, app, bytes(), mode, kPartition);
+      ASSERT_TRUE(run.completed()) << app.name << " " << to_string(mode);
+      EXPECT_GT(run.seconds(), 0.0);
+      EXPECT_LT(run.seconds(), 1e5);
+    }
+  }
+}
+
+TEST_P(SizeSweep, PartitionedNeverThrashes) {
+  for (const AppProfile& app : {wc, sm}) {
+    const auto run = run_single_app(tb, tb.sd_duo, app, bytes(),
+                                    ExecMode::kParallelPartitioned,
+                                    kPartition);
+    EXPECT_DOUBLE_EQ(run.cost.thrash_seconds, 0.0) << app.name;
+  }
+}
+
+TEST_P(SizeSweep, QuadNeverSlowerThanDuo) {
+  for (const AppProfile& app : {wc, sm}) {
+    const auto duo = run_single_app(tb, tb.sd_duo, app, bytes(),
+                                    ExecMode::kParallelPartitioned,
+                                    kPartition);
+    const auto quad = run_single_app(tb, tb.sd_quad, app, bytes(),
+                                     ExecMode::kParallelPartitioned,
+                                     kPartition);
+    EXPECT_LE(quad.seconds(), duo.seconds() + 1e-9) << app.name;
+  }
+}
+
+TEST_P(SizeSweep, SequentialSlowerThanPartitionedParallel) {
+  for (const AppProfile& app : {wc, sm}) {
+    const auto seq =
+        run_single_app(tb, tb.sd_duo, app, bytes(), ExecMode::kSequential);
+    const auto par = run_single_app(tb, tb.sd_duo, app, bytes(),
+                                    ExecMode::kParallelPartitioned,
+                                    kPartition);
+    EXPECT_GT(seq.seconds(), par.seconds()) << app.name;
+  }
+}
+
+TEST_P(SizeSweep, McsdPartitionedIsTheBestPairScenario) {
+  // At the paper's evaluated sizes (>= 500 MB) the framework must never
+  // lose to the alternatives it is compared against.  Below that, a
+  // four-fast-core host with no memory pressure legitimately beats a
+  // duo-core storage node — offload is a large-data technique, which is
+  // why the OffloadPolicy exists (completed alternatives only).
+  if (bytes() < 500 * kMiB) {
+    // Sub-paper-scale jobs finish in a second or two: the fixed
+    // per-fragment overhead and the duo-vs-quad capability gap dominate,
+    // and the alternatives legitimately win.  Assert only that the
+    // framework's loss is bounded by its constant overheads.
+    const auto reference = run_pair(tb, PairScenario::kMcsdPartitioned, mm,
+                                    wc, bytes(), kPartition);
+    const auto nopart = run_pair(tb, PairScenario::kMcsdNoPartition, mm, wc,
+                                 bytes(), kPartition);
+    ASSERT_TRUE(reference.completed);
+    ASSERT_TRUE(nopart.completed);
+    EXPECT_LT(reference.makespan_seconds - nopart.makespan_seconds, 1.0);
+    return;
+  }
+  for (const AppProfile& data_app : {wc, sm}) {
+    const auto reference = run_pair(tb, PairScenario::kMcsdPartitioned, mm,
+                                    data_app, bytes(), kPartition);
+    ASSERT_TRUE(reference.completed);
+    for (const PairScenario s :
+         {PairScenario::kHostOnly, PairScenario::kTraditionalSd,
+          PairScenario::kMcsdNoPartition}) {
+      const auto other = run_pair(tb, s, mm, data_app, bytes(), kPartition);
+      if (!other.completed) continue;
+      EXPECT_GE(other.makespan_seconds,
+                reference.makespan_seconds * 0.90)
+          << to_string(s) << " " << data_app.name;
+    }
+  }
+}
+
+TEST_P(SizeSweep, MakespanDominatedByItsJobs) {
+  const auto r = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                          bytes(), kPartition);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.makespan_seconds,
+            std::max(r.compute_job_seconds, r.data_job_seconds) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesMiB, SizeSweep,
+                         ::testing::Values(64, 200, 500, 750, 1024, 1280,
+                                           1536, 2048, 3072));
+
+// ---- monotonicity across the sweep -------------------------------------
+
+TEST(SizeMonotonicity, PartitionedElapsedGrowsWithInput) {
+  const Testbed tb = table1_testbed();
+  const AppProfile wc = wordcount_profile();
+  double previous = 0.0;
+  for (std::uint64_t mib = 128; mib <= 4096; mib *= 2) {
+    const auto run = run_single_app(tb, tb.sd_duo, wc, mib << 20,
+                                    ExecMode::kParallelPartitioned,
+                                    kPartition);
+    ASSERT_TRUE(run.completed());
+    EXPECT_GT(run.seconds(), previous) << mib << " MiB";
+    previous = run.seconds();
+  }
+}
+
+TEST(SizeMonotonicity, PairSpeedupGrowsPastThresholdForWc) {
+  const Testbed tb = table1_testbed();
+  const AppProfile wc = wordcount_profile();
+  const AppProfile mm = matmul_profile();
+  double previous = 0.0;
+  // From 700 MiB on, the host-only WC run is past the memory knee:
+  // speedups must increase monotonically with the data size.
+  for (std::uint64_t mib = 700; mib <= 1280; mib += 145) {
+    const auto host = run_pair(tb, PairScenario::kHostOnly, mm, wc,
+                               mib << 20, kPartition);
+    const auto mcsd = run_pair(tb, PairScenario::kMcsdPartitioned, mm, wc,
+                               mib << 20, kPartition);
+    const double speedup = speedup_vs(host, mcsd);
+    EXPECT_GT(speedup, previous) << mib << " MiB";
+    previous = speedup;
+  }
+}
+
+// ---- partition-size sensitivity around the U-bottom ---------------------
+
+class PartitionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionSweep, FlatBottomWithinTwentyPercentOf600M) {
+  const Testbed tb = table1_testbed();
+  const AppProfile wc = wordcount_profile();
+  const auto at_600 = run_single_app(tb, tb.sd_duo, wc, 2_GiB,
+                                     ExecMode::kParallelPartitioned,
+                                     600_MiB);
+  const auto at_p = run_single_app(tb, tb.sd_duo, wc, 2_GiB,
+                                   ExecMode::kParallelPartitioned,
+                                   GetParam());
+  EXPECT_LT(at_p.seconds(), at_600.seconds() * 1.2)
+      << format_bytes(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(BottomSizes, PartitionSweep,
+                         ::testing::Values(128_MiB, 256_MiB, 400_MiB,
+                                           512_MiB, 600_MiB));
+
+}  // namespace
+}  // namespace mcsd::sim

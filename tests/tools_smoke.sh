@@ -1,0 +1,41 @@
+#!/bin/sh
+# Two-process smoke test of the deployable tools: mcsd_daemon serves a
+# folder, mcsd_invoke offloads word count and select against it.
+set -eu
+
+BIN_DIR="$1"
+WORK=$(mktemp -d)
+trap 'kill $DPID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+printf 'hello world hello mcsd world hello\n' > "$WORK/corpus.txt"
+printf 'a,1\nb,2\nc,3\n' > "$WORK/t.csv"
+
+# Hold the daemon's stdin open with a fifo so it keeps serving.
+mkfifo "$WORK/ctl"
+"$BIN_DIR/mcsd_daemon" --dir "$WORK" --workers 2 < "$WORK/ctl" &
+DPID=$!
+exec 3>"$WORK/ctl"  # keep the write end open
+
+# Wait for the module log files to appear (daemon ready).
+for _ in $(seq 1 100); do
+  [ -f "$WORK/wordcount.log" ] && break
+  sleep 0.05
+done
+[ -f "$WORK/wordcount.log" ] || { echo "daemon never came up"; exit 1; }
+
+OUT=$("$BIN_DIR/mcsd_invoke" --dir "$WORK" --module wordcount \
+      "input=$WORK/corpus.txt" top=1)
+echo "$OUT" | grep -q 'top0=hello' || { echo "bad wc: $OUT"; exit 1; }
+echo "$OUT" | grep -q 'total=6' || { echo "bad total: $OUT"; exit 1; }
+
+OUT=$("$BIN_DIR/mcsd_invoke" --dir "$WORK" --module select \
+      "input=$WORK/t.csv" column=1 op=gt value=1 "out=$WORK/r.csv")
+echo "$OUT" | grep -q 'rows_out=2' || { echo "bad select: $OUT"; exit 1; }
+grep -q '^b,2$' "$WORK/r.csv" || { echo "bad select output"; exit 1; }
+
+# Unknown module fails cleanly.
+if "$BIN_DIR/mcsd_invoke" --dir "$WORK" --module ghost 2>/dev/null; then
+  echo "ghost module unexpectedly succeeded"; exit 1
+fi
+
+echo "tools smoke test passed"

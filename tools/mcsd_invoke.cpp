@@ -1,0 +1,81 @@
+// mcsd_invoke — one-shot host-side invocation of a McSD module.
+//
+//   mcsd_invoke --dir /srv/mcsd --module wordcount [then params:]
+//               input=/srv/mcsd/corpus.txt partition_size=600M top=3
+//
+// Positional key=value arguments become the module parameters (values
+// that parse as sizes like "600M" are expanded to bytes); the response
+// map prints one `key=value` per line, so the tool composes with shell
+// pipelines.
+#include <cstdio>
+#include <string>
+
+#include "core/cli.hpp"
+#include "core/config.hpp"
+#include "core/strings.hpp"
+#include "core/units.hpp"
+#include "fam/client.hpp"
+
+using namespace mcsd;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("dir", "", "shared log folder (required)");
+  cli.add_option("module", "", "module to invoke (required)");
+  cli.add_option("timeout-ms", "60000", "per-attempt response timeout");
+  cli.add_option("attempts", "1", "total attempts");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fprintf(stderr, "%s\n", s.error().message().c_str());
+    return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
+  }
+  const std::string dir = cli.option("dir");
+  const std::string module = cli.option("module");
+  if (dir.empty() || module.empty()) {
+    std::fprintf(stderr, "--dir and --module are required\n%s",
+                 cli.usage(argv[0]).c_str());
+    return 2;
+  }
+
+  KeyValueMap params;
+  for (const std::string& arg : cli.positional()) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "parameter must be key=value: %s\n", arg.c_str());
+      return 2;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    // Convenience: size-looking values ("600M") expand to bytes for the
+    // parameters modules read numerically.
+    if (const auto bytes = parse_bytes(value);
+        bytes.is_ok() && value.find_first_of("KMGkmg") != std::string::npos) {
+      params.set_uint(key, bytes.value());
+    } else {
+      params.set(key, value);
+    }
+  }
+
+  fam::ClientOptions options;
+  options.log_dir = dir;
+  options.timeout = std::chrono::milliseconds{
+      std::max<std::int64_t>(cli.option_int("timeout-ms").value_or(60000), 1)};
+  options.max_attempts = static_cast<int>(
+      std::max<std::int64_t>(cli.option_int("attempts").value_or(1), 1));
+  fam::Client client{options};
+
+  if (!client.module_available(module)) {
+    std::fprintf(stderr, "module '%s' not preloaded in %s\n", module.c_str(),
+                 dir.c_str());
+    return 1;
+  }
+  const auto result = client.invoke(module, params);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "invoke failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  for (const auto& [key, value] : result.value().entries()) {
+    std::printf("%s=%s\n", key.c_str(), value.c_str());
+  }
+  return 0;
+}
