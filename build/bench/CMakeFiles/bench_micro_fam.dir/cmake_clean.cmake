@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fam.dir/bench_micro_fam.cpp.o"
+  "CMakeFiles/bench_micro_fam.dir/bench_micro_fam.cpp.o.d"
+  "bench_micro_fam"
+  "bench_micro_fam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

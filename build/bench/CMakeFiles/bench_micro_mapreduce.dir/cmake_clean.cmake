@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mapreduce.dir/bench_micro_mapreduce.cpp.o"
+  "CMakeFiles/bench_micro_mapreduce.dir/bench_micro_mapreduce.cpp.o.d"
+  "bench_micro_mapreduce"
+  "bench_micro_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

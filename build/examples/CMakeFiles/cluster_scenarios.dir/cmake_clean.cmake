@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scenarios.dir/cluster_scenarios.cpp.o"
+  "CMakeFiles/cluster_scenarios.dir/cluster_scenarios.cpp.o.d"
+  "cluster_scenarios"
+  "cluster_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sd.dir/multi_sd.cpp.o"
+  "CMakeFiles/multi_sd.dir/multi_sd.cpp.o.d"
+  "multi_sd"
+  "multi_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

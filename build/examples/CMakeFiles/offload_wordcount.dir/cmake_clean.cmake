@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_wordcount.dir/offload_wordcount.cpp.o"
+  "CMakeFiles/offload_wordcount.dir/offload_wordcount.cpp.o.d"
+  "offload_wordcount"
+  "offload_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

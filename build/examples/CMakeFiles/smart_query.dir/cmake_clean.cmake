@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_query.dir/smart_query.cpp.o"
+  "CMakeFiles/smart_query.dir/smart_query.cpp.o.d"
+  "smart_query"
+  "smart_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

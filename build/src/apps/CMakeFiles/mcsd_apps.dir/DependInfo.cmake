@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/datagen.cpp" "src/apps/CMakeFiles/mcsd_apps.dir/datagen.cpp.o" "gcc" "src/apps/CMakeFiles/mcsd_apps.dir/datagen.cpp.o.d"
+  "/root/repo/src/apps/external_sort.cpp" "src/apps/CMakeFiles/mcsd_apps.dir/external_sort.cpp.o" "gcc" "src/apps/CMakeFiles/mcsd_apps.dir/external_sort.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/mcsd_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/mcsd_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/modules.cpp" "src/apps/CMakeFiles/mcsd_apps.dir/modules.cpp.o" "gcc" "src/apps/CMakeFiles/mcsd_apps.dir/modules.cpp.o.d"
+  "/root/repo/src/apps/stringmatch.cpp" "src/apps/CMakeFiles/mcsd_apps.dir/stringmatch.cpp.o" "gcc" "src/apps/CMakeFiles/mcsd_apps.dir/stringmatch.cpp.o.d"
+  "/root/repo/src/apps/wordcount.cpp" "src/apps/CMakeFiles/mcsd_apps.dir/wordcount.cpp.o" "gcc" "src/apps/CMakeFiles/mcsd_apps.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mcsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/fam/CMakeFiles/mcsd_fam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

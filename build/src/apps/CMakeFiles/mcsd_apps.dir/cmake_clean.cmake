@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_apps.dir/datagen.cpp.o"
+  "CMakeFiles/mcsd_apps.dir/datagen.cpp.o.d"
+  "CMakeFiles/mcsd_apps.dir/external_sort.cpp.o"
+  "CMakeFiles/mcsd_apps.dir/external_sort.cpp.o.d"
+  "CMakeFiles/mcsd_apps.dir/matmul.cpp.o"
+  "CMakeFiles/mcsd_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/mcsd_apps.dir/modules.cpp.o"
+  "CMakeFiles/mcsd_apps.dir/modules.cpp.o.d"
+  "CMakeFiles/mcsd_apps.dir/stringmatch.cpp.o"
+  "CMakeFiles/mcsd_apps.dir/stringmatch.cpp.o.d"
+  "CMakeFiles/mcsd_apps.dir/wordcount.cpp.o"
+  "CMakeFiles/mcsd_apps.dir/wordcount.cpp.o.d"
+  "libmcsd_apps.a"
+  "libmcsd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

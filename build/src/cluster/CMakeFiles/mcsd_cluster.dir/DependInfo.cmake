@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/calibration.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/calibration.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/calibration.cpp.o.d"
+  "/root/repo/src/cluster/des.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/des.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/des.cpp.o.d"
+  "/root/repo/src/cluster/jobmodel.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/jobmodel.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/jobmodel.cpp.o.d"
+  "/root/repo/src/cluster/malleable.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/malleable.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/malleable.cpp.o.d"
+  "/root/repo/src/cluster/profiles.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/profiles.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/profiles.cpp.o.d"
+  "/root/repo/src/cluster/scenarios.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/scenarios.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/scenarios.cpp.o.d"
+  "/root/repo/src/cluster/testbed.cpp" "src/cluster/CMakeFiles/mcsd_cluster.dir/testbed.cpp.o" "gcc" "src/cluster/CMakeFiles/mcsd_cluster.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mcsd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mcsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/fam/CMakeFiles/mcsd_fam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_cluster.dir/calibration.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/calibration.cpp.o.d"
+  "CMakeFiles/mcsd_cluster.dir/des.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/des.cpp.o.d"
+  "CMakeFiles/mcsd_cluster.dir/jobmodel.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/jobmodel.cpp.o.d"
+  "CMakeFiles/mcsd_cluster.dir/malleable.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/malleable.cpp.o.d"
+  "CMakeFiles/mcsd_cluster.dir/profiles.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/profiles.cpp.o.d"
+  "CMakeFiles/mcsd_cluster.dir/scenarios.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/scenarios.cpp.o.d"
+  "CMakeFiles/mcsd_cluster.dir/testbed.cpp.o"
+  "CMakeFiles/mcsd_cluster.dir/testbed.cpp.o.d"
+  "libmcsd_cluster.a"
+  "libmcsd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cpp" "src/core/CMakeFiles/mcsd_core.dir/cli.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/cli.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/mcsd_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/mcsd_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "src/core/CMakeFiles/mcsd_core.dir/log.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/log.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/mcsd_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/strings.cpp" "src/core/CMakeFiles/mcsd_core.dir/strings.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/strings.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/mcsd_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/mcsd_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/core/units.cpp" "src/core/CMakeFiles/mcsd_core.dir/units.cpp.o" "gcc" "src/core/CMakeFiles/mcsd_core.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_core.dir/cli.cpp.o"
+  "CMakeFiles/mcsd_core.dir/cli.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/config.cpp.o"
+  "CMakeFiles/mcsd_core.dir/config.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/io.cpp.o"
+  "CMakeFiles/mcsd_core.dir/io.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/log.cpp.o"
+  "CMakeFiles/mcsd_core.dir/log.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/stats.cpp.o"
+  "CMakeFiles/mcsd_core.dir/stats.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/strings.cpp.o"
+  "CMakeFiles/mcsd_core.dir/strings.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/table.cpp.o"
+  "CMakeFiles/mcsd_core.dir/table.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcsd_core.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mcsd_core.dir/units.cpp.o"
+  "CMakeFiles/mcsd_core.dir/units.cpp.o.d"
+  "libmcsd_core.a"
+  "libmcsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fam/client.cpp" "src/fam/CMakeFiles/mcsd_fam.dir/client.cpp.o" "gcc" "src/fam/CMakeFiles/mcsd_fam.dir/client.cpp.o.d"
+  "/root/repo/src/fam/daemon.cpp" "src/fam/CMakeFiles/mcsd_fam.dir/daemon.cpp.o" "gcc" "src/fam/CMakeFiles/mcsd_fam.dir/daemon.cpp.o.d"
+  "/root/repo/src/fam/inotify_watcher.cpp" "src/fam/CMakeFiles/mcsd_fam.dir/inotify_watcher.cpp.o" "gcc" "src/fam/CMakeFiles/mcsd_fam.dir/inotify_watcher.cpp.o.d"
+  "/root/repo/src/fam/module.cpp" "src/fam/CMakeFiles/mcsd_fam.dir/module.cpp.o" "gcc" "src/fam/CMakeFiles/mcsd_fam.dir/module.cpp.o.d"
+  "/root/repo/src/fam/protocol.cpp" "src/fam/CMakeFiles/mcsd_fam.dir/protocol.cpp.o" "gcc" "src/fam/CMakeFiles/mcsd_fam.dir/protocol.cpp.o.d"
+  "/root/repo/src/fam/watcher.cpp" "src/fam/CMakeFiles/mcsd_fam.dir/watcher.cpp.o" "gcc" "src/fam/CMakeFiles/mcsd_fam.dir/watcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcsd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_fam.dir/client.cpp.o"
+  "CMakeFiles/mcsd_fam.dir/client.cpp.o.d"
+  "CMakeFiles/mcsd_fam.dir/daemon.cpp.o"
+  "CMakeFiles/mcsd_fam.dir/daemon.cpp.o.d"
+  "CMakeFiles/mcsd_fam.dir/inotify_watcher.cpp.o"
+  "CMakeFiles/mcsd_fam.dir/inotify_watcher.cpp.o.d"
+  "CMakeFiles/mcsd_fam.dir/module.cpp.o"
+  "CMakeFiles/mcsd_fam.dir/module.cpp.o.d"
+  "CMakeFiles/mcsd_fam.dir/protocol.cpp.o"
+  "CMakeFiles/mcsd_fam.dir/protocol.cpp.o.d"
+  "CMakeFiles/mcsd_fam.dir/watcher.cpp.o"
+  "CMakeFiles/mcsd_fam.dir/watcher.cpp.o.d"
+  "libmcsd_fam.a"
+  "libmcsd_fam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_fam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_partition.dir/integrity.cpp.o"
+  "CMakeFiles/mcsd_partition.dir/integrity.cpp.o.d"
+  "CMakeFiles/mcsd_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/mcsd_partition.dir/partitioner.cpp.o.d"
+  "libmcsd_partition.a"
+  "libmcsd_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

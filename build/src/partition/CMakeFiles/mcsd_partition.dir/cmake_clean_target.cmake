@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcsd_partition.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_runtime.dir/policy.cpp.o"
+  "CMakeFiles/mcsd_runtime.dir/policy.cpp.o.d"
+  "CMakeFiles/mcsd_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/mcsd_runtime.dir/runtime.cpp.o.d"
+  "libmcsd_runtime.a"
+  "libmcsd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcsd_runtime.
+# This may be replaced when dependencies are built.

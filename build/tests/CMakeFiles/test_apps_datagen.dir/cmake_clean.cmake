@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_datagen.dir/test_apps_datagen.cpp.o"
+  "CMakeFiles/test_apps_datagen.dir/test_apps_datagen.cpp.o.d"
+  "test_apps_datagen"
+  "test_apps_datagen.pdb"
+  "test_apps_datagen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_external_sort.dir/test_apps_external_sort.cpp.o"
+  "CMakeFiles/test_apps_external_sort.dir/test_apps_external_sort.cpp.o.d"
+  "test_apps_external_sort"
+  "test_apps_external_sort.pdb"
+  "test_apps_external_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_external_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_modules.dir/test_apps_modules.cpp.o"
+  "CMakeFiles/test_apps_modules.dir/test_apps_modules.cpp.o.d"
+  "test_apps_modules"
+  "test_apps_modules.pdb"
+  "test_apps_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_stringmatch.dir/test_apps_stringmatch.cpp.o"
+  "CMakeFiles/test_apps_stringmatch.dir/test_apps_stringmatch.cpp.o.d"
+  "test_apps_stringmatch"
+  "test_apps_stringmatch.pdb"
+  "test_apps_stringmatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_stringmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_wordcount.dir/test_apps_wordcount.cpp.o"
+  "CMakeFiles/test_apps_wordcount.dir/test_apps_wordcount.cpp.o.d"
+  "test_apps_wordcount"
+  "test_apps_wordcount.pdb"
+  "test_apps_wordcount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

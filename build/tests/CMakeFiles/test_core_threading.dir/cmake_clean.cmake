@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_threading.dir/test_core_threading.cpp.o"
+  "CMakeFiles/test_core_threading.dir/test_core_threading.cpp.o.d"
+  "test_core_threading"
+  "test_core_threading.pdb"
+  "test_core_threading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

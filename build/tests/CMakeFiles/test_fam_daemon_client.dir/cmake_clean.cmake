@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fam_daemon_client.dir/test_fam_daemon_client.cpp.o"
+  "CMakeFiles/test_fam_daemon_client.dir/test_fam_daemon_client.cpp.o.d"
+  "test_fam_daemon_client"
+  "test_fam_daemon_client.pdb"
+  "test_fam_daemon_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fam_daemon_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fam_inotify.dir/test_fam_inotify.cpp.o"
+  "CMakeFiles/test_fam_inotify.dir/test_fam_inotify.cpp.o.d"
+  "test_fam_inotify"
+  "test_fam_inotify.pdb"
+  "test_fam_inotify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fam_inotify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fam_protocol.dir/test_fam_protocol.cpp.o"
+  "CMakeFiles/test_fam_protocol.dir/test_fam_protocol.cpp.o.d"
+  "test_fam_protocol"
+  "test_fam_protocol.pdb"
+  "test_fam_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fam_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fam_watcher.dir/test_fam_watcher.cpp.o"
+  "CMakeFiles/test_fam_watcher.dir/test_fam_watcher.cpp.o.d"
+  "test_fam_watcher"
+  "test_fam_watcher.pdb"
+  "test_fam_watcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fam_watcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

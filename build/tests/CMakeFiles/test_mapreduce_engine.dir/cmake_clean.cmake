@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce_engine.dir/test_mapreduce_engine.cpp.o"
+  "CMakeFiles/test_mapreduce_engine.dir/test_mapreduce_engine.cpp.o.d"
+  "test_mapreduce_engine"
+  "test_mapreduce_engine.pdb"
+  "test_mapreduce_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce_sorter.dir/test_mapreduce_sorter.cpp.o"
+  "CMakeFiles/test_mapreduce_sorter.dir/test_mapreduce_sorter.cpp.o.d"
+  "test_mapreduce_sorter"
+  "test_mapreduce_sorter.pdb"
+  "test_mapreduce_sorter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce_splitter.dir/test_mapreduce_splitter.cpp.o"
+  "CMakeFiles/test_mapreduce_splitter.dir/test_mapreduce_splitter.cpp.o.d"
+  "test_mapreduce_splitter"
+  "test_mapreduce_splitter.pdb"
+  "test_mapreduce_splitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_integrity.dir/test_partition_integrity.cpp.o"
+  "CMakeFiles/test_partition_integrity.dir/test_partition_integrity.cpp.o.d"
+  "test_partition_integrity"
+  "test_partition_integrity.pdb"
+  "test_partition_integrity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

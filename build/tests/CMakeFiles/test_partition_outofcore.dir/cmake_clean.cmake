@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_outofcore.dir/test_partition_outofcore.cpp.o"
+  "CMakeFiles/test_partition_outofcore.dir/test_partition_outofcore.cpp.o.d"
+  "test_partition_outofcore"
+  "test_partition_outofcore.pdb"
+  "test_partition_outofcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_partitioner.dir/test_partition_partitioner.cpp.o"
+  "CMakeFiles/test_partition_partitioner.dir/test_partition_partitioner.cpp.o.d"
+  "test_partition_partitioner"
+  "test_partition_partitioner.pdb"
+  "test_partition_partitioner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_calibration.cpp" "tests/CMakeFiles/test_sim_calibration.dir/test_sim_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_sim_calibration.dir/test_sim_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mcsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/fam/CMakeFiles/mcsd_fam.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mcsd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mcsd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mcsd_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

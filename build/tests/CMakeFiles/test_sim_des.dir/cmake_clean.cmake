@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_des.dir/test_sim_des.cpp.o"
+  "CMakeFiles/test_sim_des.dir/test_sim_des.cpp.o.d"
+  "test_sim_des"
+  "test_sim_des.pdb"
+  "test_sim_des[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fam_model.dir/test_sim_fam_model.cpp.o"
+  "CMakeFiles/test_sim_fam_model.dir/test_sim_fam_model.cpp.o.d"
+  "test_sim_fam_model"
+  "test_sim_fam_model.pdb"
+  "test_sim_fam_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fam_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_jobmodel.dir/test_sim_jobmodel.cpp.o"
+  "CMakeFiles/test_sim_jobmodel.dir/test_sim_jobmodel.cpp.o.d"
+  "test_sim_jobmodel"
+  "test_sim_jobmodel.pdb"
+  "test_sim_jobmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_jobmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_malleable.dir/test_sim_malleable.cpp.o"
+  "CMakeFiles/test_sim_malleable.dir/test_sim_malleable.cpp.o.d"
+  "test_sim_malleable"
+  "test_sim_malleable.pdb"
+  "test_sim_malleable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_malleable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

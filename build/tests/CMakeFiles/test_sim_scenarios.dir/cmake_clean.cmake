@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_scenarios.dir/test_sim_scenarios.cpp.o"
+  "CMakeFiles/test_sim_scenarios.dir/test_sim_scenarios.cpp.o.d"
+  "test_sim_scenarios"
+  "test_sim_scenarios.pdb"
+  "test_sim_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_daemon.dir/mcsd_daemon.cpp.o"
+  "CMakeFiles/mcsd_daemon.dir/mcsd_daemon.cpp.o.d"
+  "mcsd_daemon"
+  "mcsd_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsd_invoke.dir/mcsd_invoke.cpp.o"
+  "CMakeFiles/mcsd_invoke.dir/mcsd_invoke.cpp.o.d"
+  "mcsd_invoke"
+  "mcsd_invoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsd_invoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
