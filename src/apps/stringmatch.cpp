@@ -22,8 +22,13 @@ void for_each_line(std::string_view text, std::uint64_t offset_base, Fn fn) {
 
 void StringMatchSpec::map(const mr::TextChunk& chunk,
                           mr::Emitter<Key, Value>& emit) const {
+  // Lines shorter than every key cannot match; skip them before paying
+  // keys.size() substring searches.
+  std::size_t min_key_len = std::string_view::npos;
+  for (const auto& key : keys) min_key_len = std::min(min_key_len, key.size());
   for_each_line(chunk.text, chunk.offset,
                 [&](std::string_view line, std::uint64_t offset) {
+                  if (line.size() < min_key_len) return;
                   for (std::size_t k = 0; k < keys.size(); ++k) {
                     if (line.find(keys[k]) != std::string_view::npos) {
                       emit.emit(offset, static_cast<Value>(k));

@@ -18,15 +18,25 @@ void WordCountSpec::map(const mr::TextChunk& chunk,
                         mr::Emitter<Key, Value>& emit) const {
   const std::string_view text = chunk.text;
   std::size_t i = 0;
-  std::string word;
+  std::string word;  // reused scratch; allocates only for long mixed-case words
   while (i < text.size()) {
     while (i < text.size() && !is_word_char(text[i])) ++i;
-    word.clear();
+    const std::size_t start = i;
+    bool has_upper = false;
     while (i < text.size() && is_word_char(text[i])) {
-      word.push_back(lower(text[i]));
+      has_upper |= text[i] >= 'A' && text[i] <= 'Z';
       ++i;
     }
-    if (!word.empty()) emit.emit(word, 1);
+    if (i == start) continue;
+    if (!has_upper) {
+      // Emit a view straight into the chunk text: the emitter only
+      // materialises an owned key on first insert of a new word.
+      emit.emit(text.substr(start, i - start), 1);
+    } else {
+      word.assign(text.substr(start, i - start));
+      for (char& c : word) c = lower(c);
+      emit.emit(std::string_view{word}, 1);
+    }
   }
 }
 

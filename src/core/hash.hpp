@@ -61,4 +61,27 @@ struct KeyHash {
   }
 };
 
+/// Transparent for string keys: a std::string_view probe hashes without
+/// materialising a std::string, and hashes identically to the owned key —
+/// the emitter's combiner relies on this to defer key allocation until a
+/// pair is actually inserted.
+template <>
+struct KeyHash<std::string> {
+  using is_transparent = void;
+  constexpr std::uint64_t operator()(std::string_view key) const noexcept {
+    return fnv1a(key);
+  }
+};
+
+/// Maps a cached key hash to a slot in a power-of-two table of
+/// `1 << log2_slots` entries.  Fibonacci hashing (multiply by 2^64/phi,
+/// take the top bits): the reduce-bucket routing `hash % num_buckets`
+/// already consumed the hash's low bits, so slot selection must draw on
+/// independent bits or every pair in a bucket would probe the same run.
+constexpr std::size_t hash_to_slot(std::uint64_t hash,
+                                   unsigned log2_slots) noexcept {
+  return static_cast<std::size_t>((hash * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - log2_slots));
+}
+
 }  // namespace mcsd

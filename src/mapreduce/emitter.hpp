@@ -5,10 +5,24 @@
 // the map path at all — the reduce phase later gathers bucket b from every
 // worker.  The emitter also meters intermediate bytes for the Phoenix
 // memory-budget model.
+//
+// Specs with a `combine` hook fold values *at emit time*: every bucket
+// carries an open-addressing index over its pair vector, and a duplicate
+// key folds into the stored pair in O(1) amortised instead of being
+// appended and sorted away later.  String keys may be emitted as
+// std::string_view backed by the chunk text; the view is materialised to
+// an owned std::string only when a pair is first inserted, so re-emits of
+// a known key (the common case under Zipfian word distributions) never
+// allocate.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/hash.hpp"
@@ -30,42 +44,140 @@ std::uint64_t key_bytes(const K&) noexcept {
 template <typename K, typename V>
 class Emitter {
  public:
-  using Pair = KV<K, V>;
+  using Pair = HKV<K, V>;
+
+  /// Binary fold used for emit-time combining: returns the merged value
+  /// for `key` given the stored accumulator and one incoming value.
+  /// A plain function pointer (plus an opaque spec pointer) keeps the
+  /// per-duplicate cost to one indirect call — no std::function, no
+  /// allocation.
+  using CombineFn = V (*)(const void* ctx, const K& key, const V& accumulated,
+                          const V& incoming);
 
   explicit Emitter(std::size_t num_buckets) : buckets_(num_buckets) {}
 
-  /// Routes one pair to its reduce bucket.
+  /// Installs the emit-time combiner.  Must be called before the first
+  /// emit; `ctx` must outlive the emitter (the engine passes the spec).
+  void set_combiner(const void* ctx, CombineFn fn) noexcept {
+    assert(count_ == 0 && "combiner must be installed before the first emit");
+    combine_ctx_ = ctx;
+    combine_ = fn;
+  }
+
+  /// Routes one pair to its reduce bucket, folding into an existing pair
+  /// when a combiner is installed and the key was seen before.
   void emit(K key, V value) {
-    const std::size_t b =
-        static_cast<std::size_t>(KeyHash<K>{}(key)) % buckets_.size();
-    bytes_ += sizeof(Pair) + detail::key_bytes(key);
-    ++count_;
-    buckets_[b].push_back(Pair{std::move(key), std::move(value)});
+    const std::uint64_t h = KeyHash<K>{}(key);
+    emit_hashed(std::move(key), std::move(value), h);
+  }
+
+  /// String-key fast path: probes with the view and materialises an owned
+  /// key only on first insert.  `key` need only stay valid for this call.
+  void emit(std::string_view key, V value)
+    requires std::is_same_v<K, std::string>
+  {
+    const std::uint64_t h = KeyHash<K>{}(key);
+    emit_hashed(key, std::move(value), h);
   }
 
   [[nodiscard]] std::size_t bucket_count() const noexcept {
     return buckets_.size();
   }
-  [[nodiscard]] std::vector<Pair>& bucket(std::size_t b) { return buckets_[b]; }
+  [[nodiscard]] std::vector<Pair>& bucket(std::size_t b) {
+    return buckets_[b].pairs;
+  }
   [[nodiscard]] const std::vector<Pair>& bucket(std::size_t b) const {
-    return buckets_[b];
+    return buckets_[b].pairs;
   }
 
-  /// Number of pairs emitted so far.
+  /// Drops bucket b's combiner index (the reduce phase consumes the pair
+  /// vector directly and the index would only pin memory).
+  void release_index(std::size_t b) noexcept {
+    buckets_[b].slots.clear();
+    buckets_[b].slots.shrink_to_fit();
+  }
+
+  /// Number of emit calls so far (pre-combining volume).
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
-  /// Approximate intermediate bytes held.
+  /// Number of pairs currently stored (post-combining volume).
+  [[nodiscard]] std::size_t stored() const noexcept { return stored_; }
+  /// Approximate intermediate bytes held.  Grows only when a pair is
+  /// inserted; emit-time combining keeps this monotone in emit order.
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
 
-  /// Used by the engine after map-side combining shrank the buckets.
-  void reset_accounting(std::uint64_t bytes, std::size_t count) noexcept {
-    bytes_ = bytes;
-    count_ = count;
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+  static constexpr unsigned kInitialLog2Slots = 4;  // 16 slots
+
+  struct Bucket {
+    std::vector<Pair> pairs;
+    // Open-addressing index into `pairs`, linear probing, power-of-two
+    // size, grown at 3/4 load.  Only populated when a combiner is set.
+    std::vector<std::uint32_t> slots;
+    unsigned log2_slots = 0;
+  };
+
+  template <typename KeyLike>
+  void emit_hashed(KeyLike&& key, V value, std::uint64_t h) {
+    Bucket& bucket = buckets_[static_cast<std::size_t>(h) % buckets_.size()];
+    ++count_;
+    if (combine_ == nullptr) {
+      insert(bucket, std::forward<KeyLike>(key), std::move(value), h);
+      return;
+    }
+    if (bucket.slots.empty()) grow(bucket);
+    const std::size_t mask = bucket.slots.size() - 1;
+    std::size_t slot = hash_to_slot(h, bucket.log2_slots);
+    while (true) {
+      const std::uint32_t idx = bucket.slots[slot];
+      if (idx == kEmptySlot) {
+        if ((bucket.pairs.size() + 1) * 4 > bucket.slots.size() * 3) {
+          grow(bucket);
+          // Re-probe: growth moved every slot.
+          slot = hash_to_slot(h, bucket.log2_slots);
+          while (bucket.slots[slot] != kEmptySlot) {
+            slot = (slot + 1) & (bucket.slots.size() - 1);
+          }
+        }
+        bucket.slots[slot] = static_cast<std::uint32_t>(bucket.pairs.size());
+        insert(bucket, std::forward<KeyLike>(key), std::move(value), h);
+        return;
+      }
+      Pair& p = bucket.pairs[idx];
+      if (p.hash == h && p.key == key) {
+        p.value = combine_(combine_ctx_, p.key, p.value, value);
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
   }
 
- private:
-  std::vector<std::vector<Pair>> buckets_;
+  template <typename KeyLike>
+  void insert(Bucket& bucket, KeyLike&& key, V value, std::uint64_t h) {
+    bucket.pairs.push_back(
+        Pair{K(std::forward<KeyLike>(key)), std::move(value), h});
+    bytes_ += sizeof(Pair) + detail::key_bytes(bucket.pairs.back().key);
+    ++stored_;
+  }
+
+  void grow(Bucket& bucket) {
+    bucket.log2_slots = bucket.slots.empty() ? kInitialLog2Slots
+                                             : bucket.log2_slots + 1;
+    bucket.slots.assign(std::size_t{1} << bucket.log2_slots, kEmptySlot);
+    const std::size_t mask = bucket.slots.size() - 1;
+    for (std::uint32_t i = 0; i < bucket.pairs.size(); ++i) {
+      std::size_t slot = hash_to_slot(bucket.pairs[i].hash, bucket.log2_slots);
+      while (bucket.slots[slot] != kEmptySlot) slot = (slot + 1) & mask;
+      bucket.slots[slot] = i;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  const void* combine_ctx_ = nullptr;
+  CombineFn combine_ = nullptr;
   std::uint64_t bytes_ = 0;
   std::size_t count_ = 0;
+  std::size_t stored_ = 0;
 };
 
 }  // namespace mcsd::mr

@@ -1,24 +1,35 @@
-// The MapReduce engine: map -> (combine) -> sort/group -> reduce -> merge.
+// The MapReduce engine: map+combine -> sort/group -> reduce -> merge.
 //
 // Mirrors Phoenix's runtime structure (paper Fig. 1):
 //
 //   chunks ── dynamic scheduler ──> map workers ──> per-worker, per-bucket
-//   intermediate vectors ──> per-bucket gather + sort + group ──> reduce
-//   workers ──> merge (concatenate buckets, optional global key sort).
+//   hash-combined intermediate stores ──> per-bucket gather + hash-then-key
+//   sort + group ──> reduce workers ──> merge (concatenate buckets,
+//   optional global key sort).
 //
 // Threading: one ThreadPool sized to Options.num_workers — the emulated
 // core count of the storage node.  Map-side data is strictly
 // worker-private; the only cross-thread handoff is the bucket gather at
 // the map/reduce barrier, exactly as in Phoenix.
 //
+// Combining: specs with a `combine` hook fold duplicate keys *at emit
+// time* through the emitter's per-bucket open-addressing tables (see
+// emitter.hpp), so intermediate volume tracks unique keys rather than raw
+// emits and no sort-based fold pass ever runs on the map path.  The
+// 64-bit key hash computed for bucket routing is cached in every stored
+// pair and reused for combiner probes and reduce-phase grouping.
+//
 // Memory model: when Options.memory_budget_bytes > 0, the engine meters
 // input + intermediate bytes and throws MemoryOverflowError once they
 // exceed usable_memory_fraction (default 60%) of the budget, reproducing
 // the stock-Phoenix failure the paper's partition extension works around.
+// Because combining happens at emit time, the budget check always
+// observes *combined* volume.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -57,32 +68,20 @@ inline std::uint64_t chunk_input_bytes(const IndexChunk&) noexcept {
   return 0;  // index chunks carry no payload; pass input_bytes explicitly
 }
 
-/// Sorts a bucket by key and collapses equal-key runs through `fold`.
-/// `fold(key, span<values>) -> value`.
-template <typename K, typename V, typename Fold>
-void fold_bucket(std::vector<KV<K, V>>& bucket, const Fold& fold) {
-  if (bucket.size() < 2) return;
-  std::sort(bucket.begin(), bucket.end(),
-            [](const KV<K, V>& a, const KV<K, V>& b) { return a.key < b.key; });
-  std::vector<KV<K, V>> folded;
-  folded.reserve(bucket.size() / 2 + 1);
-  std::vector<V> scratch;
-  std::size_t i = 0;
-  while (i < bucket.size()) {
-    std::size_t j = i + 1;
-    while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
-    if (j - i == 1) {
-      folded.push_back(std::move(bucket[i]));
-    } else {
-      scratch.clear();
-      scratch.reserve(j - i);
-      for (std::size_t k = i; k < j; ++k) scratch.push_back(bucket[k].value);
-      V value = fold(bucket[i].key, scratch);
-      folded.push_back(KV<K, V>{std::move(bucket[i].key), std::move(value)});
-    }
-    i = j;
+/// Adds the signed difference `now - reported` to `total`.  Emit-time
+/// combining never shrinks emitter bytes, but the accounting stays
+/// signed-safe so a future in-place compaction cannot silently wrap the
+/// meter; debug builds assert the monotone invariant.
+inline void apply_bytes_delta(std::atomic<std::uint64_t>& total,
+                              std::uint64_t reported,
+                              std::uint64_t now) noexcept {
+  assert(now >= reported &&
+         "emitter bytes must be monotone under emit-time combining");
+  if (now >= reported) {
+    total.fetch_add(now - reported, std::memory_order_relaxed);
+  } else {
+    total.fetch_sub(reported - now, std::memory_order_relaxed);
   }
-  bucket = std::move(folded);
 }
 }  // namespace detail
 
@@ -92,6 +91,8 @@ class Engine {
   using Key = typename Spec::Key;
   using Value = typename Spec::Value;
   using Pair = KV<Key, Value>;
+  /// Intermediate pairs carry the cached key hash.
+  using HashedPair = HKV<Key, Value>;
   using Output = std::vector<Pair>;
 
   explicit Engine(Options options)
@@ -127,25 +128,26 @@ class Engine {
       throw MemoryOverflowError(input_bytes, usable);
     }
 
-    // ----- map phase ------------------------------------------------------
+    // ----- map phase (combining happens inside emit) ----------------------
     Stopwatch phase;
     std::vector<Emitter<Key, Value>> emitters;
     emitters.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) emitters.emplace_back(buckets);
+    for (std::size_t w = 0; w < workers; ++w) {
+      auto& emitter = emitters.emplace_back(buckets);
+      if constexpr (HasCombine<Spec>) {
+        emitter.set_combiner(
+            &spec, [](const void* ctx, const Key& key, const Value& acc,
+                      const Value& incoming) {
+              const Value pairwise[2] = {acc, incoming};
+              return static_cast<const Spec*>(ctx)->combine(
+                  key, std::span<const Value>{pairwise});
+            });
+      }
+    }
 
     DynamicScheduler scheduler{chunks.size()};
     std::atomic<std::uint64_t> intermediate_bytes{0};
     std::atomic<bool> cancelled{false};
-
-    // Map-side combine cadence: under a memory budget, fold early enough
-    // that the budget check below observes *combined* volume (Phoenix
-    // likewise folds its per-key value lists as it emits).
-    const std::uint64_t combine_trigger =
-        usable != 0 ? std::max<std::uint64_t>(
-                          std::min<std::uint64_t>(kCombineTriggerBytes,
-                                                  usable / 8),
-                          16 * 1024)
-                    : kCombineTriggerBytes;
 
     pool_->parallel_for_workers(workers, [&](std::size_t w) {
       auto& emitter = emitters[w];
@@ -154,23 +156,8 @@ class Engine {
         if (cancelled.load(std::memory_order_relaxed)) return;
         spec.map(chunks[*idx], emitter);
 
-        // Opportunistic map-side combining keeps worker-local buckets
-        // small under heavy emit rates (word count emits one pair per
-        // word).
-        if constexpr (HasCombine<Spec>) {
-          if (emitter.bytes() > reported + combine_trigger) {
-            combine_worker(spec, emitter);
-          }
-        }
-
         const std::uint64_t now = emitter.bytes();
-        if (now >= reported) {
-          intermediate_bytes.fetch_add(now - reported,
-                                       std::memory_order_relaxed);
-        } else {  // a mid-map combine shrank this worker's buckets
-          intermediate_bytes.fetch_sub(reported - now,
-                                       std::memory_order_relaxed);
-        }
+        detail::apply_bytes_delta(intermediate_bytes, reported, now);
         reported = now;
         if (usable != 0 &&
             input_bytes + intermediate_bytes.load(std::memory_order_relaxed) >
@@ -181,13 +168,6 @@ class Engine {
                   intermediate_bytes.load(std::memory_order_relaxed),
               usable);
         }
-      }
-      if constexpr (HasCombine<Spec>) {
-        combine_worker(spec, emitter);
-        const std::uint64_t now = emitter.bytes();
-        // Combining only shrinks; record the delta (signed via two adds).
-        intermediate_bytes.fetch_sub(reported - now,
-                                     std::memory_order_relaxed);
       }
     });
     m.map_seconds = phase.elapsed_seconds();
@@ -203,11 +183,12 @@ class Engine {
 
     pool_->parallel_for_workers(workers, [&](std::size_t) {
       while (auto b = reduce_sched.next()) {
-        Output gathered;
+        std::vector<HashedPair> gathered;
         std::size_t total = 0;
         for (auto& e : emitters) total += e.bucket(*b).size();
         gathered.reserve(total);
         for (auto& e : emitters) {
+          e.release_index(*b);
           auto& src = e.bucket(*b);
           std::move(src.begin(), src.end(), std::back_inserter(gathered));
           src.clear();
@@ -218,7 +199,11 @@ class Engine {
                                              unique_keys);
         } else {
           unique_keys.fetch_add(gathered.size(), std::memory_order_relaxed);
-          bucket_outputs[*b] = std::move(gathered);
+          Output& out = bucket_outputs[*b];
+          out.reserve(gathered.size());
+          for (auto& p : gathered) {
+            out.push_back(Pair{std::move(p.key), std::move(p.value)});
+          }
         }
       }
     });
@@ -243,41 +228,23 @@ class Engine {
   }
 
  private:
-  // Map-side combine threshold: past this many intermediate bytes a worker
-  // folds its buckets in place.
-  static constexpr std::uint64_t kCombineTriggerBytes = 16ULL << 20;
-
-  static void combine_worker(const Spec& spec, Emitter<Key, Value>& emitter)
-    requires HasCombine<Spec>
-  {
-    std::uint64_t bytes = 0;
-    std::size_t count = 0;
-    for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
-      auto& bucket = emitter.bucket(b);
-      detail::fold_bucket(
-          bucket, [&spec](const Key& key, const std::vector<Value>& values) {
-            return spec.combine(key, std::span<const Value>{values});
-          });
-      for (const auto& kv : bucket) {
-        bytes += sizeof(Pair) + detail::key_bytes(kv.key);
-      }
-      count += bucket.size();
-    }
-    emitter.reset_accounting(bytes, count);
-  }
-
-  static Output reduce_bucket(const Spec& spec, Output gathered,
+  static Output reduce_bucket(const Spec& spec,
+                              std::vector<HashedPair> gathered,
                               std::atomic<std::size_t>& unique_keys)
     requires HasReduce<Spec>
   {
-    std::sort(gathered.begin(), gathered.end(),
-              [](const Pair& a, const Pair& b) { return a.key < b.key; });
+    // Hash-then-key order groups equal keys while replacing nearly every
+    // key comparison with one integer compare on the cached hash.
+    std::sort(gathered.begin(), gathered.end(), HashThenKeyLess{});
     Output out;
     std::vector<Value> scratch;
     std::size_t i = 0;
     while (i < gathered.size()) {
       std::size_t j = i + 1;
-      while (j < gathered.size() && gathered[j].key == gathered[i].key) ++j;
+      while (j < gathered.size() && gathered[j].hash == gathered[i].hash &&
+             gathered[j].key == gathered[i].key) {
+        ++j;
+      }
       scratch.clear();
       scratch.reserve(j - i);
       for (std::size_t k = i; k < j; ++k) {

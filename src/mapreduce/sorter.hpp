@@ -11,8 +11,24 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "mapreduce/types.hpp"
 
 namespace mcsd::mr {
+
+/// Orders hashed intermediate pairs by cached hash, falling back to the
+/// key only on hash collisions.  Equal keys hash equally, so equal-key
+/// runs are contiguous after this sort — exactly what reduce-phase
+/// grouping needs — while almost every comparison is a single integer
+/// compare instead of a lexicographic string walk.  The resulting order
+/// is deterministic but is NOT key order; sort by key afterwards if the
+/// caller asked for sorted output.
+struct HashThenKeyLess {
+  template <typename K, typename V>
+  bool operator()(const HKV<K, V>& a, const HKV<K, V>& b) const {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.key < b.key;
+  }
+};
 
 /// Sorts `items` with `compare` using up to `pool.worker_count() + 1`
 /// lanes: split into equal blocks, sort blocks in parallel, then merge

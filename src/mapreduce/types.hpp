@@ -26,6 +26,19 @@ struct KV {
   friend bool operator==(const KV&, const KV&) = default;
 };
 
+/// An intermediate pair carrying its cached 64-bit key hash.  The map
+/// phase computes the hash once per emit (it already needs it for bucket
+/// routing); the reduce phase reuses it for open-addressing probes and a
+/// hash-then-key sort that avoids most full key comparisons.
+template <typename K, typename V>
+struct HKV {
+  K key;
+  V value;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const HKV&, const HKV&) = default;
+};
+
 /// Thrown when a job's estimated or observed memory footprint exceeds the
 /// configured budget.  This reproduces the behaviour the paper reports for
 /// stock Phoenix: "the Phoenix runtime system does not support any
@@ -106,7 +119,7 @@ struct Metrics {
   double reduce_seconds = 0.0;   ///< includes per-bucket sort/group
   double merge_seconds = 0.0;
   std::size_t chunks = 0;
-  std::size_t map_emits = 0;
+  std::size_t map_emits = 0;    ///< raw emit calls, before map-side combining
   std::size_t unique_keys = 0;
   std::uint64_t peak_intermediate_bytes = 0;
 

@@ -28,10 +28,20 @@ struct OutOfCoreMetrics {
   double mapreduce_seconds = 0.0;  ///< sum of per-fragment engine time
   double merge_seconds = 0.0;      ///< final cross-fragment merge
   std::uint64_t peak_fragment_footprint_bytes = 0;
+  std::size_t map_emits = 0;    ///< raw emits summed over fragments
+  std::size_t unique_keys = 0;  ///< post-combine keys summed over fragments
   bool fell_back_to_partitioning = false;  ///< set by run_adaptive
 
   [[nodiscard]] double total_seconds() const noexcept {
     return partition_seconds + mapreduce_seconds + merge_seconds;
+  }
+
+  /// Emit-time combining effectiveness: raw emits per surviving key
+  /// (1.0 means combining bought nothing).
+  [[nodiscard]] double combine_ratio() const noexcept {
+    return unique_keys == 0 ? 1.0
+                            : static_cast<double>(map_emits) /
+                                  static_cast<double>(unique_keys);
   }
 };
 
@@ -87,6 +97,8 @@ std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_partitioned(
     m.peak_fragment_footprint_bytes =
         std::max(m.peak_fragment_footprint_bytes,
                  frag_metrics.peak_intermediate_bytes);
+    m.map_emits += frag_metrics.map_emits;
+    m.unique_keys += frag_metrics.unique_keys;
   }
 
   watch.restart();

@@ -47,7 +47,9 @@ TEST(StringMatchSpec, ChunkOffsetsYieldAbsoluteLineOffsets) {
   spec.map(mr::TextChunk{"no\nNEEDLE here\n", 100}, emitter);
   std::vector<MatchPair> pairs;
   for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
-    for (const auto& kv : emitter.bucket(b)) pairs.push_back(kv);
+    for (const auto& kv : emitter.bucket(b)) {
+      pairs.push_back(MatchPair{kv.key, kv.value});
+    }
   }
   ASSERT_EQ(pairs.size(), 1u);
   EXPECT_EQ(pairs[0].key, 103u);  // 100 + len("no\n")

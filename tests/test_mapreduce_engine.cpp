@@ -168,6 +168,151 @@ TEST(Engine, IdentityReduceWhenSpecHasNone) {
   EXPECT_FALSE(expected.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Emitter: emit-time hash combining and byte accounting.
+// ---------------------------------------------------------------------------
+
+std::uint64_t sum_combiner(const void*, const std::string&,
+                           const std::uint64_t& acc,
+                           const std::uint64_t& incoming) {
+  return acc + incoming;
+}
+
+std::map<std::string, std::uint64_t> emitter_contents(
+    Emitter<std::string, std::uint64_t>& emitter) {
+  std::map<std::string, std::uint64_t> m;
+  for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
+    for (const auto& p : emitter.bucket(b)) m[p.key] += p.value;
+  }
+  return m;
+}
+
+TEST(Emitter, EmitTimeCombineFoldsDuplicates) {
+  Emitter<std::string, std::uint64_t> emitter{4};
+  emitter.set_combiner(nullptr, sum_combiner);
+  emitter.emit(std::string{"apple"}, 1);
+  emitter.emit(std::string_view{"apple"}, 2);
+  emitter.emit(std::string_view{"pear"}, 5);
+  emitter.emit(std::string{"apple"}, 4);
+
+  EXPECT_EQ(emitter.count(), 4u);   // raw emits
+  EXPECT_EQ(emitter.stored(), 2u);  // combined pairs
+  const auto m = emitter_contents(emitter);
+  EXPECT_EQ(m.at("apple"), 7u);
+  EXPECT_EQ(m.at("pear"), 5u);
+}
+
+TEST(Emitter, ViewKeysAreMaterialisedOnInsert) {
+  // The emitter must own its keys: emitting views into a buffer that is
+  // rewritten between emits must not corrupt stored pairs.
+  Emitter<std::string, std::uint64_t> emitter{2};
+  emitter.set_combiner(nullptr, sum_combiner);
+  std::string buffer;
+  for (const char* word : {"alpha", "beta", "alpha", "gamma", "beta"}) {
+    buffer.assign(word);
+    emitter.emit(std::string_view{buffer}, 1);
+    buffer.assign(buffer.size(), '#');  // scribble over the emitted bytes
+  }
+  const auto m = emitter_contents(emitter);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at("alpha"), 2u);
+  EXPECT_EQ(m.at("beta"), 2u);
+  EXPECT_EQ(m.at("gamma"), 1u);
+}
+
+TEST(Emitter, BytesTrackStoredPairsNotRawEmits) {
+  Emitter<std::string, std::uint64_t> emitter{4};
+  emitter.set_combiner(nullptr, sum_combiner);
+  emitter.emit(std::string_view{"word"}, 1);
+  const std::uint64_t after_first = emitter.bytes();
+  EXPECT_GT(after_first, 0u);
+  for (int i = 0; i < 100; ++i) emitter.emit(std::string_view{"word"}, 1);
+  // Re-emits of a known key fold in place: no byte growth.
+  EXPECT_EQ(emitter.bytes(), after_first);
+
+  // Byte meter equals the sum of per-pair footprints.
+  std::uint64_t expected = 0;
+  for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
+    for (const auto& p : emitter.bucket(b)) {
+      expected += sizeof(p) + sizeof(std::string) + p.key.capacity();
+    }
+  }
+  EXPECT_EQ(emitter.bytes(), expected);
+}
+
+TEST(Emitter, TableGrowthPreservesAllPairs) {
+  // Push one bucket far past the initial table size to force rehashes.
+  Emitter<std::string, std::uint64_t> emitter{1};
+  emitter.set_combiner(nullptr, sum_combiner);
+  constexpr int kKeys = 10'000;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kKeys; ++i) {
+      emitter.emit(std::string_view{"key-" + std::to_string(i)}, 1);
+    }
+  }
+  EXPECT_EQ(emitter.stored(), static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(emitter.count(), static_cast<std::size_t>(2 * kKeys));
+  const auto m = emitter_contents(emitter);
+  ASSERT_EQ(m.size(), static_cast<std::size_t>(kKeys));
+  for (const auto& [key, value] : m) EXPECT_EQ(value, 2u) << key;
+}
+
+TEST(Emitter, WithoutCombinerEveryEmitIsStored) {
+  Emitter<std::string, std::uint64_t> emitter{2};
+  for (int i = 0; i < 5; ++i) emitter.emit(std::string_view{"same"}, 1);
+  EXPECT_EQ(emitter.stored(), 5u);
+  EXPECT_EQ(emitter.count(), 5u);
+}
+
+TEST(Engine, BudgetObservesCombinedVolume) {
+  // Low-entropy input: raw emits dwarf unique keys, and the byte meter
+  // must see only the combined (unique-key) volume.
+  apps::CorpusOptions corpus;
+  corpus.bytes = 256 * 1024;
+  corpus.vocabulary = 50;
+  const std::string text = apps::generate_corpus(corpus);
+
+  Options opts;
+  opts.num_workers = 2;
+  Engine<WordCountSpec> engine{opts};
+  Metrics metrics;
+  engine.run(WordCountSpec{}, split_text(text, 16 * 1024), 0, &metrics);
+
+  ASSERT_GT(metrics.map_emits, 10'000u);
+  const std::uint64_t intermediate =
+      metrics.peak_intermediate_bytes - text.size();
+  // Raw (uncombined) volume would be ~map_emits * sizeof(pair); combined
+  // volume is bounded by unique keys per worker.
+  EXPECT_LT(intermediate, 64 * 1024u);
+  EXPECT_LT(intermediate,
+            metrics.map_emits * sizeof(HKV<std::string, std::uint64_t>) / 8);
+}
+
+// Cross-product sweep: engine output equals the sequential reference for
+// any worker count x bucket count x chunk size combination.
+TEST(Engine, WordCountInvariantAcrossWorkersBucketsChunks) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 48 * 1024;
+  corpus.vocabulary = 150;
+  const std::string text = apps::generate_corpus(corpus);
+  const auto reference = to_map(apps::wordcount_sequential(text));
+
+  for (std::size_t workers : {1u, 2u, 5u}) {
+    for (std::size_t buckets : {1u, 2u, 7u, 32u}) {
+      for (std::size_t chunk : {512u, 16u * 1024u}) {
+        Options opts;
+        opts.num_workers = workers;
+        opts.num_reduce_buckets = buckets;
+        Engine<WordCountSpec> engine{opts};
+        const auto out = engine.run(WordCountSpec{}, split_text(text, chunk));
+        EXPECT_EQ(to_map(out), reference)
+            << "workers=" << workers << " buckets=" << buckets
+            << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
 // Worker-count sweep: output must be identical for any parallelism level.
 class EngineWorkerSweep : public ::testing::TestWithParam<std::size_t> {};
 

@@ -105,6 +105,37 @@ TEST_P(SeedSweep, FormatParseBytesRoundTripsRoundSizes) {
   }
 }
 
+TEST_P(SeedSweep, EngineEqualsSequentialUnderRandomisedShape) {
+  // Property: for a random corpus, the hash-combining engine agrees with
+  // the sequential reference whatever the worker count, bucket count, and
+  // chunk granularity drawn for this seed.
+  Rng rng{GetParam() ^ 0xC0FFEE};
+  apps::CorpusOptions corpus;
+  corpus.bytes = 24 * 1024 + rng.next_below(48 * 1024);
+  corpus.vocabulary = 50 + rng.next_below(4000);
+  corpus.seed = GetParam();
+  const std::string text = apps::generate_corpus(corpus);
+
+  mr::Options opts;
+  opts.num_workers = 1 + rng.next_below(6);
+  opts.num_reduce_buckets = 1 + rng.next_below(40);
+  mr::Engine<apps::WordCountSpec> engine{opts};
+  const auto chunks =
+      mr::split_text(text, 256 + rng.next_below(16 * 1024));
+
+  std::map<std::string, std::uint64_t> parallel;
+  for (const auto& kv : engine.run(apps::WordCountSpec{}, chunks)) {
+    parallel[kv.key] += kv.value;
+  }
+  std::map<std::string, std::uint64_t> reference;
+  for (const auto& kv : apps::wordcount_sequential(text)) {
+    reference[kv.key] += kv.value;
+  }
+  EXPECT_EQ(parallel, reference)
+      << "workers=" << opts.num_workers
+      << " buckets=" << opts.num_reduce_buckets;
+}
+
 TEST_P(SeedSweep, PartitionThenEngineEqualsDirectEngine) {
   apps::CorpusOptions corpus;
   corpus.bytes = 40 * 1024;

@@ -1,0 +1,216 @@
+// bench_record: measures the MapReduce hot path and appends the numbers to
+// a JSON trajectory file (default BENCH_mapreduce.json in the working
+// directory), so successive PRs accumulate a perf history to regress
+// against.
+//
+// Measured series, all on a generated corpus of --bytes:
+//   * wordcount_sequential  — the single-thread hash-map reference;
+//   * wordcount_engine/N    — the full engine at each worker count;
+//   * stringmatch_engine/N  — the identity-reduce path;
+//   * combine_ratio         — raw emits per surviving key (emit-time
+//                             combining effectiveness).
+// Each series reports the best-of --reps wall-clock MB/s (best, not mean:
+// the minimum over repetitions is the standard low-noise estimator for
+// microbenchmarks on a shared machine).
+//
+// The output file is a JSON array of run objects; an existing file is
+// appended to in place, so the file carries the before/after trajectory
+// across PRs.  `--label` names the run (e.g. "seed", "pr1-hash-combine").
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "apps/datagen.hpp"
+#include "apps/stringmatch.hpp"
+#include "apps/wordcount.hpp"
+#include "core/cli.hpp"
+#include "core/io.hpp"
+#include "core/stopwatch.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace {
+
+using namespace mcsd;
+
+struct Series {
+  std::string name;
+  double mb_per_s = 0.0;
+};
+
+// Keeps measured results observable so the runs are not optimised away.
+volatile std::uint64_t g_sink = 0;
+
+/// Best-of-reps wall-clock throughput of `fn` over `bytes` of input.
+template <typename Fn>
+double measure_mb_s(std::uint64_t bytes, int reps, Fn fn) {
+  double best_seconds = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    const double s = watch.elapsed_seconds();
+    if (r == 0 || s < best_seconds) best_seconds = s;
+  }
+  if (best_seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / best_seconds;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("out", "BENCH_mapreduce.json", "trajectory file to append to");
+  cli.add_option("label", "dev", "name for this run in the trajectory");
+  cli.add_option("bytes", "8M", "corpus size");
+  cli.add_option("reps", "5", "repetitions per series (best is recorded)");
+  cli.add_option("workers", "1,2,4", "comma-separated engine worker counts");
+  const auto status = cli.parse(argc, argv);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 2;
+  }
+
+  const auto bytes = cli.option_bytes("bytes");
+  const auto reps64 = cli.option_int("reps");
+  if (!bytes.is_ok() || !reps64.is_ok() || reps64.value() < 1) {
+    std::fprintf(stderr, "bad --bytes or --reps\n");
+    return 2;
+  }
+  const int reps = static_cast<int>(reps64.value());
+
+  std::vector<std::size_t> worker_counts;
+  {
+    const std::string spec = cli.option("workers");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      worker_counts.push_back(
+          static_cast<std::size_t>(std::stoul(spec.substr(pos, comma - pos))));
+      pos = comma + 1;
+    }
+  }
+
+  apps::CorpusOptions corpus;
+  corpus.bytes = bytes.value();
+  corpus.vocabulary = 5'000;
+  const std::string text = apps::generate_corpus(corpus);
+
+  std::vector<Series> series;
+  double combine_ratio = 1.0;
+
+  series.push_back({"wordcount_sequential",
+                    measure_mb_s(text.size(), reps, [&] {
+                      g_sink += apps::wordcount_sequential(text).size();
+                    })});
+
+  for (std::size_t workers : worker_counts) {
+    mr::Options opts;
+    opts.num_workers = workers;
+    mr::Engine<apps::WordCountSpec> engine{opts};
+    const auto chunks = mr::split_text(text, 64 * 1024);
+    mr::Metrics metrics;
+    series.push_back(
+        {"wordcount_engine/" + std::to_string(workers),
+         measure_mb_s(text.size(), reps, [&] {
+           g_sink +=
+               engine.run(apps::WordCountSpec{}, chunks, 0, &metrics).size();
+         })});
+    if (metrics.unique_keys != 0) {
+      combine_ratio = static_cast<double>(metrics.map_emits) /
+                      static_cast<double>(metrics.unique_keys);
+    }
+  }
+
+  {
+    apps::LineFileOptions lf;
+    lf.bytes = bytes.value();
+    std::string sm_text = apps::generate_line_file(lf);
+    apps::KeysOptions ko;
+    ko.count = 8;
+    apps::StringMatchSpec spec;
+    spec.keys = apps::generate_and_plant_keys(sm_text, ko);
+    for (std::size_t workers : worker_counts) {
+      mr::Options opts;
+      opts.num_workers = workers;
+      mr::Engine<apps::StringMatchSpec> engine{opts};
+      const auto chunks = mr::split_lines(sm_text, 64 * 1024);
+      series.push_back({"stringmatch_engine/" + std::to_string(workers),
+                        measure_mb_s(sm_text.size(), reps, [&] {
+                          g_sink += engine.run(spec, chunks).size();
+                        })});
+    }
+  }
+
+  // Assemble this run's JSON object.
+  char when[32] = "unknown";
+  {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+  }
+  std::string entry = "  {\n";
+  entry += "    \"label\": \"" + json_escape(cli.option("label")) + "\",\n";
+  entry += "    \"recorded_utc\": \"" + std::string(when) + "\",\n";
+  entry += "    \"corpus_bytes\": " + std::to_string(bytes.value()) + ",\n";
+  entry += "    \"reps\": " + std::to_string(reps) + ",\n";
+  char ratio_buf[64];
+  std::snprintf(ratio_buf, sizeof(ratio_buf), "%.3f", combine_ratio);
+  entry += "    \"wordcount_combine_ratio\": " + std::string(ratio_buf) +
+           ",\n";
+  entry += "    \"throughput_mb_s\": {\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", series[i].mb_per_s);
+    entry += "      \"" + series[i].name + "\": " + buf;
+    entry += i + 1 < series.size() ? ",\n" : "\n";
+  }
+  entry += "    }\n  }";
+
+  // Append into the JSON array (create it if absent).  The file is always
+  // written by this tool, so the trailing "]" scan is safe.
+  const std::string path = cli.option("out");
+  std::string contents;
+  if (auto existing = read_file(path); existing.is_ok()) {
+    contents = std::move(existing).value();
+  }
+  const std::size_t close = contents.rfind(']');
+  if (close == std::string::npos) {
+    contents = "[\n" + entry + "\n]\n";
+  } else {
+    const std::size_t last_brace = contents.rfind('}', close);
+    if (last_brace == std::string::npos) {  // empty array
+      contents = "[\n" + entry + "\n]\n";
+    } else {
+      contents =
+          contents.substr(0, last_brace + 1) + ",\n" + entry + "\n]\n";
+    }
+  }
+  if (const auto write = write_file(path, contents); !write.is_ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 write.to_string().c_str());
+    return 1;
+  }
+
+  for (const auto& s : series) {
+    std::printf("%-24s %10.2f MB/s\n", s.name.c_str(), s.mb_per_s);
+  }
+  std::printf("%-24s %10.3f\n", "wordcount_combine_ratio", combine_ratio);
+  std::printf("recorded '%s' -> %s\n", cli.option("label").c_str(),
+              path.c_str());
+  return 0;
+}
