@@ -1,0 +1,144 @@
+// Microbenchmarks of the obs subsystem (google-benchmark).
+//
+// The A/B evidence behind the DESIGN.md section 8 overhead budget: every
+// instrumented operation is measured enabled vs runtime-disabled, and
+// the full engine wordcount path is measured with obs on vs off — the
+// on/off throughput delta is the end-to-end overhead (budget: <= 2%).
+// Building with -DMCSD_ENABLE_OBS=OFF compiles the macros to nothing,
+// at which point the *_Enabled and *_Disabled series collapse together.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/datagen.hpp"
+#include "apps/wordcount.hpp"
+#include "mapreduce/engine.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace mcsd;
+
+// --- hot-path primitives: enabled vs runtime-disabled -----------------
+
+void BM_CounterAdd_Enabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    MCSD_OBS_COUNT("bench.counter", 1);
+  }
+}
+BENCHMARK(BM_CounterAdd_Enabled);
+
+void BM_CounterAdd_Disabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    MCSD_OBS_COUNT("bench.counter", 1);
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_CounterAdd_Disabled);
+
+// Contention check: all threads hammer the SAME counter; sharding keeps
+// the shards on distinct cache lines, so this should scale ~linearly.
+void BM_CounterAdd_Contended(benchmark::State& state) {
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    MCSD_OBS_COUNT("bench.counter_contended", 1);
+  }
+}
+BENCHMARK(BM_CounterAdd_Contended)->Threads(2)->Threads(4)->Threads(8);
+
+void BM_HistogramRecord_Enabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    MCSD_OBS_HIST("bench.hist", "us", v);
+    v = v * 2654435761u % 100000;  // varied bucket pattern
+  }
+}
+BENCHMARK(BM_HistogramRecord_Enabled);
+
+void BM_HistogramRecord_Disabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    MCSD_OBS_HIST("bench.hist", "us", v);
+    v = v * 2654435761u % 100000;
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_HistogramRecord_Disabled);
+
+void BM_Span_Enabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    MCSD_OBS_SPAN("bench", "bench.span");
+  }
+}
+BENCHMARK(BM_Span_Enabled);
+
+void BM_Span_Disabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    MCSD_OBS_SPAN("bench", "bench.span");
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_Span_Disabled);
+
+// --- end-to-end: the instrumented engine with obs on vs off -----------
+
+const std::string& corpus_1mib() {
+  static const std::string text = [] {
+    apps::CorpusOptions opts;
+    opts.bytes = 1 << 20;
+    opts.vocabulary = 5'000;
+    return apps::generate_corpus(opts);
+  }();
+  return text;
+}
+
+void engine_wordcount_pass(benchmark::State& state, bool obs_on) {
+  const std::string& text = corpus_1mib();
+  mr::Options opts;
+  opts.num_workers = static_cast<std::size_t>(state.range(0));
+  mr::Engine<apps::WordCountSpec> engine{opts};
+  const auto chunks = mr::split_text(text, 64 * 1024);
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(obs_on);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(apps::WordCountSpec{}, chunks));
+  }
+  obs::set_enabled(was_enabled);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_EngineWordCount_ObsOn(benchmark::State& state) {
+  engine_wordcount_pass(state, /*obs_on=*/true);
+}
+BENCHMARK(BM_EngineWordCount_ObsOn)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EngineWordCount_ObsOff(benchmark::State& state) {
+  engine_wordcount_pass(state, /*obs_on=*/false);
+}
+BENCHMARK(BM_EngineWordCount_ObsOff)->Arg(1)->Arg(2)->Arg(4);
+
+// --- export path (cold, but must not be pathological) ------------------
+
+void BM_SnapshotAndRender(benchmark::State& state) {
+  obs::set_enabled(true);
+  MCSD_OBS_COUNT("bench.snapshot_probe", 1);
+  MCSD_OBS_HIST("bench.snapshot_hist", "us", 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::Registry::instance().snapshot());
+  }
+}
+BENCHMARK(BM_SnapshotAndRender);
+
+}  // namespace

@@ -13,16 +13,22 @@
 //   result returned  ◄──  wordcount.log (response) ◄──  MapReduce engine
 //
 // Build & run:  ./build/examples/offload_wordcount
+//
+// Pass `--trace-out trace.json` to capture an obs trace of the full
+// round trip — engine, partition, and FAM spans in one timeline — for
+// chrome://tracing / Perfetto (see README "Tracing a run").
 #include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "apps/datagen.hpp"
 #include "apps/wordcount.hpp"
+#include "core/cli.hpp"
 #include "core/io.hpp"
 #include "fam/client.hpp"
 #include "fam/daemon.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/reporter.hpp"
 #include "partition/outofcore.hpp"
 
 using namespace mcsd;
@@ -72,7 +78,15 @@ std::shared_ptr<fam::Module> wordcount_module() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("trace-out", "",
+                 "write obs trace JSON + metrics here on exit");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fprintf(stderr, "%s\n", s.error().message().c_str());
+    return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
+  }
+
   TempDir shared{"mcsd-demo"};  // stands in for the NFS-exported folder
   std::printf("shared log folder: %s\n\n", shared.path().c_str());
 
@@ -124,5 +138,10 @@ int main() {
   std::printf("\n[sd]   daemon handled %llu request(s), %llu error(s)\n",
               static_cast<unsigned long long>(daemon.requests_handled()),
               static_cast<unsigned long long>(daemon.errors_returned()));
+  daemon.stop();  // flush in-flight spans before exporting the trace
+  if (Status s = obs::dump_trace_if_requested(cli.option("trace-out")); !s) {
+    std::fprintf(stderr, "cannot write trace: %s\n", s.to_string().c_str());
+    return 1;
+  }
   return 0;
 }

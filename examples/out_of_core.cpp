@@ -6,18 +6,29 @@
 // completes the job fragment by fragment (paper Fig. 6/7).
 //
 // Build & run:  ./build/examples/out_of_core
+//               (add --trace-out trace.json for a per-fragment timeline)
 #include <cstdio>
 
 #include "apps/datagen.hpp"
 #include "apps/wordcount.hpp"
+#include "core/cli.hpp"
 #include "core/units.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/reporter.hpp"
 #include "partition/outofcore.hpp"
 
 using namespace mcsd;
 using namespace mcsd::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("trace-out", "",
+                 "write obs trace JSON + metrics here on exit");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fprintf(stderr, "%s\n", s.error().message().c_str());
+    return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
+  }
+
   // A storage node with an 8 MiB memory budget (scaled-down stand-in for
   // the paper's 2 GB node; the mechanism is identical).
   mr::Options options;
@@ -79,5 +90,9 @@ int main() {
                       apps::total_occurrences(counts)
                   ? "totals match"
                   : "MISMATCH");
+  if (Status s = obs::dump_trace_if_requested(cli.option("trace-out")); !s) {
+    std::fprintf(stderr, "cannot write trace: %s\n", s.to_string().c_str());
+    return 1;
+  }
   return 0;
 }

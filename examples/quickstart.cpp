@@ -4,18 +4,28 @@
 // results.  This is the Phoenix-style API a data-intensive module uses
 // inside a McSD storage node.
 //
-// Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+// Build & run (any generator — add `-G Ninja` if you have it):
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/quickstart [--trace-out trace.json]
 #include <cstdio>
 
 #include "apps/datagen.hpp"
 #include "apps/wordcount.hpp"
+#include "core/cli.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/reporter.hpp"
 
 using namespace mcsd;
 
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("trace-out", "",
+                 "write obs trace JSON + metrics here on exit");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fprintf(stderr, "%s\n", s.error().message().c_str());
+    return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
+  }
+
   // 1. A synthetic 4 MiB corpus (stands in for the paper's input files).
   apps::CorpusOptions corpus;
   corpus.bytes = 4 << 20;
@@ -46,6 +56,10 @@ int main() {
   for (std::size_t i = 0; i < counts.size() && i < 10; ++i) {
     std::printf("  %-14s %llu\n", counts[i].key.c_str(),
                 static_cast<unsigned long long>(counts[i].value));
+  }
+  if (Status s = obs::dump_trace_if_requested(cli.option("trace-out")); !s) {
+    std::fprintf(stderr, "cannot write trace: %s\n", s.to_string().c_str());
+    return 1;
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include "core/io.hpp"
 #include "core/stopwatch.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace mcsd::fam {
 
@@ -25,6 +27,8 @@ std::uint64_t Client::current_seq(const fs::path& log) const {
 
 Result<KeyValueMap> Client::invoke(std::string_view module,
                                    const KeyValueMap& params) {
+  MCSD_OBS_SPAN("fam", "fam.invoke:" + std::string{module});
+  MCSD_OBS_COUNT("fam.client_invokes", 1);
   if (!valid_module_name(module)) {
     return Error{ErrorCode::kInvalidArgument,
                  "invalid module name: " + std::string{module}};
@@ -54,7 +58,9 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
   const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
   Error last_error{ErrorCode::kInternal, "unreachable"};
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) MCSD_OBS_COUNT("fam.client_retries", 1);
     const std::uint64_t seq = state->next_seq++;
+    Stopwatch round_trip;
 
     Record request;
     request.type = RecordType::kRequest;
@@ -75,7 +81,15 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
           const Record& r = record.value();
           if (r.type == RecordType::kResponse && r.seq == seq &&
               r.module == module) {
+            // Round trip = request write .. response observed, the
+            // paper's invoke->dispatch->result latency as the host sees
+            // it (includes daemon poll + module run).
+            MCSD_OBS_HIST(
+                "fam.round_trip_us", "us",
+                static_cast<std::uint64_t>(round_trip.elapsed_seconds() *
+                                           1e6));
             if (!r.ok) {
+              MCSD_OBS_COUNT("fam.client_module_errors", 1);
               return Error{ErrorCode::kInternal,
                            "module error: " + r.error_message};
             }
@@ -90,6 +104,7 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
         }
       }
       if (waited.elapsed() > options_.timeout) {
+        MCSD_OBS_COUNT("fam.client_timeouts", 1);
         last_error = Error{
             ErrorCode::kTimeout,
             "no response from " + std::string{module} + " within " +

@@ -2,10 +2,51 @@
 
 #include "core/io.hpp"
 #include "core/log.hpp"
+#include "core/stopwatch.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace mcsd::fam {
 
 namespace fs = std::filesystem;
+
+Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config) {
+  DaemonOptions options;
+  for (const auto& [key, value] : config.entries()) {
+    if (key == "log_dir") {
+      options.log_dir = value;
+    } else if (key == "poll_interval_ms") {
+      auto ms = config.get_int(key);
+      if (!ms) return ms.error();
+      if (ms.value() < 1) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "poll_interval_ms must be >= 1"};
+      }
+      options.poll_interval = std::chrono::milliseconds{ms.value()};
+    } else if (key == "dispatch_threads") {
+      auto threads = config.get_int(key);
+      if (!threads) return threads.error();
+      if (threads.value() < 1) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "dispatch_threads must be >= 1"};
+      }
+      options.dispatch_threads = static_cast<std::size_t>(threads.value());
+    } else if (key == "backend") {
+      if (value == "polling") {
+        options.backend = WatcherBackend::kPolling;
+      } else if (value == "inotify") {
+        options.backend = WatcherBackend::kInotify;
+      } else {
+        return Error{ErrorCode::kInvalidArgument,
+                     "backend must be polling or inotify, got: " + value};
+      }
+    } else {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown daemon config key: " + key};
+    }
+  }
+  return options;
+}
 
 Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   fs::create_directories(options_.log_dir);
@@ -101,6 +142,8 @@ void Daemon::dispatch_loop() {
 }
 
 void Daemon::handle_request(const Record& request) {
+  MCSD_OBS_SPAN("fam", "fam.dispatch:" + request.module);
+  Stopwatch dispatch;
   Record response;
   response.type = RecordType::kResponse;
   response.seq = request.seq;
@@ -133,8 +176,12 @@ void Daemon::handle_request(const Record& request) {
 
   if (!response.ok) {
     errors_returned_.fetch_add(1, std::memory_order_relaxed);
+    MCSD_OBS_COUNT("fam.daemon_errors", 1);
   }
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
+  MCSD_OBS_COUNT("fam.daemon_requests", 1);
+  MCSD_OBS_HIST("fam.dispatch_us", "us",
+                static_cast<std::uint64_t>(dispatch.elapsed_seconds() * 1e6));
 
   const fs::path log = options_.log_dir / log_file_name(request.module);
   if (Status s = write_file_atomic(log, encode_record(response)); !s) {

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/config.hpp"
 #include "core/mpmc_queue.hpp"
 #include "core/result.hpp"
 #include "fam/inotify_watcher.hpp"
@@ -34,15 +35,29 @@ enum class WatcherBackend : std::uint8_t {
   kInotify,
 };
 
+/// Default watcher polling cadence.  Named (rather than sprinkled as a
+/// literal) because the interval is a tuning knob exposed through
+/// core/config — it trades invoke latency for syscall load over NFS —
+/// and it labels the watcher's poll-latency histogram.
+inline constexpr std::chrono::milliseconds kDefaultWatcherPollInterval{2};
+
 struct DaemonOptions {
   std::filesystem::path log_dir;
   /// Watcher polling cadence (kPolling backend).
-  std::chrono::milliseconds poll_interval{2};
+  std::chrono::milliseconds poll_interval{kDefaultWatcherPollInterval};
   /// Dispatch worker threads — how many modules may run concurrently on
   /// the storage node (<= its core count).
   std::size_t dispatch_threads = 1;
   WatcherBackend backend = WatcherBackend::kPolling;
 };
+
+/// Builds DaemonOptions from a core/config KeyValueMap (the same
+/// key=value record syntax the smartFAM channel itself speaks).
+/// Recognised keys, all optional:
+///   log_dir=<path>  poll_interval_ms=<int>=2  dispatch_threads=<int>=1
+///   backend=polling|inotify
+/// Unknown keys error (a typo must not silently run defaults).
+Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config);
 
 class Daemon {
  public:

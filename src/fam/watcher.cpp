@@ -5,6 +5,8 @@
 #include "core/hash.hpp"
 #include "core/io.hpp"
 #include "core/log.hpp"
+#include "core/stopwatch.hpp"
+#include "obs/counters.hpp"
 
 namespace mcsd::fam {
 
@@ -16,6 +18,12 @@ FileWatcher::FileWatcher(fs::path directory,
     : directory_(std::move(directory)),
       poll_interval_(poll_interval),
       on_change_(std::move(on_change)) {
+#if MCSD_OBS_ENABLED
+  poll_histogram_ = &obs::Registry::instance().histogram(
+      "fam.watcher_poll_us(interval=" +
+          std::to_string(poll_interval_.count()) + "ms)",
+      "us");
+#endif
   // Prime the fingerprint table so only *subsequent* changes fire; a
   // daemon attaching to an existing log folder must not replay history.
   poll_once_internal(/*fire=*/false);
@@ -55,6 +63,7 @@ FileWatcher::Fingerprint FileWatcher::fingerprint(const fs::path& path) {
 }
 
 void FileWatcher::poll_once_internal(bool fire) {
+  Stopwatch pass;
   std::vector<fs::path> changed;
   {
     std::lock_guard lock{mutex_};
@@ -80,9 +89,16 @@ void FileWatcher::poll_once_internal(bool fire) {
           << "cannot scan " << directory_.string() << ": " << ec.message();
     }
   }
+#if MCSD_OBS_ENABLED
+  if (poll_histogram_ != nullptr && obs::enabled()) {
+    poll_histogram_->record(
+        static_cast<std::uint64_t>(pass.elapsed_seconds() * 1e6));
+  }
+#endif
   if (!fire) return;
   for (const auto& path : changed) {
     events_fired_.fetch_add(1, std::memory_order_relaxed);
+    MCSD_OBS_COUNT("fam.watcher_events", 1);
     if (on_change_) on_change_(path);
   }
 }

@@ -21,6 +21,10 @@
 #include <thread>
 #include <vector>
 
+namespace mcsd::obs {
+class Histogram;
+}  // namespace mcsd::obs
+
 namespace mcsd::fam {
 
 /// Fired with the path of a created or modified watched file.
@@ -83,6 +87,11 @@ class FileWatcher final : public Watcher {
   std::filesystem::path directory_;
   std::chrono::milliseconds poll_interval_;
   ChangeCallback on_change_;
+  /// Poll-pass latency histogram, labelled with the configured interval
+  /// ("fam.watcher_poll_us(interval=2ms)") so sweeps over the
+  /// core/config-exposed interval stay distinguishable in one registry.
+  /// Null when the obs subsystem is compiled out.
+  obs::Histogram* poll_histogram_ = nullptr;
 
   std::mutex mutex_;  ///< guards seen_ against start/stop races
   std::map<std::string, Fingerprint> seen_;

@@ -4,7 +4,10 @@
 // stable key hash (core/hash.hpp), so there is no cross-thread sharing on
 // the map path at all — the reduce phase later gathers bucket b from every
 // worker.  The emitter also meters intermediate bytes for the Phoenix
-// memory-budget model.
+// memory-budget model; its count/stored/bytes members double as the
+// per-worker thread-local counters the obs subsystem aggregates (the
+// engine publishes them into obs::Registry once per worker, so the emit
+// hot path itself carries no instrumentation).
 //
 // Specs with a `combine` hook fold values *at emit time*: every bucket
 // carries an open-addressing index over its pair vector, and a duplicate
@@ -101,6 +104,11 @@ class Emitter {
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   /// Number of pairs currently stored (post-combining volume).
   [[nodiscard]] std::size_t stored() const noexcept { return stored_; }
+  /// Emits folded into an existing pair instead of stored — the
+  /// per-worker combine-hit counter the obs layer aggregates.
+  [[nodiscard]] std::size_t combine_hits() const noexcept {
+    return count_ - stored_;
+  }
   /// Approximate intermediate bytes held.  Grows only when a pair is
   /// inserted; emit-time combining keeps this monotone in emit order.
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }

@@ -19,6 +19,13 @@
 // 64-bit key hash computed for bucket routing is cached in every stored
 // pair and reused for combiner probes and reduce-phase grouping.
 //
+// Observability: run() opens obs spans per phase (mr.map / mr.reduce /
+// mr.merge, plus per-worker and per-bucket child spans) and publishes
+// each worker's emitter counters (emits, combine hits, bytes) into
+// obs::Registry once at map-phase end, so the emit hot path itself stays
+// uninstrumented.  Metrics keeps the per-run report; the obs registry
+// accumulates across runs.
+//
 // Memory model: when Options.memory_budget_bytes > 0, the engine meters
 // input + intermediate bytes and throws MemoryOverflowError once they
 // exceed usable_memory_fraction (default 60%) of the budget, reproducing
@@ -38,6 +45,8 @@
 #include "core/stopwatch.hpp"
 #include "core/thread_pool.hpp"
 #include "mapreduce/emitter.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "mapreduce/scheduler.hpp"
 #include "mapreduce/sorter.hpp"
 #include "mapreduce/splitter.hpp"
@@ -119,6 +128,11 @@ class Engine {
       }
     }
 
+    MCSD_OBS_SPAN("mr", "mr.run");
+    MCSD_OBS_COUNT("mr.jobs", 1);
+    MCSD_OBS_COUNT("mr.chunks", chunks.size());
+    MCSD_OBS_COUNT("mr.input_bytes", input_bytes);
+
     const std::size_t workers = options_.num_workers;
     const std::size_t buckets = options_.effective_reduce_buckets();
     const std::uint64_t usable = options_.usable_budget();
@@ -149,31 +163,48 @@ class Engine {
     std::atomic<std::uint64_t> intermediate_bytes{0};
     std::atomic<bool> cancelled{false};
 
-    pool_->parallel_for_workers(workers, [&](std::size_t w) {
-      auto& emitter = emitters[w];
-      std::uint64_t reported = 0;
-      while (auto idx = scheduler.next()) {
-        if (cancelled.load(std::memory_order_relaxed)) return;
-        spec.map(chunks[*idx], emitter);
+    {
+      MCSD_OBS_SPAN("mr", "mr.map");
+      pool_->parallel_for_workers(workers, [&](std::size_t w) {
+        MCSD_OBS_SPAN("mr", "mr.map.worker");
+        auto& emitter = emitters[w];
+        std::uint64_t reported = 0;
+        while (auto idx = scheduler.next()) {
+          if (cancelled.load(std::memory_order_relaxed)) return;
+          spec.map(chunks[*idx], emitter);
 
-        const std::uint64_t now = emitter.bytes();
-        detail::apply_bytes_delta(intermediate_bytes, reported, now);
-        reported = now;
-        if (usable != 0 &&
-            input_bytes + intermediate_bytes.load(std::memory_order_relaxed) >
-                usable) {
-          cancelled.store(true, std::memory_order_relaxed);
-          throw MemoryOverflowError(
+          const std::uint64_t now = emitter.bytes();
+          detail::apply_bytes_delta(intermediate_bytes, reported, now);
+          reported = now;
+          if (usable != 0 &&
               input_bytes +
-                  intermediate_bytes.load(std::memory_order_relaxed),
-              usable);
+                      intermediate_bytes.load(std::memory_order_relaxed) >
+                  usable) {
+            cancelled.store(true, std::memory_order_relaxed);
+            throw MemoryOverflowError(
+                input_bytes +
+                    intermediate_bytes.load(std::memory_order_relaxed),
+                usable);
+          }
         }
-      }
-    });
+        // Publish this worker's emitter counters: the emitter itself is
+        // the thread-local shard, so the emit hot path never touches obs.
+        MCSD_OBS_COUNT("mr.map_emits", emitter.count());
+        MCSD_OBS_COUNT("mr.combine_hits", emitter.combine_hits());
+        MCSD_OBS_COUNT("mr.intermediate_bytes", emitter.bytes());
+      });
+    }
     m.map_seconds = phase.elapsed_seconds();
     m.peak_intermediate_bytes =
         input_bytes + intermediate_bytes.load(std::memory_order_relaxed);
-    for (const auto& e : emitters) m.map_emits += e.count();
+    for (const auto& e : emitters) {
+      m.map_emits += e.count();
+      m.map_stored_pairs += e.stored();
+      m.map_combine_hits += e.combine_hits();
+      m.map_intermediate_bytes += e.bytes();
+    }
+    MCSD_OBS_HIST("mr.map_phase_us", "us",
+                  static_cast<std::uint64_t>(m.map_seconds * 1e6));
 
     // ----- reduce phase (per-bucket gather + sort + group + reduce) -------
     phase.restart();
@@ -181,8 +212,11 @@ class Engine {
     std::atomic<std::size_t> unique_keys{0};
     DynamicScheduler reduce_sched{buckets};
 
-    pool_->parallel_for_workers(workers, [&](std::size_t) {
+    {
+      MCSD_OBS_SPAN("mr", "mr.reduce");
+      pool_->parallel_for_workers(workers, [&](std::size_t) {
       while (auto b = reduce_sched.next()) {
+        MCSD_OBS_SPAN("mr", "mr.reduce.bucket");
         std::vector<HashedPair> gathered;
         std::size_t total = 0;
         for (auto& e : emitters) total += e.bucket(*b).size();
@@ -206,22 +240,30 @@ class Engine {
           }
         }
       }
-    });
+      });
+    }
     m.reduce_seconds = phase.elapsed_seconds();
     m.unique_keys = unique_keys.load(std::memory_order_relaxed);
+    MCSD_OBS_COUNT("mr.unique_keys", m.unique_keys);
+    MCSD_OBS_HIST("mr.reduce_phase_us", "us",
+                  static_cast<std::uint64_t>(m.reduce_seconds * 1e6));
 
     // ----- merge phase ----------------------------------------------------
     phase.restart();
     Output merged;
-    std::size_t total = 0;
-    for (const auto& out : bucket_outputs) total += out.size();
-    merged.reserve(total);
-    for (auto& out : bucket_outputs) {
-      std::move(out.begin(), out.end(), std::back_inserter(merged));
-    }
-    if (options_.sort_output_by_key) {
-      parallel_sort(merged, *pool_,
-                    [](const Pair& a, const Pair& b) { return a.key < b.key; });
+    {
+      MCSD_OBS_SPAN("mr", "mr.merge");
+      std::size_t total = 0;
+      for (const auto& out : bucket_outputs) total += out.size();
+      merged.reserve(total);
+      for (auto& out : bucket_outputs) {
+        std::move(out.begin(), out.end(), std::back_inserter(merged));
+      }
+      if (options_.sort_output_by_key) {
+        parallel_sort(merged, *pool_, [](const Pair& a, const Pair& b) {
+          return a.key < b.key;
+        });
+      }
     }
     m.merge_seconds = phase.elapsed_seconds();
     return merged;

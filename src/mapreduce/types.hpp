@@ -120,8 +120,12 @@ struct Metrics {
   double merge_seconds = 0.0;
   std::size_t chunks = 0;
   std::size_t map_emits = 0;    ///< raw emit calls, before map-side combining
+  std::size_t map_stored_pairs = 0;  ///< pairs surviving emit-time combining
+  std::size_t map_combine_hits = 0;  ///< emits folded into an existing pair
   std::size_t unique_keys = 0;
   std::uint64_t peak_intermediate_bytes = 0;
+  /// Post-combine emitter bytes summed over workers (excludes input).
+  std::uint64_t map_intermediate_bytes = 0;
 
   [[nodiscard]] double total_seconds() const noexcept {
     return split_seconds + map_seconds + reduce_seconds + merge_seconds;

@@ -1,0 +1,85 @@
+#include "obs/counters.hpp"
+
+namespace mcsd::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<std::size_t> g_next_shard{0};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t this_thread_shard() noexcept {
+  thread_local const std::size_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view unit) {
+  std::lock_guard lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string{name},
+                      NamedHistogram{std::make_unique<Histogram>(),
+                                     std::string{unit}})
+             .first;
+  }
+  return *it->second.histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock{mutex_};
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, named] : histograms_) {
+    snap.histograms.push_back(
+        {name, named.unit, named.histogram->aggregate()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock{mutex_};
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->set(0);
+  for (auto& [name, named] : histograms_) named.histogram->reset();
+}
+
+}  // namespace mcsd::obs

@@ -1,0 +1,189 @@
+// Metrics registry: sharded counters, gauges, and log2-bucket histograms.
+//
+// The shape follows ScaleStore's profiling split (per-worker counters, a
+// separate aggregator) adapted to McSD: the *hot path* is a relaxed
+// fetch_add on a cache-line-padded shard owned (statistically) by one
+// thread, so instrumented loops never contend; the *cold path* —
+// `Registry::snapshot()` — sums shards under no lock at all, tolerating
+// the usual monotonic-counter skew.
+//
+// Lifecycle: metrics are registered once by name (`Registry::counter` et
+// al. are find-or-create and return a stable reference), call sites cache
+// the reference in a function-local static via the MCSD_OBS_* macros, and
+// a reporter (obs/reporter.hpp) renders the snapshot.  Everything
+// compiles away when MCSD_OBS_ENABLED is 0 and short-circuits on one
+// relaxed bool when runtime-disabled via obs::set_enabled(false).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+// Compile-time switch: build with -DMCSD_OBS_ENABLED=0 (CMake option
+// MCSD_ENABLE_OBS=OFF) to compile every instrumentation site out
+// entirely — the macros below expand to nothing and the codegen of
+// instrumented functions is identical to an uninstrumented build.
+#ifndef MCSD_OBS_ENABLED
+#define MCSD_OBS_ENABLED 1
+#endif
+
+namespace mcsd::obs {
+
+/// Runtime master switch (default on).  A relaxed load; instrumentation
+/// macros check it before touching any metric.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Number of counter shards.  A power of two; threads are assigned a
+/// shard round-robin on first use, so up to kShards threads increment
+/// without sharing a cache line.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index in [0, kShards).
+[[nodiscard]] std::size_t this_thread_shard() noexcept;
+
+/// Monotonic counter, sharded per thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[this_thread_shard()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins signed gauge (not sharded: gauges are set, not
+/// accumulated, so sharding would only blur the latest value).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string unit;
+  HistogramData data;
+};
+
+/// Point-in-time aggregate of every registered metric (names sorted).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Process-wide metric registry.  Registration (find-or-create by name)
+/// takes a mutex; returned references are stable for the process
+/// lifetime, so the hot path never goes through the registry again.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `unit` annotates reports ("us", "bytes", ...); first registration
+  /// wins.
+  Histogram& histogram(std::string_view name, std::string_view unit = "");
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (tests and A/B benches).  References
+  /// handed out earlier stay valid.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  struct NamedHistogram {
+    std::unique_ptr<Histogram> histogram;
+    std::string unit;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, NamedHistogram, std::less<>> histograms_;
+};
+
+}  // namespace mcsd::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros.  Call sites pay: one static-init guard load, one
+// relaxed bool load, one relaxed fetch_add.  With MCSD_OBS_ENABLED=0 the
+// argument expressions are left unevaluated (sizeof) so instrumented code
+// compiles identically with the subsystem on or off.
+// ---------------------------------------------------------------------------
+#if MCSD_OBS_ENABLED
+#define MCSD_OBS_COUNT(name, n)                                      \
+  do {                                                               \
+    static ::mcsd::obs::Counter& mcsd_obs_counter_ =                 \
+        ::mcsd::obs::Registry::instance().counter(name);             \
+    if (::mcsd::obs::enabled()) mcsd_obs_counter_.add(n);            \
+  } while (0)
+#define MCSD_OBS_GAUGE_SET(name, v)                                  \
+  do {                                                               \
+    static ::mcsd::obs::Gauge& mcsd_obs_gauge_ =                     \
+        ::mcsd::obs::Registry::instance().gauge(name);               \
+    if (::mcsd::obs::enabled()) mcsd_obs_gauge_.set(v);              \
+  } while (0)
+#define MCSD_OBS_HIST(name, unit, v)                                 \
+  do {                                                               \
+    static ::mcsd::obs::Histogram& mcsd_obs_hist_ =                  \
+        ::mcsd::obs::Registry::instance().histogram(name, unit);     \
+    if (::mcsd::obs::enabled()) mcsd_obs_hist_.record(v);            \
+  } while (0)
+#else
+#define MCSD_OBS_COUNT(name, n) ((void)sizeof(n))
+#define MCSD_OBS_GAUGE_SET(name, v) ((void)sizeof(v))
+#define MCSD_OBS_HIST(name, unit, v) ((void)sizeof(v))
+#endif

@@ -1,0 +1,113 @@
+// Log2-bucket latency/size histogram with sharded lock-free recording.
+//
+// Values land in bucket `bit_width(v)` (bucket 0 holds zeros, bucket i>=1
+// covers [2^(i-1), 2^i)), the classic HdrHistogram-lite scheme: one
+// `bit_width` plus one relaxed fetch_add per record, resolution within 2x
+// everywhere — plenty for "where did the milliseconds go" profiling.
+// Recording shards per thread like obs::Counter; aggregation sums shards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace mcsd::obs {
+
+[[nodiscard]] std::size_t this_thread_shard() noexcept;  // counters.hpp
+
+/// Aggregated histogram contents (one snapshot, not thread-safe).
+struct HistogramData {
+  /// Bucket 0: value 0.  Bucket i (1..64): values in [2^(i-1), 2^i).
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket holding the p-quantile (p in [0, 1]), the
+  /// standard conservative estimate for log-bucketed data.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+    if (count == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    const auto rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > rank) return bucket_upper(b);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  /// Inclusive upper bound of bucket b's value range.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramData::kBuckets;
+
+  void record(std::uint64_t value) noexcept {
+    Shard& s = shards_[this_thread_shard() & (kHistShards - 1)];
+    s.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    // Racy max update is fine: relaxed CAS loop, monotone.
+    std::uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !s.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] HistogramData aggregate() const noexcept {
+    HistogramData data;
+    for (const auto& s : shards_) {
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+        data.buckets[b] += n;
+        data.count += n;
+      }
+      data.sum += s.sum.load(std::memory_order_relaxed);
+      data.max = std::max(data.max, s.max.load(std::memory_order_relaxed));
+    }
+    return data;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.max.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+ private:
+  static constexpr std::size_t kHistShards = 8;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  std::array<Shard, kHistShards> shards_{};
+};
+
+}  // namespace mcsd::obs

@@ -1,0 +1,142 @@
+#include "obs/reporter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+#include "core/io.hpp"
+
+namespace mcsd::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control bytes
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_metrics_table(const MetricsSnapshot& snap) {
+  if (snap.empty()) return {};
+  std::string out;
+  char line[256];
+
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    out += "-- counters ------------------------------------------------\n";
+    for (const auto& c : snap.counters) {
+      std::snprintf(line, sizeof(line), "%-44s %14llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+    for (const auto& g : snap.gauges) {
+      std::snprintf(line, sizeof(line), "%-44s %14lld\n", g.name.c_str(),
+                    static_cast<long long>(g.value));
+      out += line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "-- histograms (count / mean / p50 / p99 / max) --------------\n";
+    for (const auto& h : snap.histograms) {
+      const std::string label =
+          h.unit.empty() ? h.name : h.name + " [" + h.unit + "]";
+      std::snprintf(line, sizeof(line),
+                    "%-44s %10llu %10.1f %10llu %10llu %10llu\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(h.data.count),
+                    h.data.mean(),
+                    static_cast<unsigned long long>(h.data.percentile(0.50)),
+                    static_cast<unsigned long long>(h.data.percentile(0.99)),
+                    static_cast<unsigned long long>(h.data.max));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string render_chrome_trace(bool include_metrics) {
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  const auto rings = TraceRegistry::instance().rings();
+  for (const auto& ring : rings) {
+    // Thread-name metadata event so the viewer labels each row.
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(ring->tid()) +
+           ",\"args\":{\"name\":\"mcsd-thread-" +
+           std::to_string(ring->tid()) + "\"}}";
+    for (const TraceEvent& e : ring->drain_copy()) {
+      out += ",\n{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+             json_escape(e.category) + "\",\"ph\":\"X\",\"ts\":" +
+             format_double(static_cast<double>(e.start_ns) / 1000.0) +
+             ",\"dur\":" +
+             format_double(static_cast<double>(e.duration_ns) / 1000.0) +
+             ",\"pid\":1,\"tid\":" + std::to_string(ring->tid()) + "}";
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\"";
+
+  if (include_metrics) {
+    const MetricsSnapshot snap = Registry::instance().snapshot();
+    out += ",\n\"mcsdMetrics\": {\n\"counters\": {";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + json_escape(snap.counters[i].name) +
+             "\": " + std::to_string(snap.counters[i].value);
+    }
+    out += "},\n\"gauges\": {";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + json_escape(snap.gauges[i].name) +
+             "\": " + std::to_string(snap.gauges[i].value);
+    }
+    out += "},\n\"histograms\": {";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      const auto& h = snap.histograms[i];
+      if (i != 0) out += ", ";
+      out += "\"" + json_escape(h.name) + "\": {\"unit\": \"" +
+             json_escape(h.unit) +
+             "\", \"count\": " + std::to_string(h.data.count) +
+             ", \"sum\": " + std::to_string(h.data.sum) +
+             ", \"mean\": " + format_double(h.data.mean()) +
+             ", \"p50\": " + std::to_string(h.data.percentile(0.50)) +
+             ", \"p99\": " + std::to_string(h.data.percentile(0.99)) +
+             ", \"max\": " + std::to_string(h.data.max) + "}";
+    }
+    out += "}\n}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status write_trace_json(const std::filesystem::path& path,
+                        bool include_metrics) {
+  return write_file(path, render_chrome_trace(include_metrics));
+}
+
+Status dump_trace_if_requested(const std::string& path) {
+  if (path.empty()) return Status::ok();
+  if (Status s = write_trace_json(path); !s) return s;
+  std::printf("trace written to %s (open in chrome://tracing or Perfetto)\n",
+              path.c_str());
+  const std::string table =
+      render_metrics_table(Registry::instance().snapshot());
+  if (!table.empty()) std::fputs(table.c_str(), stderr);
+  return Status::ok();
+}
+
+}  // namespace mcsd::obs

@@ -1,0 +1,40 @@
+// Aggregation + export: the cold half of the obs subsystem.
+//
+// Two consumers:
+//   * humans — `render_metrics_table` formats a Registry snapshot as an
+//     aligned text table (counters, gauges, histogram count/mean/p50/
+//     p99/max);
+//   * chrome://tracing / Perfetto — `write_trace_json` merges every
+//     thread's span ring into "trace event format" JSON.  The metrics
+//     snapshot rides along under the non-standard top-level key
+//     "mcsdMetrics" (the viewers ignore unknown keys; tools/mcsd_trace
+//     reads it back).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/result.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace mcsd::obs {
+
+/// Formats a snapshot as an aligned table; empty string when nothing was
+/// recorded.
+[[nodiscard]] std::string render_metrics_table(const MetricsSnapshot& snap);
+
+/// Serialises the merged trace (+ metrics when `include_metrics`) as a
+/// chrome://tracing JSON object.
+[[nodiscard]] std::string render_chrome_trace(bool include_metrics = true);
+
+/// Writes `render_chrome_trace` output to `path`.
+Status write_trace_json(const std::filesystem::path& path,
+                        bool include_metrics = true);
+
+/// Tool/example epilogue: when `path` is non-empty, write the trace
+/// there, print a one-line confirmation to stdout and a metrics table to
+/// stderr.  No-op (returns ok) when `path` is empty.
+Status dump_trace_if_requested(const std::string& path);
+
+}  // namespace mcsd::obs

@@ -1,0 +1,45 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace mcsd::obs {
+
+std::uint64_t trace_now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+TraceRegistry& TraceRegistry::instance() {
+  static TraceRegistry registry;
+  return registry;
+}
+
+TraceRing& TraceRegistry::this_thread_ring() {
+  thread_local TraceRing* ring = [this] {
+    std::lock_guard lock{mutex_};
+    rings_.push_back(std::make_shared<TraceRing>(next_tid_++));
+    return rings_.back().get();
+  }();
+  return *ring;
+}
+
+std::vector<std::shared_ptr<TraceRing>> TraceRegistry::rings() const {
+  std::lock_guard lock{mutex_};
+  return rings_;
+}
+
+std::uint64_t TraceRegistry::spans_recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings()) total += ring->total_pushed();
+  return total;
+}
+
+void TraceRegistry::clear() {
+  for (const auto& ring : rings()) ring->reset_for_tests();
+}
+
+}  // namespace mcsd::obs

@@ -1,0 +1,166 @@
+// Tracing layer: RAII spans into per-thread ring buffers.
+//
+// A Span stamps steady-clock nanoseconds on construction and pushes one
+// complete event on destruction into the calling thread's ring.  Rings
+// are fixed-capacity and overwrite oldest (tracing must never grow
+// unbounded inside a long daemon run); the registry keeps every ring
+// alive past thread exit so a trace written at shutdown still contains
+// worker-thread spans.
+//
+// Export: obs/reporter.hpp merges all rings into chrome://tracing "trace
+// event format" JSON (also loadable in Perfetto).  Each ring is guarded
+// by its own mutex — uncontended on the hot path because only the owner
+// thread pushes; the exporter takes it briefly per ring.  Spans are
+// orders of magnitude coarser than counter increments (microseconds of
+// work per span), so the ~20 ns uncontended lock is in the noise and
+// buys TSan-clean concurrent export.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "obs/counters.hpp"  // MCSD_OBS_ENABLED + obs::enabled()
+
+namespace mcsd::obs {
+
+/// One completed span.  Name and category are copied into fixed buffers:
+/// call sites build dynamic names ("fragment-7") and the ring outlives
+/// every caller scope.
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 48;
+  static constexpr std::size_t kCategoryCapacity = 16;
+
+  char name[kNameCapacity] = {};
+  char category[kCategoryCapacity] = {};
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// Nanoseconds since the process's trace epoch (first use).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Per-thread span ring.  Push is single-producer (the owning thread);
+/// the mutex exists for the exporter, which may run concurrently.
+class TraceRing {
+ public:
+  static constexpr std::size_t kCapacity = 8192;
+
+  explicit TraceRing(std::uint32_t tid) : tid_(tid) {
+    events_.resize(kCapacity);
+  }
+
+  void push(const TraceEvent& event) {
+    std::lock_guard lock{mutex_};
+    events_[total_ % kCapacity] = event;
+    ++total_;
+  }
+
+  /// Events currently held, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> drain_copy() const {
+    std::lock_guard lock{mutex_};
+    std::vector<TraceEvent> out;
+    const std::uint64_t held = std::min<std::uint64_t>(total_, kCapacity);
+    out.reserve(held);
+    for (std::uint64_t i = total_ - held; i < total_; ++i) {
+      out.push_back(events_[i % kCapacity]);
+    }
+    return out;
+  }
+
+  /// Spans ever pushed (>= held when the ring wrapped).
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    std::lock_guard lock{mutex_};
+    return total_;
+  }
+
+  [[nodiscard]] std::uint32_t tid() const noexcept { return tid_; }
+
+  /// Forgets all held events (tests); the ring stays registered because
+  /// its owning thread holds a pointer to it.
+  void reset_for_tests() {
+    std::lock_guard lock{mutex_};
+    total_ = 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+  std::uint32_t tid_;
+};
+
+/// Owns one ring per thread that ever opened a span.
+class TraceRegistry {
+ public:
+  static TraceRegistry& instance();
+
+  /// The calling thread's ring (created and registered on first use).
+  TraceRing& this_thread_ring();
+
+  /// Stable snapshot of all rings (shared ownership: safe against
+  /// concurrent thread creation).
+  [[nodiscard]] std::vector<std::shared_ptr<TraceRing>> rings() const;
+
+  /// Total spans recorded across all rings.
+  [[nodiscard]] std::uint64_t spans_recorded() const;
+
+  /// Drops all recorded events (tests).  Rings stay registered.
+  void clear();
+
+ private:
+  TraceRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span.  Does nothing (one relaxed bool load) when tracing is
+/// runtime-disabled at construction.
+class Span {
+ public:
+  Span(const char* category, std::string_view name) {
+    if (!enabled()) return;
+    active_ = true;
+    copy_into(event_.name, TraceEvent::kNameCapacity, name);
+    copy_into(event_.category, TraceEvent::kCategoryCapacity, category);
+    event_.start_ns = trace_now_ns();
+  }
+
+  ~Span() {
+    if (!active_) return;
+    event_.duration_ns = trace_now_ns() - event_.start_ns;
+    TraceRegistry::instance().this_thread_ring().push(event_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static void copy_into(char* dst, std::size_t capacity,
+                        std::string_view src) noexcept {
+    const std::size_t n = std::min(capacity - 1, src.size());
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+  }
+
+  TraceEvent event_;
+  bool active_ = false;
+};
+
+}  // namespace mcsd::obs
+
+#if MCSD_OBS_ENABLED
+#define MCSD_OBS_CONCAT_INNER(a, b) a##b
+#define MCSD_OBS_CONCAT(a, b) MCSD_OBS_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define MCSD_OBS_SPAN(category, name) \
+  ::mcsd::obs::Span MCSD_OBS_CONCAT(mcsd_obs_span_, __LINE__){category, name}
+#else
+#define MCSD_OBS_SPAN(category, name) ((void)0)
+#endif

@@ -1,5 +1,7 @@
 #include "partition/integrity.hpp"
 
+#include "obs/counters.hpp"
+
 namespace mcsd::part {
 
 IntegrityResult integrity_check(std::string_view input, std::size_t draft_cut,
@@ -24,6 +26,10 @@ IntegrityResult integrity_check(std::string_view input, std::size_t draft_cut,
   while (cut < input.size() && is_delim(input[cut])) ++cut;
   result.displacement = cut - draft_cut;
   result.hit_end = cut >= input.size();
+  // How far past the draft cut each check had to scan: long tails here
+  // mean record sizes dwarf the partition size safety margin.
+  MCSD_OBS_COUNT("part.integrity_checks", 1);
+  MCSD_OBS_HIST("part.integrity_scan_bytes", "bytes", result.displacement);
   return result;
 }
 

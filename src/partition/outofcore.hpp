@@ -16,6 +16,8 @@
 
 #include "core/stopwatch.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/merger.hpp"
 #include "partition/partitioner.hpp"
 
@@ -79,21 +81,32 @@ std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_partitioned(
   OutOfCoreMetrics& m = metrics ? *metrics : local;
   m = OutOfCoreMetrics{};
 
+  MCSD_OBS_SPAN("part", "part.run");
   Stopwatch watch;
-  const std::vector<Fragment> fragments = partition(input, partition_options);
+  std::vector<Fragment> fragments;
+  {
+    MCSD_OBS_SPAN("part", "part.partition");
+    fragments = partition(input, partition_options);
+  }
   m.partition_seconds = watch.elapsed_seconds();
   m.fragments = fragments.size();
+  MCSD_OBS_COUNT("part.fragments", fragments.size());
 
   std::vector<std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>>
       outputs;
   outputs.reserve(fragments.size());
   for (const Fragment& fragment : fragments) {
     watch.restart();
+    MCSD_OBS_SPAN("part",
+                  "part.fragment-" + std::to_string(fragment.index));
     mr::Metrics frag_metrics;
     auto chunks = job.chunker(fragment.text);
     outputs.push_back(
         engine.run(spec, chunks, fragment.text.size(), &frag_metrics));
-    m.mapreduce_seconds += watch.elapsed_seconds();
+    const double fragment_seconds = watch.elapsed_seconds();
+    m.mapreduce_seconds += fragment_seconds;
+    MCSD_OBS_HIST("part.fragment_us", "us",
+                  static_cast<std::uint64_t>(fragment_seconds * 1e6));
     m.peak_fragment_footprint_bytes =
         std::max(m.peak_fragment_footprint_bytes,
                  frag_metrics.peak_intermediate_bytes);
@@ -102,7 +115,11 @@ std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_partitioned(
   }
 
   watch.restart();
-  auto merged = job.merge(std::move(outputs));
+  std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> merged;
+  {
+    MCSD_OBS_SPAN("part", "part.merge");
+    merged = job.merge(std::move(outputs));
+  }
   m.merge_seconds = watch.elapsed_seconds();
   return merged;
 }
@@ -127,6 +144,7 @@ std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_adaptive(
     return run_partitioned(engine, spec, input, native, job, &m);
   } catch (const mr::MemoryOverflowError&) {
     // Fall through to partitioned mode.
+    MCSD_OBS_COUNT("part.adaptive_fallbacks", 1);
   }
 
   PartitionOptions opts;

@@ -1,5 +1,9 @@
 #include "runtime/policy.hpp"
 
+#include <cmath>
+
+#include "obs/counters.hpp"
+
 namespace mcsd::rt {
 
 namespace {
@@ -23,6 +27,23 @@ PlacementDecision OffloadPolicy::decide(std::uint64_t input_bytes,
   decision.placement = decision.offload_seconds < decision.host_seconds
                            ? Placement::kStorageNode
                            : Placement::kHost;
+  // Decision accounting: both cost terms (chosen and rejected) plus the
+  // margin between them, so a trace shows not just where jobs went but
+  // how close each call was.
+  if (decision.placement == Placement::kStorageNode) {
+    MCSD_OBS_COUNT("rt.decisions_storage", 1);
+  } else {
+    MCSD_OBS_COUNT("rt.decisions_host", 1);
+  }
+  MCSD_OBS_HIST("rt.predicted_host_us", "us",
+                static_cast<std::uint64_t>(decision.host_seconds * 1e6));
+  MCSD_OBS_HIST("rt.predicted_offload_us", "us",
+                static_cast<std::uint64_t>(decision.offload_seconds * 1e6));
+  MCSD_OBS_HIST("rt.decision_margin_us", "us",
+                static_cast<std::uint64_t>(
+                    std::abs(decision.host_seconds -
+                             decision.offload_seconds) *
+                    1e6));
   return decision;
 }
 

@@ -11,6 +11,8 @@
 #include "core/stopwatch.hpp"
 #include "core/strings.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "partition/outofcore.hpp"
 
 namespace mcsd::rt {
@@ -89,6 +91,7 @@ std::vector<std::pair<std::size_t, std::size_t>> McsdRuntime::shard_text(
 }
 
 Result<WordCountResult> McsdRuntime::word_count(std::string_view text) {
+  MCSD_OBS_SPAN("rt", "rt.word_count");
   const double rate = sim::wordcount_profile().seconds_per_mib;
   const PlacementDecision decision =
       options_.policy.decide(text.size(), rate, /*data_on_storage=*/false);
@@ -168,6 +171,7 @@ Result<WordCountResult> McsdRuntime::word_count(std::string_view text) {
         tables.push_back(apps::wordcount_sequential(
             text.substr(begin, end - begin)));
         ++result.report.shards_recovered;
+        MCSD_OBS_COUNT("rt.shards_recovered", 1);
         continue;
       }
       tables.push_back(std::move(partials[i]).value());
@@ -182,6 +186,7 @@ Result<WordCountResult> McsdRuntime::word_count(std::string_view text) {
 
 Result<StringMatchResult> McsdRuntime::string_match(
     std::string_view text, const std::vector<std::string>& keys) {
+  MCSD_OBS_SPAN("rt", "rt.string_match");
   if (keys.empty()) {
     return Error{ErrorCode::kInvalidArgument, "string_match needs keys"};
   }
@@ -260,6 +265,7 @@ Result<StringMatchResult> McsdRuntime::string_match(
                      text.substr(begin, end - begin), keys)
                      .size();
         ++result.report.shards_recovered;
+        MCSD_OBS_COUNT("rt.shards_recovered", 1);
         continue;
       }
       total += partials[i].value();

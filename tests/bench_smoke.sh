@@ -2,9 +2,27 @@
 # Smoke test of the figure-bench harnesses: every binary must run, exit 0,
 # and emit the expected CSV header under --csv (bit-stable output is a
 # documented property; the header is its anchor).
+#
+# Usage: bench_smoke.sh [bench-binary-dir]
+# ctest passes the directory via $<TARGET_FILE_DIR:...>, which resolves
+# for any CMake generator (Makefiles, Ninja, multi-config).  When run by
+# hand with no argument, the script locates the binaries itself.
 set -eu
 
-BIN_DIR="$1"
+if [ "$#" -ge 1 ]; then
+  BIN_DIR="$1"
+else
+  # Auto-detect: newest bench_fig9 under any build*/ next to this script.
+  repo_root=$(cd "$(dirname "$0")/.." && pwd)
+  BIN_DIR=""
+  for candidate in "$repo_root"/build*/bench "$repo_root"/build*/*/bench; do
+    [ -x "$candidate/bench_fig9" ] && BIN_DIR="$candidate"
+  done
+  if [ -z "$BIN_DIR" ]; then
+    echo "cannot find bench binaries; build first or pass the directory"
+    exit 1
+  fi
+fi
 
 check() {
   bin="$1"; expect="$2"; shift 2

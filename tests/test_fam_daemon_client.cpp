@@ -9,6 +9,7 @@
 #include "core/io.hpp"
 #include "fam/client.hpp"
 #include "fam/daemon.hpp"
+#include "obs/counters.hpp"
 
 namespace mcsd::fam {
 namespace {
@@ -270,6 +271,66 @@ TEST(ModuleRegistry, Basics) {
                    .is_ok());
   EXPECT_EQ(registry.names(), std::vector<std::string>{"echo"});
 }
+
+TEST(DaemonConfig, ParsesAllKeys) {
+  const auto parsed = KeyValueMap::parse(
+      "log_dir=/srv/mcsd\n"
+      "poll_interval_ms=7\n"
+      "dispatch_threads=4\n"
+      "backend=inotify\n");
+  ASSERT_TRUE(parsed.is_ok());
+  const auto options = daemon_options_from_config(parsed.value());
+  ASSERT_TRUE(options.is_ok());
+  EXPECT_EQ(options.value().log_dir, "/srv/mcsd");
+  EXPECT_EQ(options.value().poll_interval, std::chrono::milliseconds{7});
+  EXPECT_EQ(options.value().dispatch_threads, 4u);
+  EXPECT_EQ(options.value().backend, WatcherBackend::kInotify);
+}
+
+TEST(DaemonConfig, DefaultsApplyForOmittedKeys) {
+  const auto options = daemon_options_from_config(KeyValueMap{});
+  ASSERT_TRUE(options.is_ok());
+  EXPECT_EQ(options.value().poll_interval, kDefaultWatcherPollInterval);
+  EXPECT_EQ(options.value().backend, WatcherBackend::kPolling);
+}
+
+TEST(DaemonConfig, RejectsBadValuesAndUnknownKeys) {
+  const auto bad_interval =
+      KeyValueMap::parse("poll_interval_ms=0\n");
+  ASSERT_TRUE(bad_interval.is_ok());
+  EXPECT_FALSE(daemon_options_from_config(bad_interval.value()).is_ok());
+
+  const auto bad_backend = KeyValueMap::parse("backend=dbus\n");
+  ASSERT_TRUE(bad_backend.is_ok());
+  EXPECT_FALSE(daemon_options_from_config(bad_backend.value()).is_ok());
+
+  const auto typo = KeyValueMap::parse("pol_interval_ms=2\n");
+  ASSERT_TRUE(typo.is_ok());
+  EXPECT_FALSE(daemon_options_from_config(typo.value()).is_ok());
+}
+
+// The configured interval surfaces in the watcher's poll-latency
+// histogram label, so a trace attributes latency to the cadence that
+// produced it.
+#if MCSD_OBS_ENABLED
+TEST(DaemonConfig, PollIntervalLabelsWatcherHistogram) {
+  TempDir dir{"famcfg"};
+  const auto parsed = KeyValueMap::parse("poll_interval_ms=9\n");
+  ASSERT_TRUE(parsed.is_ok());
+  auto options = daemon_options_from_config(parsed.value());
+  ASSERT_TRUE(options.is_ok());
+  options.value().log_dir = dir.path();
+  Daemon daemon{std::move(options).value()};
+  daemon.start();
+  daemon.stop();
+  const auto snap = obs::Registry::instance().snapshot();
+  bool found = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "fam.watcher_poll_us(interval=9ms)") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+#endif
 
 }  // namespace
 }  // namespace mcsd::fam

@@ -1,0 +1,273 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/io.hpp"
+#include "obs/histogram.hpp"
+#include "obs/reporter.hpp"
+#include "obs/trace.hpp"
+
+namespace mcsd::obs {
+namespace {
+
+// The registry and trace rings are process-global, so every test uses
+// metric names prefixed with its own test name and asserts on deltas,
+// not absolute registry state.
+
+class ObsEnabledGuard {
+ public:
+  ObsEnabledGuard() : was_(enabled()) { set_enabled(true); }
+  ~ObsEnabledGuard() { set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(Counter, AccumulatesAcrossShards) {
+  ObsEnabledGuard guard;
+  Counter& c = Registry::instance().counter("t.counter.accum");
+  const std::uint64_t before = c.value();
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), before + 12);
+}
+
+TEST(Counter, RegistryReturnsStableReference) {
+  Counter& a = Registry::instance().counter("t.counter.stable");
+  Counter& b = Registry::instance().counter("t.counter.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Counter, EightThreadsSumExactly) {
+  ObsEnabledGuard guard;
+  Counter& c = Registry::instance().counter("t.counter.mt");
+  const std::uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), before + kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndSnapshot) {
+  ObsEnabledGuard guard;
+  Gauge& g = Registry::instance().gauge("t.gauge.set");
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Histogram, BucketsByLogTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+}
+
+TEST(Histogram, AggregatesCountSumMax) {
+  ObsEnabledGuard guard;
+  Histogram& h = Registry::instance().histogram("t.hist.agg", "us");
+  const HistogramData before = h.aggregate();
+  h.record(10);
+  h.record(100);
+  h.record(1000);
+  const HistogramData after = h.aggregate();
+  EXPECT_EQ(after.count - before.count, 3u);
+  EXPECT_EQ(after.sum - before.sum, 1110u);
+  EXPECT_GE(after.max, 1000u);
+  EXPECT_GT(after.mean(), 0.0);
+}
+
+TEST(Histogram, PercentileIsMonotonicAndBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramData d = h.aggregate();
+  const std::uint64_t p50 = d.percentile(0.50);
+  const std::uint64_t p99 = d.percentile(0.99);
+  EXPECT_LE(p50, p99);
+  // A log2 histogram reports the bucket upper bound: within 2x of truth.
+  EXPECT_GE(p50, 500u - 1);
+  EXPECT_LE(p99, 2048u);
+}
+
+TEST(Histogram, ConcurrentRecordsAllCounted) {
+  ObsEnabledGuard guard;
+  Histogram& h = Registry::instance().histogram("t.hist.mt", "us");
+  const std::uint64_t before = h.aggregate().count;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(i % (1u << (t + 1)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.aggregate().count - before, kThreads * kPerThread);
+}
+
+TEST(Registry, SnapshotContainsRegisteredMetrics) {
+  ObsEnabledGuard guard;
+  Registry::instance().counter("t.snap.counter").add(3);
+  Registry::instance().gauge("t.snap.gauge").set(9);
+  Registry::instance().histogram("t.snap.hist", "bytes").record(512);
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+
+  const auto has_counter = [&](const std::string& name) {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_counter("t.snap.counter"));
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "t.snap.hist") {
+      found_hist = true;
+      EXPECT_EQ(h.unit, "bytes");
+      EXPECT_GE(h.data.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(TraceRing, OverwritesOldestPastCapacity) {
+  TraceRing ring{/*tid=*/999};
+  const std::uint64_t total = TraceRing::kCapacity + 100;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    TraceEvent e{};
+    e.start_ns = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.total_pushed(), total);
+  const auto events = ring.drain_copy();
+  ASSERT_EQ(events.size(), TraceRing::kCapacity);
+  // The survivors are the newest kCapacity events, in order.
+  EXPECT_EQ(events.front().start_ns, total - TraceRing::kCapacity);
+  EXPECT_EQ(events.back().start_ns, total - 1);
+}
+
+#if MCSD_OBS_ENABLED
+TEST(Span, RecordsNameCategoryAndDuration) {
+  ObsEnabledGuard guard;
+  const std::uint64_t before = TraceRegistry::instance().spans_recorded();
+  {
+    MCSD_OBS_SPAN("test", "test.span_records");
+  }
+  EXPECT_EQ(TraceRegistry::instance().spans_recorded(), before + 1);
+  const auto events = TraceRegistry::instance().this_thread_ring().drain_copy();
+  ASSERT_FALSE(events.empty());
+  const TraceEvent& last = events.back();
+  EXPECT_STREQ(last.name, "test.span_records");
+  EXPECT_STREQ(last.category, "test");
+}
+
+TEST(Span, DisabledRecordsNothing) {
+  ObsEnabledGuard guard;
+  set_enabled(false);
+  const std::uint64_t before = TraceRegistry::instance().spans_recorded();
+  {
+    MCSD_OBS_SPAN("test", "test.span_disabled");
+  }
+  EXPECT_EQ(TraceRegistry::instance().spans_recorded(), before);
+}
+
+// The TSan target: 8 threads producing spans + counters + histogram
+// records while the main thread concurrently snapshots and renders the
+// trace.  Correctness assertion is exact span accounting; the data-race
+// assertion is TSan's (ctest -L tsan / the tsan CI job).
+TEST(Obs, ConcurrentProducersAndExporterAreClean) {
+  ObsEnabledGuard guard;
+  Counter& c = Registry::instance().counter("t.mixed.counter");
+  Histogram& h = Registry::instance().histogram("t.mixed.hist", "us");
+  const std::uint64_t spans_before =
+      TraceRegistry::instance().spans_recorded();
+  const std::uint64_t count_before = c.value();
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2'000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        MCSD_OBS_SPAN("test", "test.mixed");
+        c.add(1);
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent export while producers are live — must be race-free.
+  for (int i = 0; i < 20; ++i) {
+    const std::string rendered = render_chrome_trace();
+    EXPECT_NE(rendered.find("traceEvents"), std::string::npos);
+    (void)Registry::instance().snapshot();
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c.value() - count_before,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(TraceRegistry::instance().spans_recorded() - spans_before,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+#endif  // MCSD_OBS_ENABLED
+
+TEST(Reporter, WritesLoadableTraceFile) {
+  ObsEnabledGuard guard;
+  Registry::instance().counter("t.report.counter").add(1);
+  {
+    MCSD_OBS_SPAN("test", "test.report");
+  }
+  TempDir dir{"obs-test"};
+  const auto path = dir / "trace.json";
+  ASSERT_TRUE(write_trace_json(path).is_ok());
+  const auto contents = read_file(path);
+  ASSERT_TRUE(contents.is_ok());
+  EXPECT_NE(contents.value().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.value().find("\"mcsdMetrics\""), std::string::npos);
+  // Braces and brackets balance — cheap structural JSON sanity.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < contents.value().size(); ++i) {
+    const char ch = contents.value()[i];
+    if (ch == '"' && (i == 0 || contents.value()[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (in_string) continue;
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Reporter, MetricsTableListsEverything) {
+  ObsEnabledGuard guard;
+  Registry::instance().counter("t.table.counter").add(2);
+  Registry::instance().histogram("t.table.hist", "us").record(100);
+  const std::string table =
+      render_metrics_table(Registry::instance().snapshot());
+  EXPECT_NE(table.find("t.table.counter"), std::string::npos);
+  EXPECT_NE(table.find("t.table.hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcsd::obs

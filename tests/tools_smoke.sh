@@ -10,9 +10,12 @@ trap 'kill $DPID 2>/dev/null || true; rm -rf "$WORK"' EXIT
 printf 'hello world hello mcsd world hello\n' > "$WORK/corpus.txt"
 printf 'a,1\nb,2\nc,3\n' > "$WORK/t.csv"
 
-# Hold the daemon's stdin open with a fifo so it keeps serving.
+# Daemon options come from a config file (--dir stays a flag override);
+# hold the daemon's stdin open with a fifo so it keeps serving.
+printf 'poll_interval_ms=2\ndispatch_threads=2\n' > "$WORK/daemon.conf"
 mkfifo "$WORK/ctl"
-"$BIN_DIR/mcsd_daemon" --dir "$WORK" --workers 2 < "$WORK/ctl" &
+"$BIN_DIR/mcsd_daemon" --dir "$WORK" --config "$WORK/daemon.conf" \
+    --trace-out "$WORK/daemon-trace.json" < "$WORK/ctl" &
 DPID=$!
 exec 3>"$WORK/ctl"  # keep the write end open
 
@@ -37,5 +40,21 @@ grep -q '^b,2$' "$WORK/r.csv" || { echo "bad select output"; exit 1; }
 if "$BIN_DIR/mcsd_invoke" --dir "$WORK" --module ghost 2>/dev/null; then
   echo "ghost module unexpectedly succeeded"; exit 1
 fi
+
+# A bad config key fails loudly (typos must not run defaults).
+printf 'pol_interval_ms=2\n' > "$WORK/bad.conf"
+if "$BIN_DIR/mcsd_daemon" --dir "$WORK" --config "$WORK/bad.conf" \
+    < /dev/null 2>/dev/null; then
+  echo "bad config unexpectedly accepted"; exit 1
+fi
+
+# Clean daemon shutdown writes the trace requested via --trace-out.
+printf 'q' >&3 || true
+exec 3>&-
+wait $DPID 2>/dev/null || true
+[ -f "$WORK/daemon-trace.json" ] || { echo "daemon wrote no trace"; exit 1; }
+grep -q 'traceEvents' "$WORK/daemon-trace.json" || {
+  echo "daemon trace malformed"; exit 1;
+}
 
 echo "tools smoke test passed"

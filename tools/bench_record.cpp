@@ -1,26 +1,32 @@
-// bench_record: measures the MapReduce hot path and appends the numbers to
-// a JSON trajectory file (default BENCH_mapreduce.json in the working
-// directory), so successive PRs accumulate a perf history to regress
-// against.
+// bench_record: measures a benchmark suite and appends the numbers to a
+// JSON trajectory file, so successive PRs accumulate a perf history to
+// regress against (the append/splice machinery lives in trajectory.hpp).
 //
-// Measured series, all on a generated corpus of --bytes:
+//   bench_record --suite mapreduce   -> BENCH_mapreduce.json (default)
+//   bench_record --suite obs         -> BENCH_obs.json
+//
+// Suite `mapreduce`, all on a generated corpus of --bytes:
 //   * wordcount_sequential  — the single-thread hash-map reference;
 //   * wordcount_engine/N    — the full engine at each worker count;
 //   * stringmatch_engine/N  — the identity-reduce path;
 //   * combine_ratio         — raw emits per surviving key (emit-time
 //                             combining effectiveness).
+//
+// Suite `obs` records what the observability layer costs:
+//   * wordcount_obs_on/N, wordcount_obs_off/N — the instrumented engine
+//     with obs runtime-enabled vs -disabled;
+//   * obs_overhead_pct      — the on/off throughput delta (the budget in
+//     DESIGN.md section 8 is <= 2%);
+//   * obs_counter_ns, obs_span_ns — per-op hot-path costs.
+//
 // Each series reports the best-of --reps wall-clock MB/s (best, not mean:
 // the minimum over repetitions is the standard low-noise estimator for
-// microbenchmarks on a shared machine).
-//
-// The output file is a JSON array of run objects; an existing file is
-// appended to in place, so the file carries the before/after trajectory
-// across PRs.  `--label` names the run (e.g. "seed", "pr1-hash-combine").
+// microbenchmarks on a shared machine).  `--label` names the run (e.g.
+// "seed", "pr1-hash-combine").
 #include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
-#include <ctime>
 #include <string>
 #include <vector>
 
@@ -28,18 +34,15 @@
 #include "apps/stringmatch.hpp"
 #include "apps/wordcount.hpp"
 #include "core/cli.hpp"
-#include "core/io.hpp"
 #include "core/stopwatch.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "trajectory.hpp"
 
 namespace {
 
 using namespace mcsd;
-
-struct Series {
-  std::string name;
-  double mb_per_s = 0.0;
-};
 
 // Keeps measured results observable so the runs are not optimised away.
 volatile std::uint64_t g_sink = 0;
@@ -58,63 +61,45 @@ double measure_mb_s(std::uint64_t bytes, int reps, Fn fn) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0) / best_seconds;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+/// Best-of-reps per-iteration cost of `fn` run `iters` times.
+template <typename Fn>
+double measure_ns_per_op(int reps, std::uint64_t iters, Fn fn) {
+  double best_seconds = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double s = watch.elapsed_seconds();
+    if (r == 0 || s < best_seconds) best_seconds = s;
   }
-  return out;
+  return best_seconds * 1e9 / static_cast<double>(iters);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliParser cli;
-  cli.add_option("out", "BENCH_mapreduce.json", "trajectory file to append to");
-  cli.add_option("label", "dev", "name for this run in the trajectory");
-  cli.add_option("bytes", "8M", "corpus size");
-  cli.add_option("reps", "5", "repetitions per series (best is recorded)");
-  cli.add_option("workers", "1,2,4", "comma-separated engine worker counts");
-  const auto status = cli.parse(argc, argv);
-  if (!status.is_ok()) {
-    std::fprintf(stderr, "%s\n", status.to_string().c_str());
-    return 2;
+std::vector<std::size_t> parse_worker_counts(const std::string& spec) {
+  std::vector<std::size_t> counts;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    counts.push_back(
+        static_cast<std::size_t>(std::stoul(spec.substr(pos, comma - pos))));
+    pos = comma + 1;
   }
+  return counts;
+}
 
-  const auto bytes = cli.option_bytes("bytes");
-  const auto reps64 = cli.option_int("reps");
-  if (!bytes.is_ok() || !reps64.is_ok() || reps64.value() < 1) {
-    std::fprintf(stderr, "bad --bytes or --reps\n");
-    return 2;
-  }
-  const int reps = static_cast<int>(reps64.value());
-
-  std::vector<std::size_t> worker_counts;
-  {
-    const std::string spec = cli.option("workers");
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      std::size_t comma = spec.find(',', pos);
-      if (comma == std::string::npos) comma = spec.size();
-      worker_counts.push_back(
-          static_cast<std::size_t>(std::stoul(spec.substr(pos, comma - pos))));
-      pos = comma + 1;
-    }
-  }
-
+void run_mapreduce_suite(bench::TrajectoryEntry& entry,
+                         const std::vector<std::size_t>& worker_counts,
+                         std::uint64_t bytes, int reps) {
   apps::CorpusOptions corpus;
-  corpus.bytes = bytes.value();
+  corpus.bytes = bytes;
   corpus.vocabulary = 5'000;
   const std::string text = apps::generate_corpus(corpus);
 
-  std::vector<Series> series;
   double combine_ratio = 1.0;
-
-  series.push_back({"wordcount_sequential",
-                    measure_mb_s(text.size(), reps, [&] {
-                      g_sink += apps::wordcount_sequential(text).size();
-                    })});
+  entry.add_series("wordcount_sequential",
+                   measure_mb_s(text.size(), reps, [&] {
+                     g_sink = g_sink + apps::wordcount_sequential(text).size();
+                   }));
 
   for (std::size_t workers : worker_counts) {
     mr::Options opts;
@@ -122,12 +107,13 @@ int main(int argc, char** argv) {
     mr::Engine<apps::WordCountSpec> engine{opts};
     const auto chunks = mr::split_text(text, 64 * 1024);
     mr::Metrics metrics;
-    series.push_back(
-        {"wordcount_engine/" + std::to_string(workers),
-         measure_mb_s(text.size(), reps, [&] {
-           g_sink +=
-               engine.run(apps::WordCountSpec{}, chunks, 0, &metrics).size();
-         })});
+    entry.add_series(
+        "wordcount_engine/" + std::to_string(workers),
+        measure_mb_s(text.size(), reps, [&] {
+          g_sink = g_sink +
+                   engine.run(apps::WordCountSpec{}, chunks, 0, &metrics)
+                       .size();
+        }));
     if (metrics.unique_keys != 0) {
       combine_ratio = static_cast<double>(metrics.map_emits) /
                       static_cast<double>(metrics.unique_keys);
@@ -136,7 +122,7 @@ int main(int argc, char** argv) {
 
   {
     apps::LineFileOptions lf;
-    lf.bytes = bytes.value();
+    lf.bytes = bytes;
     std::string sm_text = apps::generate_line_file(lf);
     apps::KeysOptions ko;
     ko.count = 8;
@@ -147,70 +133,128 @@ int main(int argc, char** argv) {
       opts.num_workers = workers;
       mr::Engine<apps::StringMatchSpec> engine{opts};
       const auto chunks = mr::split_lines(sm_text, 64 * 1024);
-      series.push_back({"stringmatch_engine/" + std::to_string(workers),
-                        measure_mb_s(sm_text.size(), reps, [&] {
-                          g_sink += engine.run(spec, chunks).size();
-                        })});
+      entry.add_series("stringmatch_engine/" + std::to_string(workers),
+                       measure_mb_s(sm_text.size(), reps, [&] {
+                         g_sink = g_sink + engine.run(spec, chunks).size();
+                       }));
     }
   }
+  entry.add_number("wordcount_combine_ratio", combine_ratio);
+}
 
-  // Assemble this run's JSON object.
-  char when[32] = "unknown";
-  {
-    const std::time_t now = std::time(nullptr);
-    std::tm tm_utc{};
-    if (gmtime_r(&now, &tm_utc) != nullptr) {
-      std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-    }
-  }
-  std::string entry = "  {\n";
-  entry += "    \"label\": \"" + json_escape(cli.option("label")) + "\",\n";
-  entry += "    \"recorded_utc\": \"" + std::string(when) + "\",\n";
-  entry += "    \"corpus_bytes\": " + std::to_string(bytes.value()) + ",\n";
-  entry += "    \"reps\": " + std::to_string(reps) + ",\n";
-  char ratio_buf[64];
-  std::snprintf(ratio_buf, sizeof(ratio_buf), "%.3f", combine_ratio);
-  entry += "    \"wordcount_combine_ratio\": " + std::string(ratio_buf) +
-           ",\n";
-  entry += "    \"throughput_mb_s\": {\n";
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.2f", series[i].mb_per_s);
-    entry += "      \"" + series[i].name + "\": " + buf;
-    entry += i + 1 < series.size() ? ",\n" : "\n";
-  }
-  entry += "    }\n  }";
+void run_obs_suite(bench::TrajectoryEntry& entry,
+                   const std::vector<std::size_t>& worker_counts,
+                   std::uint64_t bytes, int reps) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = bytes;
+  corpus.vocabulary = 5'000;
+  const std::string text = apps::generate_corpus(corpus);
+  const auto chunks = mr::split_text(text, 64 * 1024);
 
-  // Append into the JSON array (create it if absent).  The file is always
-  // written by this tool, so the trailing "]" scan is safe.
-  const std::string path = cli.option("out");
-  std::string contents;
-  if (auto existing = read_file(path); existing.is_ok()) {
-    contents = std::move(existing).value();
+  const bool was_enabled = obs::enabled();
+  double on_sum = 0.0, off_sum = 0.0;
+  for (std::size_t workers : worker_counts) {
+    mr::Options opts;
+    opts.num_workers = workers;
+    mr::Engine<apps::WordCountSpec> engine{opts};
+    // Warmup pass so the A/B comparison is not skewed by first-touch
+    // page faults and allocator growth landing on whichever side runs
+    // first.
+    g_sink = g_sink + engine.run(apps::WordCountSpec{}, chunks).size();
+    obs::set_enabled(true);
+    const double on = measure_mb_s(text.size(), reps, [&] {
+      g_sink = g_sink + engine.run(apps::WordCountSpec{}, chunks).size();
+    });
+    obs::set_enabled(false);
+    const double off = measure_mb_s(text.size(), reps, [&] {
+      g_sink = g_sink + engine.run(apps::WordCountSpec{}, chunks).size();
+    });
+    entry.add_series("wordcount_obs_on/" + std::to_string(workers), on);
+    entry.add_series("wordcount_obs_off/" + std::to_string(workers), off);
+    on_sum += on;
+    off_sum += off;
   }
-  const std::size_t close = contents.rfind(']');
-  if (close == std::string::npos) {
-    contents = "[\n" + entry + "\n]\n";
+
+  // Hot-path per-op costs, measured on this thread's shard/ring.
+  obs::set_enabled(true);
+  obs::Counter& counter =
+      obs::Registry::instance().counter("bench.counter_probe");
+  entry.add_number("obs_counter_ns",
+                   measure_ns_per_op(reps, 2'000'000, [&] {
+                     counter.add(1);
+                   }),
+                   1);
+  entry.add_number("obs_span_ns", measure_ns_per_op(reps, 200'000, [] {
+                     MCSD_OBS_SPAN("bench", "bench.span_probe");
+                   }),
+                   1);
+  obs::set_enabled(was_enabled);
+
+  const double overhead_pct =
+      off_sum > 0.0 ? (off_sum - on_sum) / off_sum * 100.0 : 0.0;
+  entry.add_number("obs_overhead_pct", overhead_pct);
+#if !MCSD_OBS_ENABLED
+  entry.add_field("obs_compiled_out", "true");
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("suite", "mapreduce", "benchmark suite: mapreduce | obs");
+  cli.add_option("out", "", "trajectory file (default BENCH_<suite>.json)");
+  cli.add_option("label", "dev", "name for this run in the trajectory");
+  cli.add_option("bytes", "8M", "corpus size");
+  cli.add_option("reps", "5", "repetitions per series (best is recorded)");
+  cli.add_option("workers", "1,2,4", "comma-separated engine worker counts");
+  const auto status = cli.parse(argc, argv);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 2;
+  }
+
+  const std::string suite = cli.option("suite");
+  if (suite != "mapreduce" && suite != "obs") {
+    std::fprintf(stderr, "unknown --suite '%s' (mapreduce | obs)\n",
+                 suite.c_str());
+    return 2;
+  }
+  const auto bytes = cli.option_bytes("bytes");
+  const auto reps64 = cli.option_int("reps");
+  if (!bytes.is_ok() || !reps64.is_ok() || reps64.value() < 1) {
+    std::fprintf(stderr, "bad --bytes or --reps\n");
+    return 2;
+  }
+  const int reps = static_cast<int>(reps64.value());
+  const auto worker_counts = parse_worker_counts(cli.option("workers"));
+  std::string path = cli.option("out");
+  if (path.empty()) path = "BENCH_" + suite + ".json";
+
+  bench::TrajectoryEntry entry;
+  entry.label = cli.option("label");
+  entry.add_field("suite", "\"" + bench::json_escape(suite) + "\"");
+  entry.add_field("corpus_bytes", std::to_string(bytes.value()));
+  entry.add_field("reps", std::to_string(reps));
+  if (suite == "mapreduce") {
+    run_mapreduce_suite(entry, worker_counts, bytes.value(), reps);
   } else {
-    const std::size_t last_brace = contents.rfind('}', close);
-    if (last_brace == std::string::npos) {  // empty array
-      contents = "[\n" + entry + "\n]\n";
-    } else {
-      contents =
-          contents.substr(0, last_brace + 1) + ",\n" + entry + "\n]\n";
-    }
+    run_obs_suite(entry, worker_counts, bytes.value(), reps);
   }
-  if (const auto write = write_file(path, contents); !write.is_ok()) {
+
+  if (const auto write = bench::append_trajectory(path, entry); !write) {
     std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
                  write.to_string().c_str());
     return 1;
   }
 
-  for (const auto& s : series) {
-    std::printf("%-24s %10.2f MB/s\n", s.name.c_str(), s.mb_per_s);
+  for (const auto& [name, mb_s] : entry.throughput_mb_s) {
+    std::printf("%-26s %10.2f MB/s\n", name.c_str(), mb_s);
   }
-  std::printf("%-24s %10.3f\n", "wordcount_combine_ratio", combine_ratio);
-  std::printf("recorded '%s' -> %s\n", cli.option("label").c_str(),
-              path.c_str());
+  for (const auto& [key, value] : entry.fields) {
+    if (key == "suite" || key == "corpus_bytes" || key == "reps") continue;
+    std::printf("%-26s %10s\n", key.c_str(), value.c_str());
+  }
+  std::printf("recorded '%s' -> %s\n", entry.label.c_str(), path.c_str());
   return 0;
 }

@@ -6,7 +6,11 @@
 // message flow runs across real processes/machines.
 //
 //   mcsd_daemon --dir /srv/mcsd --workers 2 [--inotify] [--verbose]
+//               [--config daemon.conf] [--trace-out trace.json]
 //
+// `--config` reads a core/config key=value file (log_dir,
+// poll_interval_ms, dispatch_threads, backend); explicit flags override
+// it.  `--trace-out` writes the obs trace + metrics on shutdown.
 // Runs until stdin closes or SIGINT.
 #include <csignal>
 #include <cstdio>
@@ -14,8 +18,10 @@
 
 #include "apps/modules.hpp"
 #include "core/cli.hpp"
+#include "core/io.hpp"
 #include "core/log.hpp"
 #include "fam/daemon.hpp"
+#include "obs/reporter.hpp"
 
 using namespace mcsd;
 
@@ -26,50 +32,87 @@ void handle_signal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   CliParser cli;
-  cli.add_option("dir", "", "shared log folder to serve (required)");
-  cli.add_option("workers", "2", "dispatch threads / module worker cap");
-  cli.add_option("poll-ms", "2", "watcher poll interval, milliseconds");
+  cli.add_option("dir", "", "shared log folder to serve");
+  cli.add_option("config", "",
+                 "core/config file seeding the daemon options");
+  cli.add_option("workers", "", "dispatch threads (default 2)");
+  cli.add_option("poll-ms", "", "watcher poll interval, milliseconds");
+  cli.add_option("trace-out", "",
+                 "write obs trace JSON + metrics here on shutdown");
   cli.add_flag("inotify", "use the Linux inotify backend (local FS only)");
   cli.add_flag("verbose", "info-level logging");
   if (Status s = cli.parse(argc, argv); !s) {
     std::fprintf(stderr, "%s\n", s.error().message().c_str());
     return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
   }
-  const std::string dir = cli.option("dir");
-  if (dir.empty()) {
-    std::fprintf(stderr, "--dir is required\n%s",
-                 cli.usage(argv[0]).c_str());
-    return 2;
-  }
   if (cli.flag("verbose")) {
     Logger::instance().set_level(LogLevel::kInfo);
   }
-  const auto workers =
-      static_cast<std::size_t>(std::max<std::int64_t>(
-          cli.option_int("workers").value_or(2), 1));
-  const auto poll_ms = std::max<std::int64_t>(
-      cli.option_int("poll-ms").value_or(2), 1);
 
   fam::DaemonOptions options;
-  options.log_dir = dir;
-  options.poll_interval = std::chrono::milliseconds{poll_ms};
-  options.dispatch_threads = workers;
-  options.backend = cli.flag("inotify") ? fam::WatcherBackend::kInotify
-                                        : fam::WatcherBackend::kPolling;
+  options.dispatch_threads = 2;
+  if (const std::string config_path = cli.option("config");
+      !config_path.empty()) {
+    auto contents = read_file(config_path);
+    if (!contents) {
+      std::fprintf(stderr, "cannot read --config %s: %s\n",
+                   config_path.c_str(),
+                   contents.error().to_string().c_str());
+      return 2;
+    }
+    auto parsed = KeyValueMap::parse(contents.value());
+    if (!parsed) {
+      std::fprintf(stderr, "bad --config %s: %s\n", config_path.c_str(),
+                   parsed.error().to_string().c_str());
+      return 2;
+    }
+    auto from_config = fam::daemon_options_from_config(parsed.value());
+    if (!from_config) {
+      std::fprintf(stderr, "bad --config %s: %s\n", config_path.c_str(),
+                   from_config.error().to_string().c_str());
+      return 2;
+    }
+    const std::size_t config_workers =
+        from_config.value().dispatch_threads;
+    options = std::move(from_config).value();
+    options.dispatch_threads = std::max<std::size_t>(config_workers, 1);
+  }
+  if (const std::string dir = cli.option("dir"); !dir.empty()) {
+    options.log_dir = dir;
+  }
+  if (!cli.option("workers").empty()) {
+    options.dispatch_threads = static_cast<std::size_t>(
+        std::max<std::int64_t>(cli.option_int("workers").value_or(2), 1));
+  }
+  if (!cli.option("poll-ms").empty()) {
+    options.poll_interval = std::chrono::milliseconds{
+        std::max<std::int64_t>(cli.option_int("poll-ms").value_or(2), 1)};
+  }
+  if (cli.flag("inotify")) {
+    options.backend = fam::WatcherBackend::kInotify;
+  }
+  if (options.log_dir.empty()) {
+    std::fprintf(stderr, "--dir (or log_dir in --config) is required\n%s",
+                 cli.usage(argv[0]).c_str());
+    return 2;
+  }
+
   fam::Daemon daemon{options};
   if (Status s = apps::preload_standard_modules(
           [&daemon](auto m) { return daemon.preload(std::move(m)); },
-          workers);
+          options.dispatch_threads);
       !s) {
     std::fprintf(stderr, "preload failed: %s\n", s.to_string().c_str());
     return 1;
   }
   daemon.start();
-  std::printf("mcsd_daemon serving %s (%zu worker%s, %s backend)\n",
-              dir.c_str(), workers, workers == 1 ? "" : "s",
+  std::printf("mcsd_daemon serving %s (%zu worker%s, %s backend, poll %lld ms)\n",
+              options.log_dir.c_str(), options.dispatch_threads,
+              options.dispatch_threads == 1 ? "" : "s",
               daemon.active_backend() == fam::WatcherBackend::kInotify
                   ? "inotify"
-                  : "polling");
+                  : "polling",
+              static_cast<long long>(options.poll_interval.count()));
   std::puts("modules: wordcount stringmatch matmul select sort join");
   std::puts("press Ctrl-C (or close stdin) to stop");
 
@@ -84,5 +127,9 @@ int main(int argc, char** argv) {
   std::printf("served %llu request(s), %llu error(s)\n",
               static_cast<unsigned long long>(daemon.requests_handled()),
               static_cast<unsigned long long>(daemon.errors_returned()));
+  if (Status s = obs::dump_trace_if_requested(cli.option("trace-out")); !s) {
+    std::fprintf(stderr, "cannot write trace: %s\n", s.to_string().c_str());
+    return 1;
+  }
   return 0;
 }

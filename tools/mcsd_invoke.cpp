@@ -15,6 +15,7 @@
 #include "core/strings.hpp"
 #include "core/units.hpp"
 #include "fam/client.hpp"
+#include "obs/reporter.hpp"
 
 using namespace mcsd;
 
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   cli.add_option("module", "", "module to invoke (required)");
   cli.add_option("timeout-ms", "60000", "per-attempt response timeout");
   cli.add_option("attempts", "1", "total attempts");
+  cli.add_option("trace-out", "",
+                 "write obs trace JSON + metrics here on exit");
   if (Status s = cli.parse(argc, argv); !s) {
     std::fprintf(stderr, "%s\n", s.error().message().c_str());
     return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
@@ -76,6 +79,10 @@ int main(int argc, char** argv) {
   }
   for (const auto& [key, value] : result.value().entries()) {
     std::printf("%s=%s\n", key.c_str(), value.c_str());
+  }
+  if (Status s = obs::dump_trace_if_requested(cli.option("trace-out")); !s) {
+    std::fprintf(stderr, "cannot write trace: %s\n", s.to_string().c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,203 @@
+// mcsd_trace — summarize a McSD obs trace JSON from the terminal.
+//
+//   mcsd_trace trace.json [--by-thread] [--top 20]
+//
+// Reads the chrome://tracing JSON written by `--trace-out` (examples,
+// mcsd_daemon, mcsd_invoke) and prints per-span aggregates — count,
+// total/mean/max duration grouped by category.name — plus the embedded
+// `mcsdMetrics` counters and histogram summaries.  The graphical viewers
+// remain the deep-dive path; this is the ssh-session-friendly view.
+//
+// The parser targets the writer in src/obs/reporter.cpp: one event
+// object per line, flat string/number fields.  It is not a general JSON
+// parser and does not try to be.
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/io.hpp"
+#include "core/strings.hpp"
+
+using namespace mcsd;
+
+namespace {
+
+/// Extracts `"key":"value"` from a single-line JSON object.
+std::string string_field(std::string_view obj, std::string_view key) {
+  const std::string needle = "\"" + std::string{key} + "\":\"";
+  const auto pos = obj.find(needle);
+  if (pos == std::string_view::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = obj.find('"', start);
+  if (end == std::string_view::npos) return {};
+  return std::string{obj.substr(start, end - start)};
+}
+
+/// Extracts `"key":number` (integer or decimal) as a double.
+double number_field(std::string_view obj, std::string_view key) {
+  const std::string needle = "\"" + std::string{key} + "\":";
+  const auto pos = obj.find(needle);
+  if (pos == std::string_view::npos) return 0.0;
+  return std::strtod(obj.data() + pos + needle.size(), nullptr);
+}
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+void print_span_table(const std::map<std::string, SpanStats>& spans,
+                      std::size_t top) {
+  std::vector<std::pair<std::string, SpanStats>> rows{spans.begin(),
+                                                      spans.end()};
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  if (top != 0 && rows.size() > top) rows.resize(top);
+  std::printf("%-44s %8s %12s %12s %12s\n", "span", "count", "total_us",
+              "mean_us", "max_us");
+  for (const auto& [name, s] : rows) {
+    std::printf("%-44s %8llu %12.1f %12.1f %12.1f\n", name.c_str(),
+                static_cast<unsigned long long>(s.count), s.total_us,
+                s.total_us / static_cast<double>(s.count), s.max_us);
+  }
+}
+
+/// Prints the flat `"name": value` pairs of a one-line JSON object body.
+void print_scalar_map(std::string_view body, const char* indent) {
+  std::size_t pos = 0;
+  while ((pos = body.find('"', pos)) != std::string_view::npos) {
+    const auto name_end = body.find('"', pos + 1);
+    if (name_end == std::string_view::npos) break;
+    const std::string name{body.substr(pos + 1, name_end - pos - 1)};
+    const auto colon = body.find(':', name_end);
+    if (colon == std::string_view::npos) break;
+    const double value = std::strtod(body.data() + colon + 1, nullptr);
+    std::printf("%s%-44s %14.0f\n", indent, name.c_str(), value);
+    const auto comma = body.find(',', colon);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+}
+
+/// Returns the `{...}` body following `"section": {`, or empty.
+std::string_view section_body(std::string_view text,
+                              std::string_view section) {
+  const std::string needle = "\"" + std::string{section} + "\": {";
+  const auto pos = text.find(needle);
+  if (pos == std::string_view::npos) return {};
+  const auto start = pos + needle.size();
+  // Sections are flat except histograms, whose values are one-level
+  // nested objects — track depth.
+  int depth = 1;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) {
+      return text.substr(start, i - start);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("top", "0", "print only the N busiest spans (0 = all)");
+  cli.add_flag("by-thread", "break span aggregates out per thread");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fprintf(stderr, "%s\n", s.error().message().c_str());
+    return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
+  }
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr, "usage: mcsd_trace <trace.json> [--top N]\n");
+    return 2;
+  }
+  auto contents = read_file(cli.positional().front());
+  if (!contents) {
+    std::fprintf(stderr, "cannot read %s: %s\n",
+                 cli.positional().front().c_str(),
+                 contents.error().to_string().c_str());
+    return 1;
+  }
+  const bool by_thread = cli.flag("by-thread");
+  const auto top = static_cast<std::size_t>(
+      std::max<std::int64_t>(cli.option_int("top").value_or(0), 0));
+
+  std::map<std::string, SpanStats> spans;
+  std::map<std::uint64_t, std::uint64_t> events_per_tid;
+  double first_ts_us = 0.0, last_end_us = 0.0;
+  bool saw_event = false;
+
+  for (const auto line : split(contents.value(), '\n')) {
+    if (line.find("\"ph\":\"X\"") == std::string_view::npos) continue;
+    const std::string name = string_field(line, "name");
+    const std::string cat = string_field(line, "cat");
+    const double ts = number_field(line, "ts");
+    const double dur = number_field(line, "dur");
+    const auto tid = static_cast<std::uint64_t>(number_field(line, "tid"));
+    // Span names conventionally carry their category prefix already
+    // ("mr.map" in cat "mr") — only prepend when they don't.
+    std::string key = cat.empty() || name.rfind(cat + ".", 0) == 0
+                          ? name
+                          : cat + "." + name;
+    if (by_thread) key += " tid=" + std::to_string(tid);
+    auto& s = spans[key];
+    ++s.count;
+    s.total_us += dur;
+    s.max_us = std::max(s.max_us, dur);
+    ++events_per_tid[tid];
+    if (!saw_event || ts < first_ts_us) first_ts_us = ts;
+    last_end_us = std::max(last_end_us, ts + dur);
+    saw_event = true;
+  }
+
+  if (!saw_event) {
+    std::puts("no span events found (was the run built with "
+              "MCSD_ENABLE_OBS and obs enabled?)");
+  } else {
+    std::printf("%zu span name(s) across %zu thread(s), wall span %.1f us\n\n",
+                spans.size(), events_per_tid.size(),
+                last_end_us - first_ts_us);
+    print_span_table(spans, top);
+  }
+
+  const std::string_view text = contents.value();
+  if (const auto counters = section_body(text, "counters");
+      !counters.empty()) {
+    std::puts("\ncounters:");
+    print_scalar_map(counters, "  ");
+  }
+  if (const auto gauges = section_body(text, "gauges"); !gauges.empty()) {
+    std::puts("\ngauges:");
+    print_scalar_map(gauges, "  ");
+  }
+  if (const auto hists = section_body(text, "histograms");
+      !hists.empty()) {
+    std::puts("\nhistograms (count / mean / p99 / max):");
+    // Each value is a nested one-line object: "name": {...}.
+    std::size_t pos = 0;
+    while ((pos = hists.find('"', pos)) != std::string_view::npos) {
+      const auto name_end = hists.find('"', pos + 1);
+      if (name_end == std::string_view::npos) break;
+      const std::string name{hists.substr(pos + 1, name_end - pos - 1)};
+      const auto open = hists.find('{', name_end);
+      if (open == std::string_view::npos) break;
+      const auto close = hists.find('}', open);
+      if (close == std::string_view::npos) break;
+      const auto body = hists.substr(open, close - open + 1);
+      std::printf("  %-44s %10.0f %10.1f %10.0f %10.0f\n", name.c_str(),
+                  number_field(body, "count"), number_field(body, "mean"),
+                  number_field(body, "p99"), number_field(body, "max"));
+      pos = close + 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared perf-trajectory recording for the bench tools.
+//
+// A trajectory file is a JSON array of run objects; each tool invocation
+// appends one object, so the file accumulates a before/after perf
+// history across PRs (BENCH_mapreduce.json, BENCH_obs.json, ...).  The
+// files are only ever written by these tools, which is what makes the
+// trailing-"]" splice in append() safe.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/io.hpp"
+#include "core/result.hpp"
+
+namespace mcsd::bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+/// One run object for a trajectory file.  `fields` values are raw JSON
+/// (already-rendered numbers or quoted strings); `throughput_mb_s`
+/// becomes the nested series map every suite reports.
+struct TrajectoryEntry {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::vector<std::pair<std::string, double>> throughput_mb_s;
+
+  void add_field(std::string key, std::string raw_json_value) {
+    fields.emplace_back(std::move(key), std::move(raw_json_value));
+  }
+  void add_number(std::string key, double value, int decimals = 3) {
+    add_field(std::move(key), format_fixed(value, decimals));
+  }
+  void add_series(std::string name, double mb_per_s) {
+    throughput_mb_s.emplace_back(std::move(name), mb_per_s);
+  }
+
+  [[nodiscard]] std::string render() const {
+    char when[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    std::string entry = "  {\n";
+    entry += "    \"label\": \"" + json_escape(label) + "\",\n";
+    entry += "    \"recorded_utc\": \"" + std::string(when) + "\",\n";
+    for (const auto& [key, value] : fields) {
+      entry += "    \"" + json_escape(key) + "\": " + value + ",\n";
+    }
+    entry += "    \"throughput_mb_s\": {\n";
+    for (std::size_t i = 0; i < throughput_mb_s.size(); ++i) {
+      entry += "      \"" + json_escape(throughput_mb_s[i].first) +
+               "\": " + format_fixed(throughput_mb_s[i].second, 2);
+      entry += i + 1 < throughput_mb_s.size() ? ",\n" : "\n";
+    }
+    entry += "    }\n  }";
+    return entry;
+  }
+};
+
+/// Appends `entry` to the JSON array at `path`, creating it if absent.
+inline Status append_trajectory(const std::string& path,
+                                const TrajectoryEntry& entry) {
+  const std::string rendered = entry.render();
+  std::string contents;
+  if (auto existing = read_file(path); existing.is_ok()) {
+    contents = std::move(existing).value();
+  }
+  const std::size_t close = contents.rfind(']');
+  if (close == std::string::npos) {
+    contents = "[\n" + rendered + "\n]\n";
+  } else {
+    const std::size_t last_brace = contents.rfind('}', close);
+    if (last_brace == std::string::npos) {  // empty array
+      contents = "[\n" + rendered + "\n]\n";
+    } else {
+      contents =
+          contents.substr(0, last_brace + 1) + ",\n" + rendered + "\n]\n";
+    }
+  }
+  return write_file(path, contents);
+}
+
+}  // namespace mcsd::bench
