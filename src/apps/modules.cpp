@@ -40,30 +40,33 @@ std::shared_ptr<fam::Module> make_wordcount_module(
       [default_workers](const KeyValueMap& params) -> Result<KeyValueMap> {
         const auto input = params.get("input");
         if (!input) return Error{ErrorCode::kInvalidArgument, "missing input"};
-        auto text = read_file(*input);
-        if (!text) return text.error();
 
         mr::Options opts;
         opts.num_workers = request_workers(params, default_workers);
         mr::Engine<WordCountSpec> engine{opts};
-        part::PartitionOptions popts;
+        // Stream fragments off the file with prefetch + incremental merge
+        // (pipeline=false reverts to the serial read-then-run baseline).
+        part::PipelineOptions popts;
         popts.partition_size = static_cast<std::uint64_t>(
             params.get_int_or("partition_size", 0));
+        popts.prefetch = params.get_bool("pipeline").value_or(true);
         part::TextJob<WordCountSpec> job;
-        job.merge = [](auto outputs) {
-          return part::sum_merge<std::string, std::uint64_t>(
-              std::move(outputs));
-        };
+        job.incremental_merge =
+            part::sum_incremental<std::string, std::uint64_t>();
         part::OutOfCoreMetrics metrics;
-        auto counts = part::run_partitioned(engine, WordCountSpec{},
-                                            text.value(), popts, job,
-                                            &metrics);
+        auto merged = part::run_partitioned_file(engine, WordCountSpec{},
+                                                 *input, popts, job, &metrics);
+        if (!merged) return merged.error();
+        auto counts = std::move(merged).value();
         sort_by_frequency_desc(counts);
 
         KeyValueMap out;
         out.set_uint("unique", counts.size());
         out.set_uint("total", total_occurrences(counts));
         out.set_uint("fragments", metrics.fragments);
+        out.set_uint("pipelined", metrics.pipelined ? 1 : 0);
+        out.set_uint("peak_resident_bytes",
+                     metrics.peak_resident_fragment_bytes);
         const auto top_n = std::min<std::size_t>(
             counts.size(),
             static_cast<std::size_t>(params.get_int_or("top", 5)));
@@ -92,8 +95,6 @@ std::shared_ptr<fam::Module> make_stringmatch_module(
         if (!input || !keys_csv) {
           return Error{ErrorCode::kInvalidArgument, "missing input/keys"};
         }
-        auto text = read_file(*input);
-        if (!text) return text.error();
 
         StringMatchSpec spec;
         for (const auto key : split(*keys_csv, ',')) {
@@ -105,11 +106,27 @@ std::shared_ptr<fam::Module> make_stringmatch_module(
         mr::Options opts;
         opts.num_workers = request_workers(params, default_workers);
         mr::Engine<StringMatchSpec> engine{opts};
-        const auto pairs =
-            engine.run(spec, mr::split_lines(text.value(), 64 * 1024));
+        // Line-delimited streaming: fragments never cut a line, and the
+        // driver rebases chunk offsets so matches carry absolute offsets.
+        part::PipelineOptions popts;
+        popts.partition_size = static_cast<std::uint64_t>(
+            params.get_int_or("partition_size", 0));
+        popts.is_delimiter = part::newline_delimiter();
+        popts.prefetch = params.get_bool("pipeline").value_or(true);
+        part::TextJob<StringMatchSpec> job;
+        job.chunker = [](std::string_view text) {
+          return mr::split_lines(text, 64 * 1024);
+        };
+        job.incremental_merge =
+            part::concat_incremental<std::uint64_t, std::uint32_t>();
+        part::OutOfCoreMetrics metrics;
+        auto pairs = part::run_partitioned_file(engine, spec, *input, popts,
+                                                job, &metrics);
+        if (!pairs) return pairs.error();
 
         KeyValueMap out;
-        out.set_uint("matches", pairs.size());
+        out.set_uint("matches", pairs.value().size());
+        out.set_uint("fragments", metrics.fragments);
         return out;
       });
 }

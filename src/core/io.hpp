@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -38,6 +40,67 @@ Status write_file_atomic(const std::filesystem::path& path,
 
 /// File size in bytes, or kNotFound.
 Result<std::uint64_t> file_size(const std::filesystem::path& path);
+
+/// Streams a file as a sequence of record-aligned fragments without ever
+/// holding more than one fragment (plus the bytes carried past its cut)
+/// in memory — the I/O half of the out-of-core pipeline.
+///
+/// Each `next_fragment` call returns ~`target_bytes` of input whose end
+/// is aligned exactly like `part::integrity_check` aligns an in-memory
+/// draft cut (Fig. 7): the fragment ends after the record spanning the
+/// target boundary *and* its trailing delimiter run, so the next fragment
+/// starts on a record byte.  Streaming the same file therefore yields
+/// byte-identical fragments to `part::partition` over the whole input.
+class ChunkedFileReader {
+ public:
+  /// OS read granularity; fragments are assembled from reads of this size.
+  static constexpr std::size_t kDefaultBufferBytes = 256 * 1024;
+
+  /// Opens `path` for streaming; kNotFound when it cannot be opened.
+  static Result<ChunkedFileReader> open(
+      const std::filesystem::path& path,
+      std::size_t buffer_bytes = kDefaultBufferBytes);
+
+  ChunkedFileReader(ChunkedFileReader&&) = default;
+  ChunkedFileReader& operator=(ChunkedFileReader&&) = default;
+
+  /// Reads the next fragment into `out` (replacing its contents).
+  /// `target_bytes` is the draft fragment size; 0 means "the whole
+  /// remaining file as one fragment".  Returns true when a non-empty
+  /// fragment was produced, false on clean end-of-file, or an IO error.
+  Result<bool> next_fragment(std::uint64_t target_bytes,
+                             const std::function<bool(char)>& is_delimiter,
+                             std::string& out);
+
+  /// Byte offset in the file where the *next* fragment starts (equals the
+  /// total bytes handed out so far; carried-over bytes count as unread).
+  [[nodiscard]] std::uint64_t next_fragment_offset() const noexcept {
+    return next_offset_;
+  }
+
+  /// True once the underlying file is fully consumed (the carry buffer
+  /// may still hold the tail of the final fragment).
+  [[nodiscard]] bool exhausted() const noexcept {
+    return eof_ && carry_.empty();
+  }
+
+ private:
+  ChunkedFileReader(std::ifstream in, std::string path,
+                    std::size_t buffer_bytes)
+      : in_(std::move(in)), path_(std::move(path)),
+        buffer_bytes_(buffer_bytes == 0 ? kDefaultBufferBytes : buffer_bytes) {
+  }
+
+  /// Appends up to one buffer of file data to `out`; sets eof_.
+  Status fill(std::string& out);
+
+  std::ifstream in_;
+  std::string path_;
+  std::size_t buffer_bytes_;
+  std::string carry_;  ///< bytes read past the previous fragment's cut
+  std::uint64_t next_offset_ = 0;
+  bool eof_ = false;
+};
 
 /// A uniquely named directory under the system temp dir, removed
 /// recursively on destruction.

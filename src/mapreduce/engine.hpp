@@ -110,6 +110,12 @@ class Engine {
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
+  /// The engine's worker pool.  Drivers that do cross-fragment work
+  /// between runs (the out-of-core terminal k-way merge) borrow it so the
+  /// node's cores never sit behind a second, idle pool.  Only use between
+  /// run() calls — run() assumes every pool lane is its own.
+  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+
   /// Runs the full pipeline over `chunks`.  `input_bytes` is the job's
   /// input size for the memory model; pass 0 to derive it from text
   /// chunks.  `metrics`, when non-null, receives phase timings.

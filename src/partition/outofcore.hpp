@@ -7,11 +7,24 @@
 // merges the per-fragment outputs with a user merge policy.  `run_adaptive`
 // implements the McSD runtime behaviour end to end: try native first, and
 // on MemoryOverflowError fall back to automatic partitioning.
+//
+// Two execution shapes:
+//  * `run_partitioned` — in-memory input (string_view), fragments are
+//    views produced by partition(); the classic serial chain.
+//  * `run_partitioned_file` — file-backed input streamed through
+//    StreamingFragmentSource: fragment N+1 is read on a prefetch thread
+//    while fragment N runs through the engine (double-buffered, <= 2
+//    fragments resident), and per-fragment outputs fold into the running
+//    merged result as each fragment retires (job.incremental_merge), so
+//    there is neither a whole-input materialisation up front nor a
+//    single-threaded sort tail at the end.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/stopwatch.hpp"
@@ -20,6 +33,7 @@
 #include "obs/trace.hpp"
 #include "partition/merger.hpp"
 #include "partition/partitioner.hpp"
+#include "partition/streaming.hpp"
 
 namespace mcsd::part {
 
@@ -28,14 +42,24 @@ struct OutOfCoreMetrics {
   std::size_t fragments = 0;
   double partition_seconds = 0.0;  ///< fragmenting (integrity checks)
   double mapreduce_seconds = 0.0;  ///< sum of per-fragment engine time
-  double merge_seconds = 0.0;      ///< final cross-fragment merge
+  double merge_seconds = 0.0;      ///< cross-fragment merge (terminal or
+                                   ///< summed incremental folds)
+  double io_wait_seconds = 0.0;    ///< file path: consumer stalls waiting on
+                                   ///< fragment I/O (reads hidden behind
+                                   ///< compute do not show up here)
   std::uint64_t peak_fragment_footprint_bytes = 0;
+  /// File path: peak bytes of fragment text resident at once (<= 2
+  /// fragments when prefetching, <= 1 serial).
+  std::uint64_t peak_resident_fragment_bytes = 0;
+  std::uint64_t bytes_streamed = 0;  ///< file path: input bytes delivered
   std::size_t map_emits = 0;    ///< raw emits summed over fragments
   std::size_t unique_keys = 0;  ///< post-combine keys summed over fragments
   bool fell_back_to_partitioning = false;  ///< set by run_adaptive
+  bool pipelined = false;  ///< true when fragments were prefetched
 
   [[nodiscard]] double total_seconds() const noexcept {
-    return partition_seconds + mapreduce_seconds + merge_seconds;
+    return partition_seconds + mapreduce_seconds + merge_seconds +
+           io_wait_seconds;
   }
 
   /// Emit-time combining effectiveness: raw emits per surviving key
@@ -52,22 +76,111 @@ struct OutOfCoreMetrics {
 /// both drivers share it.
 template <mr::MapReduceSpec Spec>
 struct TextJob {
-  using Merge = std::function<std::vector<mr::KV<
-      typename Spec::Key, typename Spec::Value>>(
-      std::vector<std::vector<mr::KV<typename Spec::Key,
-                                     typename Spec::Value>>>)>;
+  using Pair = mr::KV<typename Spec::Key, typename Spec::Value>;
+  using Merge = std::function<std::vector<Pair>(std::vector<std::vector<Pair>>)>;
 
   /// Chunker: fragment text -> map chunks (defaults to whitespace-aligned
-  /// 256 KiB chunks).
+  /// 256 KiB chunks).  Chunk offsets are fragment-relative; the drivers
+  /// rebase them by the fragment's offset so specs keyed on absolute
+  /// positions (String Match) stay correct across fragments.
   std::function<std::vector<mr::TextChunk>(std::string_view)> chunker =
       [](std::string_view text) { return mr::split_text(text, 256 * 1024); };
 
-  /// Cross-fragment merge; defaults to concatenation.
+  /// Terminal cross-fragment merge; defaults to concatenation.  Used when
+  /// `incremental_merge` is unset.
   Merge merge = [](auto outputs) {
     return concat_merge<typename Spec::Key, typename Spec::Value>(
         std::move(outputs));
   };
+
+  /// When set, each retiring fragment's output folds into the running
+  /// result immediately (`merge` is then never called): bounded memory
+  /// and no merge tail.  See sum_incremental() / concat_incremental().
+  IncrementalMerge<typename Spec::Key, typename Spec::Value>
+      incremental_merge;
 };
+
+/// Streaming knobs for run_partitioned_file.
+struct PipelineOptions {
+  /// The paper's [partition-size] in bytes; 0 = whole file, one fragment.
+  std::uint64_t partition_size = 0;
+
+  /// Record delimiter; defaults to whitespace (word records).
+  DelimiterPred is_delimiter = default_delimiters();
+
+  /// OS read granularity for the streaming reader.
+  std::size_t io_buffer_bytes = ChunkedFileReader::kDefaultBufferBytes;
+
+  /// Read fragment N+1 on a prefetch thread while fragment N computes.
+  /// Disable for a serial A/B baseline.
+  bool prefetch = true;
+
+  /// Emulated sequential-read rate in MiB/s; 0 = the raw device (see
+  /// StreamOptions::read_throttle_mibps).
+  double read_throttle_mibps = 0.0;
+};
+
+namespace detail {
+
+/// Runs one fragment through the engine and retires its output into
+/// either the incremental running result or the accumulator.  Shared by
+/// the in-memory and streaming drivers.
+template <mr::MapReduceSpec Spec>
+void run_fragment(
+    mr::Engine<Spec>& engine, const Spec& spec, const TextJob<Spec>& job,
+    std::string_view text, std::uint64_t offset,
+    std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>& running,
+    std::vector<std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>>&
+        accumulated,
+    OutOfCoreMetrics& m) {
+  Stopwatch watch;
+  // Fixed span name: per-fragment names ("part.fragment-<N>") would give
+  // the trace one series per fragment and wreck aggregation; the ordinal
+  // lives in the part.fragments counter and part.fragment_us histogram.
+  MCSD_OBS_SPAN("part", "part.fragment");
+  mr::Metrics frag_metrics;
+  auto chunks = job.chunker(text);
+  for (auto& chunk : chunks) {
+    chunk.offset += static_cast<std::size_t>(offset);
+  }
+  auto output = engine.run(spec, chunks, text.size(), &frag_metrics);
+  const double fragment_seconds = watch.elapsed_seconds();
+  m.mapreduce_seconds += fragment_seconds;
+  MCSD_OBS_HIST("part.fragment_us", "us",
+                static_cast<std::uint64_t>(fragment_seconds * 1e6));
+  m.peak_fragment_footprint_bytes =
+      std::max(m.peak_fragment_footprint_bytes,
+               frag_metrics.peak_intermediate_bytes);
+  m.map_emits += frag_metrics.map_emits;
+  m.unique_keys += frag_metrics.unique_keys;
+
+  if (job.incremental_merge) {
+    watch.restart();
+    MCSD_OBS_SPAN("part", "part.merge.incremental");
+    job.incremental_merge(running, std::move(output));
+    m.merge_seconds += watch.elapsed_seconds();
+  } else {
+    accumulated.push_back(std::move(output));
+  }
+}
+
+/// Terminal merge for the accumulate path (no-op under incremental merge).
+template <mr::MapReduceSpec Spec>
+std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> finish_merge(
+    const TextJob<Spec>& job,
+    std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> running,
+    std::vector<std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>>
+        accumulated,
+    OutOfCoreMetrics& m) {
+  if (job.incremental_merge) return running;
+  Stopwatch watch;
+  MCSD_OBS_SPAN("part", "part.merge");
+  auto merged = job.merge(std::move(accumulated));
+  m.merge_seconds += watch.elapsed_seconds();
+  return merged;
+}
+
+}  // namespace detail
 
 /// Runs `spec` over `input` fragment by fragment.  The engine's memory
 /// budget applies *per fragment*; a fragment that still overflows
@@ -77,6 +190,7 @@ std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_partitioned(
     mr::Engine<Spec>& engine, const Spec& spec, std::string_view input,
     const PartitionOptions& partition_options, const TextJob<Spec>& job,
     OutOfCoreMetrics* metrics = nullptr) {
+  using Pair = mr::KV<typename Spec::Key, typename Spec::Value>;
   OutOfCoreMetrics local;
   OutOfCoreMetrics& m = metrics ? *metrics : local;
   m = OutOfCoreMetrics{};
@@ -92,36 +206,64 @@ std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> run_partitioned(
   m.fragments = fragments.size();
   MCSD_OBS_COUNT("part.fragments", fragments.size());
 
-  std::vector<std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>>
-      outputs;
-  outputs.reserve(fragments.size());
+  std::vector<Pair> running;
+  std::vector<std::vector<Pair>> accumulated;
+  if (!job.incremental_merge) accumulated.reserve(fragments.size());
   for (const Fragment& fragment : fragments) {
-    watch.restart();
-    MCSD_OBS_SPAN("part",
-                  "part.fragment-" + std::to_string(fragment.index));
-    mr::Metrics frag_metrics;
-    auto chunks = job.chunker(fragment.text);
-    outputs.push_back(
-        engine.run(spec, chunks, fragment.text.size(), &frag_metrics));
-    const double fragment_seconds = watch.elapsed_seconds();
-    m.mapreduce_seconds += fragment_seconds;
-    MCSD_OBS_HIST("part.fragment_us", "us",
-                  static_cast<std::uint64_t>(fragment_seconds * 1e6));
-    m.peak_fragment_footprint_bytes =
-        std::max(m.peak_fragment_footprint_bytes,
-                 frag_metrics.peak_intermediate_bytes);
-    m.map_emits += frag_metrics.map_emits;
-    m.unique_keys += frag_metrics.unique_keys;
+    detail::run_fragment(engine, spec, job, fragment.text, fragment.offset,
+                         running, accumulated, m);
   }
+  return detail::finish_merge(job, std::move(running), std::move(accumulated),
+                              m);
+}
 
-  watch.restart();
-  std::vector<mr::KV<typename Spec::Key, typename Spec::Value>> merged;
-  {
-    MCSD_OBS_SPAN("part", "part.merge");
-    merged = job.merge(std::move(outputs));
+/// Pipelined out-of-core run over a file: fragments stream off disk with
+/// prefetch (see StreamingFragmentSource) and retire through the job's
+/// incremental merge.  Returns kNotFound / kIoError for file problems;
+/// MemoryOverflowError still propagates as an exception, exactly like
+/// run_partitioned.
+template <mr::MapReduceSpec Spec>
+Result<std::vector<mr::KV<typename Spec::Key, typename Spec::Value>>>
+run_partitioned_file(mr::Engine<Spec>& engine, const Spec& spec,
+                     const std::filesystem::path& path,
+                     const PipelineOptions& options, const TextJob<Spec>& job,
+                     OutOfCoreMetrics* metrics = nullptr) {
+  using Pair = mr::KV<typename Spec::Key, typename Spec::Value>;
+  OutOfCoreMetrics local;
+  OutOfCoreMetrics& m = metrics ? *metrics : local;
+  m = OutOfCoreMetrics{};
+  m.pipelined = options.prefetch;
+
+  MCSD_OBS_SPAN("part", "part.run");
+  StreamOptions stream;
+  stream.fragment_bytes = options.partition_size;
+  stream.is_delimiter = options.is_delimiter;
+  stream.io_buffer_bytes = options.io_buffer_bytes;
+  stream.prefetch = options.prefetch;
+  stream.read_throttle_mibps = options.read_throttle_mibps;
+  auto source = StreamingFragmentSource::open(path, std::move(stream));
+  if (!source.is_ok()) return source.error();
+
+  std::vector<Pair> running;
+  std::vector<std::vector<Pair>> accumulated;
+  OwnedFragment fragment;
+  Stopwatch wait;
+  for (;;) {
+    wait.restart();
+    const auto got = source.value().next(fragment);
+    m.io_wait_seconds += wait.elapsed_seconds();
+    if (!got.is_ok()) return got.error();
+    if (!got.value()) break;
+    detail::run_fragment(engine, spec, job, fragment.text, fragment.offset,
+                         running, accumulated, m);
   }
-  m.merge_seconds = watch.elapsed_seconds();
-  return merged;
+  m.fragments = source.value().fragments_produced();
+  m.bytes_streamed = source.value().bytes_streamed();
+  m.peak_resident_fragment_bytes =
+      source.value().peak_resident_fragment_bytes();
+  MCSD_OBS_COUNT("part.fragments", m.fragments);
+  return detail::finish_merge(job, std::move(running), std::move(accumulated),
+                              m);
 }
 
 /// The McSD runtime path: attempt a native (single-fragment) run; if the

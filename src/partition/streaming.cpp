@@ -1,0 +1,193 @@
+#include "partition/streaming.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/stopwatch.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace mcsd::part {
+
+// All cross-thread state sits behind one mutex; the hot path holds it
+// only for pointer-sized bookkeeping (fragment buffers move, never copy).
+struct StreamingFragmentSource::State {
+  ChunkedFileReader reader;
+  StreamOptions options;
+
+  std::mutex mutex;
+  std::condition_variable slot_filled;   // prefetcher -> consumer
+  std::condition_variable slot_emptied;  // consumer -> prefetcher
+  std::optional<OwnedFragment> slot;     // single-slot mailbox
+  bool eof = false;
+  bool stop = false;
+  std::optional<Error> error;
+
+  // Stats (guarded by mutex).
+  std::uint64_t consumer_resident_bytes = 0;  // fragment the consumer holds
+  std::uint64_t source_resident_bytes = 0;    // fragment(s) inside the source
+  std::uint64_t peak_resident_bytes = 0;
+  std::uint64_t bytes_streamed = 0;
+  std::size_t produced = 0;
+
+  // Serial-mode sequencing (prefetch == false).
+  std::size_t next_index = 0;
+
+  std::thread prefetcher;
+
+  State(ChunkedFileReader r, StreamOptions o)
+      : reader(std::move(r)), options(std::move(o)) {}
+
+  void note_peak_locked() {
+    peak_resident_bytes = std::max(
+        peak_resident_bytes, consumer_resident_bytes + source_resident_bytes);
+  }
+
+  /// Reads one fragment; returns false at EOF, records errors.  Called by
+  /// the prefetch thread, or by the consumer in serial mode.
+  bool read_one(OwnedFragment& frag) {
+    frag.index = next_index;
+    frag.offset = reader.next_fragment_offset();
+    Stopwatch watch;
+    const auto got = reader.next_fragment(options.fragment_bytes,
+                                          options.is_delimiter, frag.text);
+    if (!got.is_ok()) {
+      std::lock_guard lock{mutex};
+      error = got.error();
+      return false;
+    }
+    if (!got.value()) return false;
+    if (options.read_throttle_mibps > 0.0) {
+      const double modelled = static_cast<double>(frag.text.size()) /
+                              (options.read_throttle_mibps * 1024.0 * 1024.0);
+      const double pad = modelled - watch.elapsed_seconds();
+      if (pad > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(pad));
+      }
+    }
+    ++next_index;
+    return true;
+  }
+
+  void prefetch_loop() {
+    for (;;) {
+      // Double-buffer bound: do NOT start reading fragment N+1 until the
+      // consumer has emptied the slot — at most one fragment lives inside
+      // the source (parked or in flight) plus one at the consumer.
+      {
+        std::unique_lock lock{mutex};
+        slot_emptied.wait(lock, [&] { return !slot.has_value() || stop; });
+        if (stop) return;
+      }
+      OwnedFragment frag;
+      bool have = false;
+      {
+        MCSD_OBS_SPAN("part", "part.prefetch");
+        have = read_one(frag);
+      }
+      std::unique_lock lock{mutex};
+      if (!have) {
+        eof = true;
+        slot_filled.notify_all();
+        return;
+      }
+      source_resident_bytes += frag.text.size();
+      note_peak_locked();
+      MCSD_OBS_COUNT("part.prefetch_fragments", 1);
+      if (stop) return;
+      slot = std::move(frag);
+      slot_filled.notify_all();
+    }
+  }
+};
+
+StreamingFragmentSource::StreamingFragmentSource(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+StreamingFragmentSource::StreamingFragmentSource(
+    StreamingFragmentSource&&) noexcept = default;
+StreamingFragmentSource& StreamingFragmentSource::operator=(
+    StreamingFragmentSource&&) noexcept = default;
+
+StreamingFragmentSource::~StreamingFragmentSource() {
+  if (!state_) return;
+  {
+    std::lock_guard lock{state_->mutex};
+    state_->stop = true;
+  }
+  state_->slot_emptied.notify_all();
+  if (state_->prefetcher.joinable()) state_->prefetcher.join();
+}
+
+Result<StreamingFragmentSource> StreamingFragmentSource::open(
+    const std::filesystem::path& path, StreamOptions options) {
+  auto reader = ChunkedFileReader::open(path, options.io_buffer_bytes);
+  if (!reader.is_ok()) return reader.error();
+  auto state = std::make_unique<State>(std::move(reader).value(),
+                                       std::move(options));
+  if (state->options.prefetch) {
+    State* raw = state.get();
+    state->prefetcher = std::thread([raw] { raw->prefetch_loop(); });
+  }
+  return StreamingFragmentSource{std::move(state)};
+}
+
+Result<bool> StreamingFragmentSource::next(OwnedFragment& out) {
+  State& s = *state_;
+  if (!s.options.prefetch) {
+    // Serial mode: release the consumer's previous fragment, then read
+    // synchronously — never more than one fragment resident.
+    out.text.clear();
+    {
+      std::lock_guard lock{s.mutex};
+      s.consumer_resident_bytes = 0;
+    }
+    const bool have = s.read_one(out);
+    std::lock_guard lock{s.mutex};
+    if (s.error) return *s.error;
+    if (!have) return false;
+    s.consumer_resident_bytes = out.text.size();
+    s.bytes_streamed += out.text.size();
+    ++s.produced;
+    s.note_peak_locked();
+    return true;
+  }
+
+  std::unique_lock lock{s.mutex};
+  s.slot_filled.wait(lock,
+                     [&] { return s.slot.has_value() || s.eof; });
+  if (s.error) return *s.error;
+  if (!s.slot.has_value()) return false;  // clean EOF
+  // Taking fragment N+1 implies the consumer is done with fragment N.
+  s.consumer_resident_bytes = s.slot->text.size();
+  s.source_resident_bytes -= s.slot->text.size();
+  s.bytes_streamed += s.slot->text.size();
+  ++s.produced;
+  out = std::move(*s.slot);
+  s.slot.reset();
+  lock.unlock();
+  s.slot_emptied.notify_all();
+  return true;
+}
+
+std::uint64_t StreamingFragmentSource::peak_resident_fragment_bytes() const {
+  std::lock_guard lock{state_->mutex};
+  return state_->peak_resident_bytes;
+}
+
+std::size_t StreamingFragmentSource::fragments_produced() const {
+  std::lock_guard lock{state_->mutex};
+  return state_->produced;
+}
+
+std::uint64_t StreamingFragmentSource::bytes_streamed() const {
+  std::lock_guard lock{state_->mutex};
+  return state_->bytes_streamed;
+}
+
+}  // namespace mcsd::part

@@ -3,8 +3,8 @@
 # and emit the expected CSV header under --csv (bit-stable output is a
 # documented property; the header is its anchor).
 #
-# Usage: bench_smoke.sh [bench-binary-dir]
-# ctest passes the directory via $<TARGET_FILE_DIR:...>, which resolves
+# Usage: bench_smoke.sh [bench-binary-dir] [tools-binary-dir]
+# ctest passes the directories via $<TARGET_FILE_DIR:...>, which resolves
 # for any CMake generator (Makefiles, Ninja, multi-config).  When run by
 # hand with no argument, the script locates the binaries itself.
 set -eu
@@ -53,5 +53,23 @@ again=$("$BIN_DIR/bench_fig9" --csv)
 "$BIN_DIR/bench_ablation_scheduling" > /dev/null
 "$BIN_DIR/bench_ablation_offload" > /dev/null
 "$BIN_DIR/bench_des_validation" > /dev/null
+
+# bench_record out-of-core A/B: a tiny run must produce a trajectory file
+# carrying both arms and the residency bound.  CI uploads the JSON as an
+# artifact.
+TOOLS_DIR="${2:-$BIN_DIR/../tools}"
+if [ -x "$TOOLS_DIR/bench_record" ]; then
+  "$TOOLS_DIR/bench_record" --suite outofcore --bytes 1M --reps 2 \
+      --workers 2 --label smoke --out BENCH_outofcore.json > /dev/null
+  for needle in outofcore_serial outofcore_pipelined \
+      peak_resident_fragment_bytes pipelined_speedup; do
+    grep -q "$needle" BENCH_outofcore.json || {
+      echo "BENCH_outofcore.json: missing '$needle'"; exit 1;
+    }
+  done
+else
+  echo "bench_record not found in $TOOLS_DIR; skipping outofcore smoke"
+  exit 1
+fi
 
 echo "bench smoke test passed"

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 
 #include "apps/datagen.hpp"
 #include "apps/stringmatch.hpp"
 #include "apps/wordcount.hpp"
+#include "core/random.hpp"
+#include "core/thread_pool.hpp"
 #include "core/units.hpp"
 
 namespace mcsd::part {
@@ -179,6 +182,114 @@ TEST(Mergers, FoldMergeWithCustomFold) {
 TEST(Mergers, EmptyInputs) {
   EXPECT_TRUE((sum_merge<std::string, std::uint64_t>({})).empty());
   EXPECT_TRUE((concat_merge<std::string, std::uint64_t>({})).empty());
+}
+
+// The engine emits per-fragment outputs already key-sorted when
+// sort_output_by_key is on; sum_merge must detect that and k-way merge
+// instead of re-sorting, with identical results either way.
+TEST(Mergers, SortedRunsMergeSameAsUnsortedRuns) {
+  using Pair = mr::KV<std::string, std::uint64_t>;
+  Rng rng{99};
+  std::vector<std::vector<Pair>> sorted_runs;
+  std::vector<std::vector<Pair>> shuffled_runs;
+  for (int run = 0; run < 7; ++run) {  // odd count: pairwise-round leftover
+    std::vector<Pair> pairs;
+    const std::size_t n = rng.next_below(40);  // includes empty runs
+    for (std::size_t i = 0; i < n; ++i) {
+      pairs.push_back({"k" + std::to_string(rng.next_below(25)),
+                       rng.next_below(100)});
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.key < b.key; });
+    sorted_runs.push_back(pairs);
+    std::reverse(pairs.begin(), pairs.end());
+    shuffled_runs.push_back(std::move(pairs));
+  }
+  const auto a = sum_merge<std::string, std::uint64_t>(sorted_runs);
+  const auto b = sum_merge<std::string, std::uint64_t>(shuffled_runs);
+  EXPECT_EQ(to_map(a), to_map(b));
+  EXPECT_TRUE(std::is_sorted(
+      a.begin(), a.end(),
+      [](const Pair& x, const Pair& y) { return x.key < y.key; }));
+  // Keys must be unique after summing.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_NE(a[i - 1].key, a[i].key);
+  }
+}
+
+TEST(Mergers, ParallelPoolMatchesSerialMerge) {
+  using Pair = mr::KV<std::string, std::uint64_t>;
+  Rng rng{7};
+  std::vector<std::vector<Pair>> runs;
+  for (int run = 0; run < 9; ++run) {
+    std::vector<Pair> pairs;
+    for (std::size_t i = 0; i < 200; ++i) {
+      pairs.push_back({"w" + std::to_string(rng.next_below(300)),
+                       1 + rng.next_below(5)});
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.key < b.key; });
+    runs.push_back(std::move(pairs));
+  }
+  ThreadPool pool{4};
+  const auto serial = sum_merge<std::string, std::uint64_t>(runs);
+  const auto parallel = sum_merge<std::string, std::uint64_t>(runs, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Mergers, SumMergeIntoFoldsFragmentByFragment) {
+  using Pair = mr::KV<std::string, std::uint64_t>;
+  std::vector<std::vector<Pair>> outputs{
+      {{"a", 1}, {"b", 2}},
+      {{"c", 4}, {"b", 3}},  // unsorted fresh batch
+      {{"a", 5}},
+      {},  // empty fragment output
+  };
+  std::vector<Pair> running;
+  for (auto& fresh : outputs) {
+    sum_merge_into(running, std::move(fresh));
+    EXPECT_TRUE(std::is_sorted(
+        running.begin(), running.end(),
+        [](const Pair& x, const Pair& y) { return x.key < y.key; }));
+  }
+  const std::vector<Pair> expected{{"a", 6}, {"b", 5}, {"c", 4}};
+  EXPECT_EQ(running, expected);
+}
+
+TEST(Mergers, IncrementalHelpersMatchTerminalMergers) {
+  using Pair = mr::KV<std::string, std::uint64_t>;
+  const std::vector<std::vector<Pair>> outputs{
+      {{"x", 1}, {"y", 2}}, {{"x", 3}}, {{"z", 9}, {"y", 1}}};
+
+  auto sum_inc = sum_incremental<std::string, std::uint64_t>();
+  std::vector<Pair> running;
+  for (auto copy : outputs) sum_inc(running, std::move(copy));
+  EXPECT_EQ(to_map(running),
+            to_map(sum_merge<std::string, std::uint64_t>(outputs)));
+
+  auto concat_inc = concat_incremental<std::string, std::uint64_t>();
+  std::vector<Pair> appended;
+  for (auto copy : outputs) concat_inc(appended, std::move(copy));
+  EXPECT_EQ(appended, (concat_merge<std::string, std::uint64_t>(outputs)));
+}
+
+TEST(Mergers, FoldMergeSortedRunsKeepsCustomFold) {
+  using Pair = mr::KV<std::string, std::uint64_t>;
+  std::vector<std::vector<Pair>> outputs{
+      {{"x", 10}, {"y", 1}},  // already key-sorted: k-way path
+      {{"x", 20}, {"z", 7}},
+  };
+  ThreadPool pool{2};
+  const auto merged = fold_merge<std::string, std::uint64_t>(
+      std::move(outputs),
+      [](const std::string&, std::span<const std::uint64_t> vs) {
+        std::uint64_t best = 0;
+        for (auto v : vs) best = std::max(best, v);
+        return best;
+      },
+      &pool);
+  const std::vector<Pair> expected{{"x", 20}, {"y", 1}, {"z", 7}};
+  EXPECT_EQ(merged, expected);
 }
 
 // Partition-size sweep: result invariant for any fragment size.

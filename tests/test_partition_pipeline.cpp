@@ -1,0 +1,296 @@
+// The pipelined out-of-core path: streaming fragment source (prefetch
+// thread, double buffering) and the file-backed driver.  The load-bearing
+// property is byte-equivalence with the serial in-memory chain: streaming
+// a file must produce exactly partition()'s fragments, and the pipelined
+// run must produce exactly the serial run's output, over random corpora
+// and adversarial fragment/buffer size combinations.
+#include "partition/outofcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/datagen.hpp"
+#include "apps/stringmatch.hpp"
+#include "apps/wordcount.hpp"
+#include "core/io.hpp"
+#include "core/random.hpp"
+#include "partition/streaming.hpp"
+
+namespace mcsd::part {
+namespace {
+
+using apps::StringMatchSpec;
+using apps::WordCountSpec;
+
+std::map<std::string, std::uint64_t> to_map(
+    const std::vector<mr::KV<std::string, std::uint64_t>>& pairs) {
+  std::map<std::string, std::uint64_t> m;
+  for (const auto& kv : pairs) m[kv.key] += kv.value;
+  return m;
+}
+
+std::vector<OwnedFragment> stream_all(const std::filesystem::path& path,
+                                      StreamOptions options) {
+  auto source = StreamingFragmentSource::open(path, std::move(options));
+  EXPECT_TRUE(source.is_ok());
+  std::vector<OwnedFragment> fragments;
+  OwnedFragment fragment;
+  for (;;) {
+    const auto got = source.value().next(fragment);
+    EXPECT_TRUE(got.is_ok()) << got.error().to_string();
+    if (!got.value()) break;
+    fragments.push_back(fragment);
+  }
+  return fragments;
+}
+
+TEST(StreamingFragmentSource, MissingFileIsNotFound) {
+  TempDir dir{"pipeline"};
+  const auto source = StreamingFragmentSource::open(dir / "nope", {});
+  ASSERT_FALSE(source.is_ok());
+  EXPECT_EQ(source.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(StreamingFragmentSource, EmptyFileYieldsNoFragments) {
+  TempDir dir{"pipeline"};
+  ASSERT_TRUE(write_file(dir / "empty", "").is_ok());
+  for (const bool prefetch : {false, true}) {
+    StreamOptions options;
+    options.fragment_bytes = 1024;
+    options.prefetch = prefetch;
+    EXPECT_TRUE(stream_all(dir / "empty", options).empty());
+  }
+}
+
+// Streaming a file reproduces partition() fragment-for-fragment — both
+// prefetching and serial, across random corpora and pathological
+// fragment/IO-buffer size pairs (buffer smaller than a record, fragment
+// smaller than a word, fragment larger than the file).
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, StreamedFragmentsEqualPartitioned) {
+  Rng rng{GetParam()};
+  apps::CorpusOptions corpus;
+  corpus.bytes = 8 * 1024 + rng.next_below(64 * 1024);
+  corpus.vocabulary = 100 + rng.next_below(400);
+  corpus.seed = GetParam();
+  const std::string text = apps::generate_corpus(corpus);
+
+  TempDir dir{"pipeline"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  PartitionOptions popts;
+  popts.partition_size = 1 + rng.next_below(2 * corpus.bytes);
+  const auto expected = partition(text, popts);
+
+  for (const bool prefetch : {false, true}) {
+    StreamOptions options;
+    options.fragment_bytes = popts.partition_size;
+    options.io_buffer_bytes = 7 + rng.next_below(8 * 1024);
+    options.prefetch = prefetch;
+    const auto streamed = stream_all(path, options);
+    ASSERT_EQ(streamed.size(), expected.size()) << "prefetch=" << prefetch;
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_EQ(streamed[i].text, expected[i].text) << "fragment " << i;
+      EXPECT_EQ(streamed[i].offset, expected[i].offset);
+      EXPECT_EQ(streamed[i].index, expected[i].index);
+    }
+  }
+}
+
+TEST_P(PipelineSeedSweep, PipelinedOutputEqualsSerialOutput) {
+  Rng rng{GetParam()};
+  apps::CorpusOptions corpus;
+  corpus.bytes = 64 * 1024 + rng.next_below(64 * 1024);
+  corpus.vocabulary = 100 + rng.next_below(300);
+  corpus.seed = GetParam() * 31 + 7;
+  const std::string text = apps::generate_corpus(corpus);
+
+  TempDir dir{"pipeline"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  mr::Options opts;
+  opts.num_workers = 2;
+  mr::Engine<WordCountSpec> engine{opts};
+
+  // Serial reference: the in-memory chain with a terminal merge.
+  PartitionOptions popts;
+  popts.partition_size = 1024 + rng.next_below(16 * 1024);
+  TextJob<WordCountSpec> serial_job;
+  serial_job.merge = [](auto outputs) {
+    return sum_merge<std::string, std::uint64_t>(std::move(outputs));
+  };
+  const auto serial =
+      run_partitioned(engine, WordCountSpec{}, text, popts, serial_job);
+
+  // Pipelined: streamed fragments, prefetch thread, incremental merge.
+  PipelineOptions stream;
+  stream.partition_size = popts.partition_size;
+  stream.io_buffer_bytes = 512 + rng.next_below(4 * 1024);
+  stream.prefetch = true;
+  TextJob<WordCountSpec> pipelined_job;
+  pipelined_job.incremental_merge =
+      sum_incremental<std::string, std::uint64_t>();
+  OutOfCoreMetrics metrics;
+  const auto pipelined = run_partitioned_file(
+      engine, WordCountSpec{}, path, stream, pipelined_job, &metrics);
+  ASSERT_TRUE(pipelined.is_ok());
+
+  EXPECT_EQ(to_map(pipelined.value()), to_map(serial));
+  EXPECT_EQ(to_map(pipelined.value()), to_map(apps::wordcount_sequential(text)));
+  EXPECT_TRUE(metrics.pipelined);
+  EXPECT_EQ(metrics.bytes_streamed, text.size());
+  EXPECT_GT(metrics.fragments, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(RunPartitionedFile, PeakResidencyBoundedByTwoFragments) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 512 * 1024;
+  corpus.vocabulary = 500;
+  const std::string text = apps::generate_corpus(corpus);
+  TempDir dir{"pipeline"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  mr::Engine<WordCountSpec> engine{mr::Options{}};
+  PipelineOptions stream;
+  stream.partition_size = 64 * 1024;
+  stream.prefetch = true;
+  TextJob<WordCountSpec> job;
+  job.incremental_merge = sum_incremental<std::string, std::uint64_t>();
+  OutOfCoreMetrics metrics;
+  ASSERT_TRUE(run_partitioned_file(engine, WordCountSpec{}, path, stream, job,
+                                   &metrics)
+                  .is_ok());
+  ASSERT_GE(metrics.fragments, 7u);
+  // A fragment overshoots its draft size by at most one record + one
+  // delimiter run; 2x the draft plus slack bounds two resident fragments.
+  EXPECT_LE(metrics.peak_resident_fragment_bytes,
+            2 * (stream.partition_size + 4 * 1024));
+  // And prefetching must actually have doubled residency at some point.
+  EXPECT_GT(metrics.peak_resident_fragment_bytes, stream.partition_size);
+}
+
+TEST(RunPartitionedFile, SerialModeKeepsOneFragmentResident) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 256 * 1024;
+  const std::string text = apps::generate_corpus(corpus);
+  TempDir dir{"pipeline"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  mr::Engine<WordCountSpec> engine{mr::Options{}};
+  PipelineOptions stream;
+  stream.partition_size = 32 * 1024;
+  stream.prefetch = false;
+  TextJob<WordCountSpec> job;
+  job.incremental_merge = sum_incremental<std::string, std::uint64_t>();
+  OutOfCoreMetrics metrics;
+  ASSERT_TRUE(run_partitioned_file(engine, WordCountSpec{}, path, stream, job,
+                                   &metrics)
+                  .is_ok());
+  EXPECT_FALSE(metrics.pipelined);
+  EXPECT_LE(metrics.peak_resident_fragment_bytes,
+            stream.partition_size + 4 * 1024);
+}
+
+// String Match across streamed fragments: line-aligned cuts plus the
+// driver's chunk-offset rebase must yield the same absolute-offset
+// matches as the sequential scan of the whole file.
+TEST(RunPartitionedFile, StringMatchOffsetsSurviveFragmentation) {
+  apps::LineFileOptions lines;
+  lines.bytes = 96 * 1024;
+  std::string text = apps::generate_line_file(lines);
+  apps::KeysOptions keys_options;
+  keys_options.count = 6;
+  StringMatchSpec spec;
+  spec.keys = apps::generate_and_plant_keys(text, keys_options);
+
+  TempDir dir{"pipeline"};
+  const auto path = dir / "lines.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  mr::Options opts;
+  opts.num_workers = 2;
+  mr::Engine<StringMatchSpec> engine{opts};
+  PipelineOptions stream;
+  stream.partition_size = 8 * 1024;
+  stream.is_delimiter = newline_delimiter();
+  stream.prefetch = true;
+  TextJob<StringMatchSpec> job;
+  job.chunker = [](std::string_view fragment) {
+    return mr::split_lines(fragment, 4 * 1024);
+  };
+  job.incremental_merge = concat_incremental<std::uint64_t, std::uint32_t>();
+  OutOfCoreMetrics metrics;
+  const auto pairs =
+      run_partitioned_file(engine, spec, path, stream, job, &metrics);
+  ASSERT_TRUE(pairs.is_ok());
+  EXPECT_GT(metrics.fragments, 1u);
+
+  const auto expected = apps::stringmatch_sequential(text, spec.keys);
+  EXPECT_EQ(apps::to_sorted_matches(pairs.value()),
+            expected);
+}
+
+// Incremental merge inside the in-memory driver: same result as the
+// terminal merge, fragment by fragment.
+TEST(RunPartitioned, IncrementalMergeMatchesTerminalMerge) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 128 * 1024;
+  corpus.vocabulary = 300;
+  const std::string text = apps::generate_corpus(corpus);
+
+  mr::Engine<WordCountSpec> engine{mr::Options{}};
+  PartitionOptions popts;
+  popts.partition_size = 16 * 1024;
+
+  TextJob<WordCountSpec> terminal;
+  terminal.merge = [](auto outputs) {
+    return sum_merge<std::string, std::uint64_t>(std::move(outputs));
+  };
+  TextJob<WordCountSpec> incremental;
+  incremental.incremental_merge =
+      sum_incremental<std::string, std::uint64_t>();
+
+  const auto a =
+      run_partitioned(engine, WordCountSpec{}, text, popts, terminal);
+  const auto b =
+      run_partitioned(engine, WordCountSpec{}, text, popts, incremental);
+  // The incremental path additionally guarantees key order.
+  EXPECT_TRUE(std::is_sorted(
+      b.begin(), b.end(),
+      [](const auto& x, const auto& y) { return x.key < y.key; }));
+  EXPECT_EQ(to_map(a), to_map(b));
+}
+
+TEST(StreamingFragmentSource, EarlyDestructionJoinsPrefetcher) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 128 * 1024;
+  const std::string text = apps::generate_corpus(corpus);
+  TempDir dir{"pipeline"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  StreamOptions options;
+  options.fragment_bytes = 8 * 1024;
+  options.prefetch = true;
+  auto source = StreamingFragmentSource::open(path, options);
+  ASSERT_TRUE(source.is_ok());
+  OwnedFragment fragment;
+  ASSERT_TRUE(source.value().next(fragment).value());
+  // Drop the source with fragments still queued: the prefetch thread must
+  // unblock and join without delivering the rest.
+}
+
+}  // namespace
+}  // namespace mcsd::part
