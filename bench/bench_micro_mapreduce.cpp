@@ -181,8 +181,9 @@ void BM_EmitPathHashCombine(benchmark::State& state) {
   for (auto _ : state) {
     mr::Emitter<std::string, std::uint64_t> emitter{buckets};
     emitter.set_combiner(
-        nullptr, [](const void*, const std::string&, const std::uint64_t& acc,
-                    const std::uint64_t& incoming) { return acc + incoming; });
+        nullptr,
+        [](const void*, const std::string_view&, const std::uint64_t& acc,
+           const std::uint64_t& incoming) { return acc + incoming; });
     for_each_word(text,
                   [&](std::string_view word) { emitter.emit(word, 1); });
     pairs = emitter.stored();
@@ -193,6 +194,53 @@ void BM_EmitPathHashCombine(benchmark::State& state) {
   state.counters["combined_pairs"] = static_cast<double>(pairs);
 }
 BENCHMARK(BM_EmitPathHashCombine)->Arg(8)->Arg(32);
+
+// ---------------------------------------------------------------------------
+// Worker-state reuse A/B: repeated engine runs over a fragment-sized input
+// with the cached per-worker state dropped before every run (the old
+// construct-per-run behaviour) vs reused (arenas rewound, buckets and
+// gather buffers keep capacity).  The delta is the per-fragment setup
+// overhead an out-of-core run pays once per fragment.
+// ---------------------------------------------------------------------------
+
+const std::string& fragment_256kib() {
+  static const std::string text = [] {
+    apps::CorpusOptions opts;
+    opts.bytes = 256 * 1024;
+    opts.vocabulary = 5'000;
+    return apps::generate_corpus(opts);
+  }();
+  return text;
+}
+
+void BM_EngineRunColdState(benchmark::State& state) {
+  const std::string& text = fragment_256kib();
+  mr::Options opts;
+  opts.num_workers = static_cast<std::size_t>(state.range(0));
+  mr::Engine<apps::WordCountSpec> engine{opts};
+  const auto chunks = mr::split_text(text, 64 * 1024);
+  for (auto _ : state) {
+    engine.release_worker_state();
+    benchmark::DoNotOptimize(engine.run(apps::WordCountSpec{}, chunks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_EngineRunColdState)->Arg(1)->Arg(4);
+
+void BM_EngineRunReusedState(benchmark::State& state) {
+  const std::string& text = fragment_256kib();
+  mr::Options opts;
+  opts.num_workers = static_cast<std::size_t>(state.range(0));
+  mr::Engine<apps::WordCountSpec> engine{opts};
+  const auto chunks = mr::split_text(text, 64 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(apps::WordCountSpec{}, chunks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_EngineRunReusedState)->Arg(1)->Arg(4);
 
 void BM_TextSplit(benchmark::State& state) {
   const std::string& text = corpus_1mib();

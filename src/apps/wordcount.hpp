@@ -34,7 +34,9 @@ struct WordCountSpec {
 
   void map(const mr::TextChunk& chunk, mr::Emitter<Key, Value>& emit) const;
 
-  Value combine(const Key& /*word*/, std::span<const Value> counts) const {
+  // Takes the word as a view so emit-time combining can fold against the
+  // emitter's arena-stored key without materialising a std::string.
+  Value combine(std::string_view /*word*/, std::span<const Value> counts) const {
     Value sum = 0;
     for (Value c : counts) sum += c;
     return sum;

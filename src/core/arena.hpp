@@ -1,0 +1,104 @@
+// Bump arena for short byte strings.
+//
+// The MapReduce emitter copies every first-seen key into a worker-private
+// arena and stores a view: one pointer bump per unique key instead of one
+// heap allocation, and the whole key set frees in O(blocks) at reset()
+// rather than one `operator delete` per key.  Blocks are retained across
+// reset() so steady-state use (the out-of-core driver running the engine
+// once per fragment) allocates nothing at all after warm-up.
+//
+// Not thread-safe: one arena per worker, by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace mcsd {
+
+class BumpArena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit BumpArena(std::size_t block_bytes = kDefaultBlockBytes) noexcept
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  BumpArena(BumpArena&&) noexcept = default;
+  BumpArena& operator=(BumpArena&&) noexcept = default;
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Copies `bytes` into the arena and returns a view of the copy.  The
+  /// view stays valid until reset().  Inputs larger than the block size
+  /// get a dedicated block sized to fit.
+  std::string_view store(std::string_view bytes) {
+    Block* block = current_ < blocks_.size() ? &blocks_[current_] : nullptr;
+    if (block == nullptr || block->size - block->used < bytes.size()) {
+      block = next_block(bytes.size());
+    }
+    char* dst = block->data.get() + block->used;
+    std::memcpy(dst, bytes.data(), bytes.size());
+    block->used += bytes.size();
+    used_ += bytes.size();
+    return {dst, bytes.size()};
+  }
+
+  /// Invalidates every stored view and rewinds to the first block.  The
+  /// blocks themselves are kept for reuse — reset is O(#blocks), with no
+  /// frees on the steady-state path.
+  void reset() noexcept {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+    used_ = 0;
+  }
+
+  /// Frees every block.  Views are invalidated; the next store()
+  /// allocates afresh.
+  void release() noexcept {
+    blocks_.clear();
+    blocks_.shrink_to_fit();
+    current_ = 0;
+    used_ = 0;
+  }
+
+  /// Payload bytes stored since the last reset().
+  [[nodiscard]] std::uint64_t bytes_used() const noexcept { return used_; }
+
+  /// Total bytes of block capacity currently held (survives reset()).
+  [[nodiscard]] std::uint64_t bytes_reserved() const noexcept {
+    std::uint64_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  /// Advances to the next retained block that fits `need`, allocating one
+  /// when none does.  Skipped blocks stay retained for the next reset
+  /// cycle (they were sized for an earlier, smaller demand).
+  Block* next_block(std::size_t need) {
+    while (++current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      if (b.size - b.used >= need) return &b;
+    }
+    const std::size_t size = need > block_bytes_ ? need : block_bytes_;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size, 0});
+    current_ = blocks_.size() - 1;
+    return &blocks_.back();
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< index of the block being bumped
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace mcsd

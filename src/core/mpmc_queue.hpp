@@ -4,11 +4,17 @@
 // McSD's usage: queue operations bracket map tasks that each run for
 // milliseconds, so queue overhead is noise.  Clarity and provable
 // correctness win (Core Guidelines CP.20 ff.).
+//
+// Storage is a ring buffer over raw slots rather than a std::deque: a
+// bounded queue allocates its capacity once at construction and never
+// again, and an unbounded queue grows geometrically — so steady-state
+// push/pop (the thread pool's task dispatch) touches the allocator not at
+// all.  T needs to be movable, but not default-constructible.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -18,15 +24,28 @@ namespace mcsd {
 template <typename T>
 class MpmcQueue {
  public:
-  /// `capacity` == 0 means unbounded.
-  explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// `capacity` == 0 means unbounded.  Bounded queues reserve their full
+  /// capacity up front.
+  explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {
+    if (capacity_ != 0) grow_to(capacity_);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  ~MpmcQueue() {
+    while (count_ != 0) pop_slot();
+    if (slots_ != nullptr) {
+      std::allocator<T>{}.deallocate(slots_, slot_count_);
+    }
+  }
 
   /// Blocks while full.  Returns false if the queue was closed.
   bool push(T item) {
     std::unique_lock lock{mutex_};
     not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    push_slot(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -37,7 +56,7 @@ class MpmcQueue {
     {
       std::lock_guard lock{mutex_};
       if (closed_ || full_locked()) return false;
-      items_.push_back(std::move(item));
+      push_slot(std::move(item));
     }
     not_empty_.notify_one();
     return true;
@@ -46,10 +65,9 @@ class MpmcQueue {
   /// Blocks while empty.  Empty optional means closed-and-drained.
   std::optional<T> pop() {
     std::unique_lock lock{mutex_};
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
+    not_empty_.wait(lock, [&] { return closed_ || count_ != 0; });
+    if (count_ == 0) return std::nullopt;  // closed and drained
+    std::optional<T> item{pop_slot()};
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -60,9 +78,8 @@ class MpmcQueue {
     std::optional<T> out;
     {
       std::lock_guard lock{mutex_};
-      if (items_.empty()) return std::nullopt;
-      out.emplace(std::move(items_.front()));
-      items_.pop_front();
+      if (count_ == 0) return std::nullopt;
+      out.emplace(pop_slot());
     }
     not_full_.notify_one();
     return out;
@@ -85,21 +102,59 @@ class MpmcQueue {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock{mutex_};
-    return items_.size();
+    return count_;
   }
 
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
   [[nodiscard]] bool full_locked() const {
-    return capacity_ != 0 && items_.size() >= capacity_;
+    return capacity_ != 0 && count_ >= capacity_;
+  }
+
+  /// Constructs `item` in the tail slot; grows first when the ring is at
+  /// (unbounded) capacity.  Caller holds the lock and has checked bounds.
+  void push_slot(T&& item) {
+    if (count_ == slot_count_) grow_to(slot_count_ < 8 ? 16 : slot_count_ * 2);
+    std::construct_at(slots_ + (head_ + count_) % slot_count_,
+                      std::move(item));
+    ++count_;
+  }
+
+  /// Moves the head item out and destroys its slot.  Caller holds the
+  /// lock (or is the destructor) and has checked count_ != 0.
+  T pop_slot() {
+    T* slot = slots_ + head_;
+    T item{std::move(*slot)};
+    std::destroy_at(slot);
+    head_ = (head_ + 1) % slot_count_;
+    --count_;
+    return item;
+  }
+
+  void grow_to(std::size_t new_count) {
+    T* bigger = std::allocator<T>{}.allocate(new_count);
+    for (std::size_t i = 0; i < count_; ++i) {
+      T* src = slots_ + (head_ + i) % slot_count_;
+      std::construct_at(bigger + i, std::move(*src));
+      std::destroy_at(src);
+    }
+    if (slots_ != nullptr) {
+      std::allocator<T>{}.deallocate(slots_, slot_count_);
+    }
+    slots_ = bigger;
+    slot_count_ = new_count;
+    head_ = 0;
   }
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  T* slots_ = nullptr;            ///< ring storage, raw slots
+  std::size_t slot_count_ = 0;    ///< allocated slots (>= count_)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool closed_ = false;
 };
 

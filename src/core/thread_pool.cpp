@@ -1,6 +1,5 @@
 #include "core/thread_pool.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace mcsd {
@@ -22,72 +21,13 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-bool ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(InlineTask task) {
   return tasks_.push(std::move(task));
 }
 
 void ThreadPool::worker_loop() {
   while (auto task = tasks_.pop()) {
     (*task)();
-  }
-}
-
-void ThreadPool::parallel_for_workers(
-    std::size_t count, const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  if (count == 1) {
-    fn(0);
-    return;
-  }
-
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t pending = count - 1;  // index 0 runs on the caller
-  std::exception_ptr first_error;
-
-  for (std::size_t i = 1; i < count; ++i) {
-    submit([&, i] {
-      std::exception_ptr error;
-      try {
-        fn(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      std::lock_guard lock{mutex};
-      if (error && !first_error) first_error = error;
-      if (--pending == 0) cv.notify_one();
-    });
-  }
-
-  try {
-    fn(0);
-  } catch (...) {
-    std::lock_guard lock{mutex};
-    if (!first_error) first_error = std::current_exception();
-  }
-
-  std::unique_lock lock{mutex};
-  cv.wait(lock, [&] { return pending == 0; });
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-void TaskGroup::run(std::function<void()> task) {
-  {
-    std::lock_guard lock{mutex_};
-    ++pending_;
-  }
-  const bool accepted = pool_.submit([this, task = std::move(task)] {
-    std::exception_ptr error;
-    try {
-      task();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    finish_one(error);
-  });
-  if (!accepted) {
-    finish_one(std::make_exception_ptr(
-        std::runtime_error("TaskGroup::run after pool shutdown")));
   }
 }
 

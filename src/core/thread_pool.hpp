@@ -5,20 +5,155 @@
 // node", so worker count is a *parameter*, never hardware_concurrency()
 // implicitly.  TaskGroup lets a phase submit a batch and join it without
 // tearing the pool down between phases.
+//
+// Dispatch is allocation-free on the hot path: tasks travel as
+// InlineTask — a move-only, type-erased callable with small-buffer
+// storage — so submitting the pointer-sized closures parallel_for_workers
+// and TaskGroup produce never touches the heap (std::function's
+// small-buffer limit is far below a captured [latch, fn, index] triple).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
+#include <new>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/mpmc_queue.hpp"
 
 namespace mcsd {
+
+/// Move-only type-erased `void()` callable.  Callables up to kInlineBytes
+/// (and nothrow-movable) live inside the object; larger ones fall back to
+/// one heap allocation, exactly like std::function past its SBO.
+class InlineTask {
+ public:
+  /// Inline capacity: six pointers covers every closure the pool's own
+  /// dispatch paths create (control block + body + index).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineTask() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineTask> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      static constexpr Ops ops{
+          [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+          [](void* dst, void* src) noexcept {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+          },
+          [](void* s) noexcept {
+            std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+          }};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      static constexpr Ops ops{
+          [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+          },
+          [](void* s) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(s));
+          }};
+      ops_ = &ops;
+    }
+  }
+
+  InlineTask(InlineTask&& other) noexcept { move_from(other); }
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { destroy(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  void move_from(InlineTask& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+namespace detail {
+
+/// Joins a fixed batch of pool tasks: counts completions down, keeps the
+/// first exception, and rethrows it on the waiting caller.
+class TaskLatch {
+ public:
+  explicit TaskLatch(std::size_t pending) : pending_(pending) {}
+
+  void finish(std::exception_ptr error) noexcept {
+    std::lock_guard lock{mutex_};
+    if (error && !first_error_) first_error_ = std::move(error);
+    if (--pending_ == 0) done_.notify_one();
+  }
+
+  /// Records an error from the caller's own lane (no count attached).
+  void note_error(std::exception_ptr error) noexcept {
+    std::lock_guard lock{mutex_};
+    if (!first_error_) first_error_ = std::move(error);
+  }
+
+  void wait_and_rethrow() {
+    std::unique_lock lock{mutex_};
+    done_.wait(lock, [&] { return pending_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -34,19 +169,53 @@ class ThreadPool {
   }
 
   /// Enqueues a fire-and-forget task.  Returns false after shutdown.
-  bool submit(std::function<void()> task);
+  bool submit(InlineTask task);
 
   /// Runs `fn(worker_index)` once on each of `count` logical workers and
   /// blocks until all complete.  The calling thread also executes tasks,
   /// so a pool of W threads serves count > W without deadlock.  The first
-  /// exception thrown by any task is rethrown on the caller.
-  void parallel_for_workers(std::size_t count,
-                            const std::function<void(std::size_t)>& fn);
+  /// exception thrown by any task is rethrown on the caller.  Each
+  /// dispatched task captures only {latch*, fn*, index} — no per-task
+  /// heap allocation.
+  template <typename Fn>
+    requires std::is_invocable_v<Fn&, std::size_t>
+  void parallel_for_workers(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    if (count == 1) {
+      fn(0);
+      return;
+    }
+
+    detail::TaskLatch latch{count - 1};
+    Fn& body = fn;  // shared by every lane; outlives the join below
+    for (std::size_t i = 1; i < count; ++i) {
+      const bool accepted = submit([&latch, &body, i] {
+        std::exception_ptr error;
+        try {
+          body(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        latch.finish(std::move(error));
+      });
+      if (!accepted) {
+        latch.finish(std::make_exception_ptr(std::runtime_error(
+            "parallel_for_workers after pool shutdown")));
+      }
+    }
+
+    try {
+      body(0);
+    } catch (...) {
+      latch.note_error(std::current_exception());
+    }
+    latch.wait_and_rethrow();
+  }
 
  private:
   void worker_loop();
 
-  MpmcQueue<std::function<void()>> tasks_;
+  MpmcQueue<InlineTask> tasks_;
   std::vector<std::thread> workers_;
 };
 
@@ -59,8 +228,30 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Submits a task tracked by this group.
-  void run(std::function<void()> task);
+  /// Submits a task tracked by this group.  Small callables ride the
+  /// pool's inline task slots; nothing is heap-allocated for them.
+  template <typename Fn>
+    requires std::is_invocable_v<std::remove_cvref_t<Fn>&>
+  void run(Fn&& task) {
+    {
+      std::lock_guard lock{mutex_};
+      ++pending_;
+    }
+    const bool accepted =
+        pool_.submit([this, task = std::forward<Fn>(task)]() mutable {
+          std::exception_ptr error;
+          try {
+            task();
+          } catch (...) {
+            error = std::current_exception();
+          }
+          finish_one(std::move(error));
+        });
+    if (!accepted) {
+      finish_one(std::make_exception_ptr(
+          std::runtime_error("TaskGroup::run after pool shutdown")));
+    }
+  }
 
   /// Blocks until every task run() so far has finished; rethrows the
   /// first captured exception.

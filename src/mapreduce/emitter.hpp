@@ -12,11 +12,19 @@
 // Specs with a `combine` hook fold values *at emit time*: every bucket
 // carries an open-addressing index over its pair vector, and a duplicate
 // key folds into the stored pair in O(1) amortised instead of being
-// appended and sorted away later.  String keys may be emitted as
-// std::string_view backed by the chunk text; the view is materialised to
-// an owned std::string only when a pair is first inserted, so re-emits of
-// a known key (the common case under Zipfian word distributions) never
-// allocate.
+// appended and sorted away later.
+//
+// Key storage (string keys): first-insert keys are copied into a
+// worker-private bump arena and stored as std::string_view — one pointer
+// bump per unique key instead of one std::string heap allocation per
+// unique key per bucket, and pairs shrink from 48 to 32 bytes, which the
+// reduce-phase gather+sort moves around.  Re-emits of a known key (the
+// common case under Zipfian word distributions) never copy at all.  The
+// views stay valid until reset(); the engine keeps emitters alive across
+// the reduce phase and materialises owned keys only into the final
+// output.  reset() rewinds the arena and clears the buckets *keeping
+// their capacity*, so per-fragment reuse (the out-of-core driver) costs
+// O(buckets) bookkeeping, not an allocator round-trip per key.
 #pragma once
 
 #include <cassert>
@@ -28,16 +36,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/hash.hpp"
 #include "mapreduce/types.hpp"
 
 namespace mcsd::mr {
 
 namespace detail {
-/// Approximate heap footprint of a key for budget accounting.
-inline std::uint64_t key_bytes(const std::string& k) noexcept {
-  return sizeof(std::string) + k.capacity();
-}
+/// Approximate footprint of a non-string key for budget accounting.
 template <typename K>
 std::uint64_t key_bytes(const K&) noexcept {
   return sizeof(K);
@@ -47,20 +53,26 @@ std::uint64_t key_bytes(const K&) noexcept {
 template <typename K, typename V>
 class Emitter {
  public:
-  using Pair = HKV<K, V>;
+  /// String keys are stored as views into the emitter's arena; every
+  /// other key type is stored inline in the pair.
+  static constexpr bool kArenaKeys = std::is_same_v<K, std::string>;
+  using StoredKey = std::conditional_t<kArenaKeys, std::string_view, K>;
+  using Pair = HKV<StoredKey, V>;
 
   /// Binary fold used for emit-time combining: returns the merged value
   /// for `key` given the stored accumulator and one incoming value.
   /// A plain function pointer (plus an opaque spec pointer) keeps the
   /// per-duplicate cost to one indirect call — no std::function, no
-  /// allocation.
-  using CombineFn = V (*)(const void* ctx, const K& key, const V& accumulated,
-                          const V& incoming);
+  /// allocation.  The key arrives as the *stored* representation (a view
+  /// for string keys) so a combine hit never materialises a std::string.
+  using CombineFn = V (*)(const void* ctx, const StoredKey& key,
+                          const V& accumulated, const V& incoming);
 
   explicit Emitter(std::size_t num_buckets) : buckets_(num_buckets) {}
 
   /// Installs the emit-time combiner.  Must be called before the first
-  /// emit; `ctx` must outlive the emitter (the engine passes the spec).
+  /// emit (or after reset()); `ctx` must outlive the emitter's use (the
+  /// engine passes the spec).
   void set_combiner(const void* ctx, CombineFn fn) noexcept {
     assert(count_ == 0 && "combiner must be installed before the first emit");
     combine_ctx_ = ctx;
@@ -74,10 +86,11 @@ class Emitter {
     emit_hashed(std::move(key), std::move(value), h);
   }
 
-  /// String-key fast path: probes with the view and materialises an owned
-  /// key only on first insert.  `key` need only stay valid for this call.
+  /// String-key fast path: probes with the view and copies the bytes into
+  /// the arena only on first insert.  `key` need only stay valid for this
+  /// call.
   void emit(std::string_view key, V value)
-    requires std::is_same_v<K, std::string>
+    requires kArenaKeys
   {
     const std::uint64_t h = KeyHash<K>{}(key);
     emit_hashed(key, std::move(value), h);
@@ -93,11 +106,31 @@ class Emitter {
     return buckets_[b].pairs;
   }
 
-  /// Drops bucket b's combiner index (the reduce phase consumes the pair
-  /// vector directly and the index would only pin memory).
+  /// Retires bucket b's combiner index for this run.  The slot table's
+  /// memory is kept (cleared, not freed) so the next run after reset()
+  /// rebuilds it without reallocating.
   void release_index(std::size_t b) noexcept {
     buckets_[b].slots.clear();
-    buckets_[b].slots.shrink_to_fit();
+    buckets_[b].log2_slots = 0;
+  }
+
+  /// Rewinds the emitter for reuse: buckets and slot tables are cleared
+  /// keeping capacity, the key arena is rewound (all stored views become
+  /// invalid), counters zero, and the combiner is uninstalled so the next
+  /// run can bind a different spec.  Teardown of a fragment's worth of
+  /// keys is exactly one arena reset — no per-key frees.
+  void reset() noexcept {
+    for (Bucket& bucket : buckets_) {
+      bucket.pairs.clear();
+      bucket.slots.clear();
+      bucket.log2_slots = 0;
+    }
+    arena_.reset();
+    combine_ctx_ = nullptr;
+    combine_ = nullptr;
+    bytes_ = 0;
+    count_ = 0;
+    stored_ = 0;
   }
 
   /// Number of emit calls so far (pre-combining volume).
@@ -109,8 +142,10 @@ class Emitter {
   [[nodiscard]] std::size_t combine_hits() const noexcept {
     return count_ - stored_;
   }
-  /// Approximate intermediate bytes held.  Grows only when a pair is
-  /// inserted; emit-time combining keeps this monotone in emit order.
+  /// Approximate intermediate bytes held: sizeof(pair) per stored pair
+  /// plus, for string keys, the arena bytes the key's copy consumed.
+  /// Grows only when a pair is inserted; emit-time combining keeps this
+  /// monotone in emit order.
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
 
  private:
@@ -162,9 +197,15 @@ class Emitter {
 
   template <typename KeyLike>
   void insert(Bucket& bucket, KeyLike&& key, V value, std::uint64_t h) {
-    bucket.pairs.push_back(
-        Pair{K(std::forward<KeyLike>(key)), std::move(value), h});
-    bytes_ += sizeof(Pair) + detail::key_bytes(bucket.pairs.back().key);
+    if constexpr (kArenaKeys) {
+      const std::string_view stored = arena_.store(std::string_view{key});
+      bucket.pairs.push_back(Pair{stored, std::move(value), h});
+      bytes_ += sizeof(Pair) + stored.size();
+    } else {
+      bucket.pairs.push_back(
+          Pair{K(std::forward<KeyLike>(key)), std::move(value), h});
+      bytes_ += sizeof(Pair) + detail::key_bytes(bucket.pairs.back().key);
+    }
     ++stored_;
   }
 
@@ -181,6 +222,7 @@ class Emitter {
   }
 
   std::vector<Bucket> buckets_;
+  BumpArena arena_;
   const void* combine_ctx_ = nullptr;
   CombineFn combine_ = nullptr;
   std::uint64_t bytes_ = 0;

@@ -19,6 +19,16 @@
 // 64-bit key hash computed for bucket routing is cached in every stored
 // pair and reused for combiner probes and reduce-phase grouping.
 //
+// Worker-state reuse: emitters (bucket tables + key arenas) and the
+// reduce-phase gather buffers live on the Engine, padded to cache-line
+// boundaries, and are *reset* between run() calls instead of constructed
+// and destroyed per run.  An out-of-core driver calling run() once per
+// fragment therefore stops paying workers x buckets vector construction
+// (and a heap free per unique key) for every fragment; fragment teardown
+// is one arena rewind per worker.  release_worker_state() drops the
+// cached state — the pre-reuse behaviour — for drivers that want the
+// memory back between jobs (and for A/B-measuring the reuse win).
+//
 // Observability: run() opens obs spans per phase (mr.map / mr.reduce /
 // mr.merge, plus per-worker and per-bucket child spans) and publishes
 // each worker's emitter counters (emits, combine hits, bytes) into
@@ -69,6 +79,17 @@ concept MapsChunk =
     requires(const S& s, const C& c,
              Emitter<typename S::Key, typename S::Value>& e) { s.map(c, e); };
 
+/// Detects a `combine` that accepts the emitter's *stored* key
+/// representation (a string_view for string keys) directly — the
+/// allocation-free fast path.  Specs whose combine insists on `const
+/// Key&` still work; the engine materialises a temporary key per fold.
+template <typename S, typename SK>
+concept CombinesStoredKey =
+    requires(const S& s, const SK& k,
+             std::span<const typename S::Value> vs) {
+      { s.combine(k, vs) } -> std::convertible_to<typename S::Value>;
+    };
+
 namespace detail {
 inline std::uint64_t chunk_input_bytes(const TextChunk& c) noexcept {
   return c.text.size();
@@ -100,8 +121,10 @@ class Engine {
   using Key = typename Spec::Key;
   using Value = typename Spec::Value;
   using Pair = KV<Key, Value>;
-  /// Intermediate pairs carry the cached key hash.
-  using HashedPair = HKV<Key, Value>;
+  /// Intermediate pairs as the emitter stores them: cached key hash plus
+  /// the stored key representation (arena-backed view for string keys).
+  using StoredPair = typename Emitter<Key, Value>::Pair;
+  using StoredKey = typename Emitter<Key, Value>::StoredKey;
   using Output = std::vector<Pair>;
 
   explicit Engine(Options options)
@@ -115,6 +138,15 @@ class Engine {
   /// node's cores never sit behind a second, idle pool.  Only use between
   /// run() calls — run() assumes every pool lane is its own.
   [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+
+  /// Drops the reusable per-worker state (emitters, key arenas, gather
+  /// buffers).  The next run() rebuilds it from scratch — the per-run
+  /// cost the reuse path exists to avoid; kept callable so drivers can
+  /// return memory between jobs and benches can A/B the reuse win.
+  void release_worker_state() noexcept {
+    worker_state_.clear();
+    worker_state_.shrink_to_fit();
+  }
 
   /// Runs the full pipeline over `chunks`.  `input_bytes` is the job's
   /// input size for the memory model; pass 0 to derive it from text
@@ -150,22 +182,11 @@ class Engine {
 
     // ----- map phase (combining happens inside emit) ----------------------
     Stopwatch phase;
-    std::vector<Emitter<Key, Value>> emitters;
-    emitters.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      auto& emitter = emitters.emplace_back(buckets);
-      if constexpr (HasCombine<Spec>) {
-        emitter.set_combiner(
-            &spec, [](const void* ctx, const Key& key, const Value& acc,
-                      const Value& incoming) {
-              const Value pairwise[2] = {acc, incoming};
-              return static_cast<const Spec*>(ctx)->combine(
-                  key, std::span<const Value>{pairwise});
-            });
-      }
-    }
+    prepare_worker_state(spec, workers, buckets);
 
     DynamicScheduler scheduler{chunks.size()};
+    const std::size_t batch =
+        DynamicScheduler::suggested_batch(chunks.size(), workers);
     std::atomic<std::uint64_t> intermediate_bytes{0};
     std::atomic<bool> cancelled{false};
 
@@ -173,24 +194,26 @@ class Engine {
       MCSD_OBS_SPAN("mr", "mr.map");
       pool_->parallel_for_workers(workers, [&](std::size_t w) {
         MCSD_OBS_SPAN("mr", "mr.map.worker");
-        auto& emitter = emitters[w];
+        auto& emitter = worker_state_[w].emitter;
         std::uint64_t reported = 0;
-        while (auto idx = scheduler.next()) {
-          if (cancelled.load(std::memory_order_relaxed)) return;
-          spec.map(chunks[*idx], emitter);
+        while (auto claimed = scheduler.next_batch(batch)) {
+          for (std::size_t idx = claimed->begin; idx != claimed->end; ++idx) {
+            if (cancelled.load(std::memory_order_relaxed)) return;
+            spec.map(chunks[idx], emitter);
 
-          const std::uint64_t now = emitter.bytes();
-          detail::apply_bytes_delta(intermediate_bytes, reported, now);
-          reported = now;
-          if (usable != 0 &&
-              input_bytes +
-                      intermediate_bytes.load(std::memory_order_relaxed) >
-                  usable) {
-            cancelled.store(true, std::memory_order_relaxed);
-            throw MemoryOverflowError(
+            const std::uint64_t now = emitter.bytes();
+            detail::apply_bytes_delta(intermediate_bytes, reported, now);
+            reported = now;
+            if (usable != 0 &&
                 input_bytes +
-                    intermediate_bytes.load(std::memory_order_relaxed),
-                usable);
+                        intermediate_bytes.load(std::memory_order_relaxed) >
+                    usable) {
+              cancelled.store(true, std::memory_order_relaxed);
+              throw MemoryOverflowError(
+                  input_bytes +
+                      intermediate_bytes.load(std::memory_order_relaxed),
+                  usable);
+            }
           }
         }
         // Publish this worker's emitter counters: the emitter itself is
@@ -203,11 +226,11 @@ class Engine {
     m.map_seconds = phase.elapsed_seconds();
     m.peak_intermediate_bytes =
         input_bytes + intermediate_bytes.load(std::memory_order_relaxed);
-    for (const auto& e : emitters) {
-      m.map_emits += e.count();
-      m.map_stored_pairs += e.stored();
-      m.map_combine_hits += e.combine_hits();
-      m.map_intermediate_bytes += e.bytes();
+    for (const auto& ws : worker_state_) {
+      m.map_emits += ws.emitter.count();
+      m.map_stored_pairs += ws.emitter.stored();
+      m.map_combine_hits += ws.emitter.combine_hits();
+      m.map_intermediate_bytes += ws.emitter.bytes();
     }
     MCSD_OBS_HIST("mr.map_phase_us", "us",
                   static_cast<std::uint64_t>(m.map_seconds * 1e6));
@@ -220,32 +243,38 @@ class Engine {
 
     {
       MCSD_OBS_SPAN("mr", "mr.reduce");
-      pool_->parallel_for_workers(workers, [&](std::size_t) {
-      while (auto b = reduce_sched.next()) {
-        MCSD_OBS_SPAN("mr", "mr.reduce.bucket");
-        std::vector<HashedPair> gathered;
-        std::size_t total = 0;
-        for (auto& e : emitters) total += e.bucket(*b).size();
-        gathered.reserve(total);
-        for (auto& e : emitters) {
-          e.release_index(*b);
-          auto& src = e.bucket(*b);
-          std::move(src.begin(), src.end(), std::back_inserter(gathered));
-          src.clear();
-          src.shrink_to_fit();
-        }
-        if constexpr (HasReduce<Spec>) {
-          bucket_outputs[*b] = reduce_bucket(spec, std::move(gathered),
-                                             unique_keys);
-        } else {
-          unique_keys.fetch_add(gathered.size(), std::memory_order_relaxed);
-          Output& out = bucket_outputs[*b];
-          out.reserve(gathered.size());
-          for (auto& p : gathered) {
-            out.push_back(Pair{std::move(p.key), std::move(p.value)});
+      pool_->parallel_for_workers(workers, [&](std::size_t w) {
+        // One gather buffer per worker, reused across every bucket this
+        // worker claims (and across runs): no per-bucket construction,
+        // no shrink_to_fit churn inside the scheduler loop.
+        std::vector<StoredPair>& gathered = worker_state_[w].gather;
+        while (auto b = reduce_sched.next()) {
+          MCSD_OBS_SPAN("mr", "mr.reduce.bucket");
+          gathered.clear();
+          std::size_t total = 0;
+          for (const auto& ws : worker_state_) {
+            total += ws.emitter.bucket(*b).size();
+          }
+          gathered.reserve(total);
+          for (auto& ws : worker_state_) {
+            ws.emitter.release_index(*b);
+            auto& src = ws.emitter.bucket(*b);
+            std::move(src.begin(), src.end(), std::back_inserter(gathered));
+            src.clear();  // keep capacity: refilled next run
+          }
+          if constexpr (HasReduce<Spec>) {
+            bucket_outputs[*b] = reduce_bucket(spec, gathered, unique_keys);
+          } else {
+            unique_keys.fetch_add(gathered.size(),
+                                  std::memory_order_relaxed);
+            Output& out = bucket_outputs[*b];
+            out.reserve(gathered.size());
+            for (auto& p : gathered) {
+              // Stored keys may be arena views; the output owns its keys.
+              out.push_back(Pair{Key(p.key), std::move(p.value)});
+            }
           }
         }
-      }
       });
     }
     m.reduce_seconds = phase.elapsed_seconds();
@@ -276,8 +305,55 @@ class Engine {
   }
 
  private:
+  /// Per-worker hot state, cache-line padded: worker_state_ is a
+  /// contiguous vector, and without the alignas adjacent workers' emit
+  /// counters (bumped every emit) would false-share a line.
+  struct alignas(64) WorkerState {
+    explicit WorkerState(std::size_t buckets) : emitter(buckets) {}
+    Emitter<Key, Value> emitter;
+    std::vector<StoredPair> gather;  ///< reduce-phase gather buffer
+  };
+
+  /// Builds or resets the reusable per-worker state and binds `spec`'s
+  /// combiner.  Reuse path: every emitter is rewound (arena reset, bucket
+  /// capacity kept); rebuild happens only on first use or when the
+  /// worker/bucket geometry changed.
+  void prepare_worker_state(const Spec& spec, std::size_t workers,
+                            std::size_t buckets) {
+    const bool geometry_matches =
+        worker_state_.size() == workers &&
+        (workers == 0 || worker_state_.front().emitter.bucket_count() == buckets);
+    if (geometry_matches) {
+      for (auto& ws : worker_state_) ws.emitter.reset();
+    } else {
+      worker_state_.clear();
+      worker_state_.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        worker_state_.emplace_back(buckets);
+      }
+    }
+    if constexpr (HasCombine<Spec>) {
+      for (auto& ws : worker_state_) {
+        ws.emitter.set_combiner(
+            &spec, [](const void* ctx, const StoredKey& key, const Value& acc,
+                      const Value& incoming) {
+              const Value pairwise[2] = {acc, incoming};
+              const auto* s = static_cast<const Spec*>(ctx);
+              if constexpr (CombinesStoredKey<Spec, StoredKey>) {
+                return s->combine(key, std::span<const Value>{pairwise});
+              } else {
+                // Fold hook insists on an owned key: materialise one per
+                // fold (slow path; string-keyed specs should accept a
+                // view, see apps/wordcount.hpp).
+                return s->combine(Key(key), std::span<const Value>{pairwise});
+              }
+            });
+      }
+    }
+  }
+
   static Output reduce_bucket(const Spec& spec,
-                              std::vector<HashedPair> gathered,
+                              std::vector<StoredPair>& gathered,
                               std::atomic<std::size_t>& unique_keys)
     requires HasReduce<Spec>
   {
@@ -298,9 +374,12 @@ class Engine {
       for (std::size_t k = i; k < j; ++k) {
         scratch.push_back(std::move(gathered[k].value));
       }
-      Value reduced =
-          spec.reduce(gathered[i].key, std::span<const Value>{scratch});
-      out.push_back(Pair{std::move(gathered[i].key), std::move(reduced)});
+      // Materialise the owned output key first and hand *it* to the
+      // user's reduce: specs keep their `const Key&` signature, and the
+      // arena view is copied exactly once, into the output pair.
+      Key key{gathered[i].key};
+      Value reduced = spec.reduce(key, std::span<const Value>{scratch});
+      out.push_back(Pair{std::move(key), std::move(reduced)});
       i = j;
     }
     unique_keys.fetch_add(out.size(), std::memory_order_relaxed);
@@ -309,6 +388,8 @@ class Engine {
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Reusable per-worker state; persists across run() calls.
+  std::vector<WorkerState> worker_state_;
 };
 
 }  // namespace mcsd::mr

@@ -44,6 +44,14 @@ struct OutOfCoreMetrics {
   double mapreduce_seconds = 0.0;  ///< sum of per-fragment engine time
   double merge_seconds = 0.0;      ///< cross-fragment merge (terminal or
                                    ///< summed incremental folds)
+  // Per-phase attribution of mapreduce_seconds, summed over fragments
+  // from the engine's own Metrics: where engine time actually goes
+  // (map+combine vs gather/sort/reduce vs intra-fragment merge).  The
+  // residue mapreduce_seconds - (map+reduce+merge) is per-fragment setup
+  // (chunking, worker-state preparation).
+  double engine_map_seconds = 0.0;
+  double engine_reduce_seconds = 0.0;
+  double engine_merge_seconds = 0.0;
   double io_wait_seconds = 0.0;    ///< file path: consumer stalls waiting on
                                    ///< fragment I/O (reads hidden behind
                                    ///< compute do not show up here)
@@ -153,6 +161,9 @@ void run_fragment(
                frag_metrics.peak_intermediate_bytes);
   m.map_emits += frag_metrics.map_emits;
   m.unique_keys += frag_metrics.unique_keys;
+  m.engine_map_seconds += frag_metrics.map_seconds;
+  m.engine_reduce_seconds += frag_metrics.reduce_seconds;
+  m.engine_merge_seconds += frag_metrics.merge_seconds;
 
   if (job.incremental_merge) {
     watch.restart();

@@ -35,6 +35,13 @@ struct StreamingFragmentSource::State {
   std::uint64_t bytes_streamed = 0;
   std::size_t produced = 0;
 
+  // Retired consumer buffer handed back for reuse (guarded by mutex):
+  // next() parks the buffer of the fragment the consumer just finished
+  // here, and the prefetcher seeds its next read with it, so steady state
+  // rotates two fragment-sized buffers instead of paying a free+malloc
+  // of ~fragment_bytes per fragment.
+  std::string spare;
+
   // Serial-mode sequencing (prefetch == false).
   std::size_t next_index = 0;
 
@@ -79,12 +86,17 @@ struct StreamingFragmentSource::State {
       // Double-buffer bound: do NOT start reading fragment N+1 until the
       // consumer has emptied the slot — at most one fragment lives inside
       // the source (parked or in flight) plus one at the consumer.
+      OwnedFragment frag;
       {
         std::unique_lock lock{mutex};
         slot_emptied.wait(lock, [&] { return !slot.has_value() || stop; });
         if (stop) return;
+        // Seed the read with the consumer's retired buffer; its capacity
+        // enters the reader's rotation (next_fragment swaps buffers with
+        // its carry) so fragment-sized allocations stop recurring.
+        frag.text = std::move(spare);
+        frag.text.clear();
       }
-      OwnedFragment frag;
       bool have = false;
       {
         MCSD_OBS_SPAN("part", "part.prefetch");
@@ -163,7 +175,10 @@ Result<bool> StreamingFragmentSource::next(OwnedFragment& out) {
                      [&] { return s.slot.has_value() || s.eof; });
   if (s.error) return *s.error;
   if (!s.slot.has_value()) return false;  // clean EOF
-  // Taking fragment N+1 implies the consumer is done with fragment N.
+  // Taking fragment N+1 implies the consumer is done with fragment N:
+  // recycle its buffer through the prefetcher instead of freeing it.
+  s.spare = std::move(out.text);
+  s.spare.clear();
   s.consumer_resident_bytes = s.slot->text.size();
   s.source_resident_bytes -= s.slot->text.size();
   s.bytes_streamed += s.slot->text.size();

@@ -72,4 +72,17 @@ else
   exit 1
 fi
 
+# bench_record mapreduce: a tiny run must record the per-phase breakdown,
+# scaling efficiency, and the worker-state-reuse A/B.  CI uploads the
+# JSON as an artifact.
+"$TOOLS_DIR/bench_record" --suite mapreduce --bytes 1M --reps 2 \
+    --workers 1,2 --label smoke --out BENCH_mapreduce.json > /dev/null
+for needle in wordcount_engine wordcount_map_ms wordcount_reduce_ms \
+    wordcount_merge_ms scaling_efficiency fragment_setup_cold_us \
+    fragment_setup_warm_us setup_overhead_reduction_pct; do
+  grep -q "$needle" BENCH_mapreduce.json || {
+    echo "BENCH_mapreduce.json: missing '$needle'"; exit 1;
+  }
+done
+
 echo "bench smoke test passed"

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/mpmc_queue.hpp"
@@ -11,6 +15,70 @@
 
 namespace mcsd {
 namespace {
+
+// ---------------------------------------------------------------------------
+// InlineTask: the allocation-free dispatch slot used by ThreadPool.
+// ---------------------------------------------------------------------------
+
+TEST(InlineTask, SmallCallableRunsInline) {
+  int hits = 0;
+  InlineTask task{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(task));
+  task();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineTask, MoveOnlyCallableSupported) {
+  auto flag = std::make_unique<int>(0);
+  int* raw = flag.get();
+  InlineTask task{[owned = std::move(flag)] { *owned = 42; }};
+  task();
+  EXPECT_EQ(*raw, 42);
+}
+
+TEST(InlineTask, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  InlineTask a{[&hits] { ++hits; }};
+  InlineTask b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineTask, LargeCallableFallsBackToHeapAndStillRuns) {
+  // Payload far beyond kInlineBytes exercises the heap-fallback ops.
+  std::array<std::uint64_t, 32> payload{};
+  payload.fill(7);
+  std::uint64_t sum = 0;
+  InlineTask task{[payload, &sum] {
+    for (auto v : payload) sum += v;
+  }};
+  static_assert(sizeof(payload) > InlineTask::kInlineBytes);
+  InlineTask moved{std::move(task)};
+  moved();
+  EXPECT_EQ(sum, 7u * 32u);
+}
+
+TEST(InlineTask, DestroysCapturesWithoutRunning) {
+  // Dropping an un-run task must release its captures (no leaks under
+  // ASan) — the pool destructor drains queued tasks this way.
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  {
+    InlineTask task{[held = std::move(tracked)] { (void)held; }};
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineTask, AssignmentReplacesPreviousCallable) {
+  std::string log;
+  InlineTask task{[&log] { log += "first"; }};
+  task = InlineTask{[&log] { log += "second"; }};
+  task();
+  EXPECT_EQ(log, "second");
+}
 
 TEST(MpmcQueue, FifoSingleThread) {
   MpmcQueue<int> q;
@@ -75,6 +143,32 @@ TEST(MpmcQueue, ManyProducersManyConsumers) {
       static_cast<long long>(kProducers) * kItemsEach * (kItemsEach + 1) / 2;
   EXPECT_EQ(sum.load(), expected);
   EXPECT_EQ(popped.load(), kProducers * kItemsEach);
+}
+
+TEST(MpmcQueue, MoveOnlyNonDefaultConstructibleElements) {
+  // The ring stores raw slots: elements need neither default construction
+  // nor copying (InlineTask itself rides this queue).
+  MpmcQueue<std::unique_ptr<int>> q{2};
+  q.push(std::make_unique<int>(7));
+  q.push(std::make_unique<int>(9));
+  EXPECT_EQ(**q.pop(), 7);
+  EXPECT_EQ(**q.pop(), 9);
+}
+
+TEST(MpmcQueue, DestructorDrainsUnpoppedElements) {
+  auto tracked = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = tracked;
+  {
+    MpmcQueue<std::shared_ptr<int>> q;
+    q.push(std::move(tracked));
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(MpmcQueue, UnboundedGrowthPreservesFifo) {
+  MpmcQueue<int> q;  // grows past the initial ring allocation
+  for (int i = 0; i < 1000; ++i) q.push(i);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(q.pop(), i);
 }
 
 TEST(ThreadPool, RejectsZeroWorkers) {

@@ -172,7 +172,9 @@ TEST(Engine, IdentityReduceWhenSpecHasNone) {
 // Emitter: emit-time hash combining and byte accounting.
 // ---------------------------------------------------------------------------
 
-std::uint64_t sum_combiner(const void*, const std::string&,
+// Combiners receive the emitter's *stored* key: a string_view into the
+// worker arena for std::string keys.
+std::uint64_t sum_combiner(const void*, const std::string_view&,
                            const std::uint64_t& acc,
                            const std::uint64_t& incoming) {
   return acc + incoming;
@@ -182,7 +184,7 @@ std::map<std::string, std::uint64_t> emitter_contents(
     Emitter<std::string, std::uint64_t>& emitter) {
   std::map<std::string, std::uint64_t> m;
   for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
-    for (const auto& p : emitter.bucket(b)) m[p.key] += p.value;
+    for (const auto& p : emitter.bucket(b)) m[std::string(p.key)] += p.value;
   }
   return m;
 }
@@ -230,11 +232,12 @@ TEST(Emitter, BytesTrackStoredPairsNotRawEmits) {
   // Re-emits of a known key fold in place: no byte growth.
   EXPECT_EQ(emitter.bytes(), after_first);
 
-  // Byte meter equals the sum of per-pair footprints.
+  // Byte meter equals the sum of per-pair footprints: the pair itself
+  // plus the arena bytes its key copy consumed.
   std::uint64_t expected = 0;
   for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
     for (const auto& p : emitter.bucket(b)) {
-      expected += sizeof(p) + sizeof(std::string) + p.key.capacity();
+      expected += sizeof(p) + p.key.size();
     }
   }
   EXPECT_EQ(emitter.bytes(), expected);
@@ -262,6 +265,132 @@ TEST(Emitter, WithoutCombinerEveryEmitIsStored) {
   for (int i = 0; i < 5; ++i) emitter.emit(std::string_view{"same"}, 1);
   EXPECT_EQ(emitter.stored(), 5u);
   EXPECT_EQ(emitter.count(), 5u);
+}
+
+TEST(Emitter, ResetAndReuseProducesIdenticalContents) {
+  // The reuse lifecycle the engine relies on: reset() rewinds the arena
+  // and clears the buckets; a second, identical round of emits must
+  // produce identical contents and identical byte accounting.
+  Emitter<std::string, std::uint64_t> emitter{4};
+  const auto feed = [&] {
+    emitter.set_combiner(nullptr, sum_combiner);
+    for (const char* word :
+         {"delta", "echo", "delta", "fox", "echo", "delta"}) {
+      emitter.emit(std::string_view{word}, 1);
+    }
+  };
+  feed();
+  const auto first = emitter_contents(emitter);
+  const std::uint64_t first_bytes = emitter.bytes();
+  const std::size_t first_stored = emitter.stored();
+  ASSERT_EQ(first.at("delta"), 3u);
+
+  emitter.reset();
+  EXPECT_EQ(emitter.count(), 0u);
+  EXPECT_EQ(emitter.bytes(), 0u);
+  for (std::size_t b = 0; b < emitter.bucket_count(); ++b) {
+    EXPECT_TRUE(emitter.bucket(b).empty());
+  }
+
+  feed();
+  EXPECT_EQ(emitter_contents(emitter), first);
+  EXPECT_EQ(emitter.bytes(), first_bytes);
+  EXPECT_EQ(emitter.stored(), first_stored);
+}
+
+TEST(Emitter, BudgetMetersArenaBytesNotStringCapacity) {
+  // Arena accounting: the meter charges exactly the key bytes copied into
+  // the arena (plus the pair), never std::string header/capacity, and the
+  // arena's own usage must cover every charged key byte.
+  Emitter<std::string, std::uint64_t> emitter{2};
+  emitter.set_combiner(nullptr, sum_combiner);
+  const std::string long_key(200, 'k');  // would round up under capacity()
+  emitter.emit(std::string_view{long_key}, 1);
+  emitter.emit(std::string_view{"ab"}, 1);
+  emitter.emit(std::string_view{long_key}, 1);  // combine hit: no growth
+
+  using P = Emitter<std::string, std::uint64_t>::Pair;
+  EXPECT_EQ(emitter.bytes(), 2 * sizeof(P) + long_key.size() + 2);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicScheduler: batched claiming.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicScheduler, BatchesPartitionTheIndexSpaceExactlyOnce) {
+  DynamicScheduler sched{103};
+  std::vector<int> seen(103, 0);
+  while (auto b = sched.next_batch(8)) {
+    EXPECT_LT(b->begin, b->end);
+    EXPECT_LE(b->end, 103u);
+    for (std::size_t i = b->begin; i < b->end; ++i) ++seen[i];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+  EXPECT_FALSE(sched.next_batch(8).has_value());
+  EXPECT_FALSE(sched.next().has_value());
+}
+
+TEST(DynamicScheduler, ZeroBatchSizeClaimsOne) {
+  DynamicScheduler sched{2};
+  const auto b = sched.next_batch(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->end - b->begin, 1u);
+}
+
+TEST(DynamicScheduler, SuggestedBatchKeepsStealingGranularity) {
+  // ~8 batches per worker; never below one task.
+  EXPECT_EQ(DynamicScheduler::suggested_batch(0, 4), 1u);
+  EXPECT_EQ(DynamicScheduler::suggested_batch(10, 4), 1u);
+  EXPECT_EQ(DynamicScheduler::suggested_batch(64, 4), 2u);
+  EXPECT_EQ(DynamicScheduler::suggested_batch(1024, 4), 32u);
+  EXPECT_EQ(DynamicScheduler::suggested_batch(1024, 0), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine worker-state reuse.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, ReusedWorkerStateProducesIdenticalOutputAcrossRuns) {
+  // The out-of-core driver calls run() once per fragment on one engine;
+  // run N+1 must be byte-identical to a fresh engine's run, for both the
+  // same input (reset correctness) and different inputs (no leakage).
+  apps::CorpusOptions corpus;
+  corpus.bytes = 64 * 1024;
+  corpus.vocabulary = 250;
+  const std::string text_a = apps::generate_corpus(corpus);
+  corpus.seed = 17;
+  const std::string text_b = apps::generate_corpus(corpus);
+
+  Options opts;
+  opts.num_workers = 3;
+  opts.sort_output_by_key = true;
+  Engine<WordCountSpec> engine{opts};
+  const auto chunks_a = split_text(text_a, 4 * 1024);
+  const auto chunks_b = split_text(text_b, 4 * 1024);
+
+  const auto first_a = engine.run(WordCountSpec{}, chunks_a);
+  const auto first_b = engine.run(WordCountSpec{}, chunks_b);  // reused state
+  const auto second_a = engine.run(WordCountSpec{}, chunks_a);
+
+  Engine<WordCountSpec> fresh{opts};
+  const auto fresh_b = fresh.run(WordCountSpec{}, chunks_b);
+
+  EXPECT_EQ(to_map(second_a), to_map(first_a));
+  EXPECT_EQ(to_map(first_b), to_map(fresh_b));
+  EXPECT_EQ(to_map(first_a), to_map(apps::wordcount_sequential(text_a)));
+}
+
+TEST(Engine, ReleaseWorkerStateKeepsResultsCorrect) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 32 * 1024;
+  const std::string text = apps::generate_corpus(corpus);
+  Options opts;
+  opts.num_workers = 2;
+  Engine<WordCountSpec> engine{opts};
+  const auto chunks = split_text(text, 4 * 1024);
+  const auto reference = to_map(engine.run(WordCountSpec{}, chunks));
+  engine.release_worker_state();
+  EXPECT_EQ(to_map(engine.run(WordCountSpec{}, chunks)), reference);
 }
 
 TEST(Engine, BudgetObservesCombinedVolume) {

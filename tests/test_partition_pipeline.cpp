@@ -149,6 +149,57 @@ TEST_P(PipelineSeedSweep, PipelinedOutputEqualsSerialOutput) {
   EXPECT_GT(metrics.fragments, 1u);
 }
 
+// Worker-state reuse across fragments: a pipelined run drives one engine
+// through many run() calls (reset arenas, reused emitters and gather
+// buffers); its output — and a second full run on the *same* engine —
+// must be byte-identical to a fresh engine's.
+TEST_P(PipelineSeedSweep, ReusedEngineStateIsByteIdenticalAcrossRuns) {
+  Rng rng{GetParam() * 97 + 3};
+  apps::CorpusOptions corpus;
+  corpus.bytes = 48 * 1024 + rng.next_below(48 * 1024);
+  corpus.vocabulary = 150 + rng.next_below(250);
+  corpus.seed = GetParam() * 13 + 1;
+  const std::string text = apps::generate_corpus(corpus);
+
+  TempDir dir{"pipeline"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, text).is_ok());
+
+  PipelineOptions stream;
+  stream.partition_size = 2048 + rng.next_below(8 * 1024);
+  stream.prefetch = true;
+  TextJob<WordCountSpec> job;
+  job.incremental_merge = sum_incremental<std::string, std::uint64_t>();
+
+  mr::Options opts;
+  opts.num_workers = 3;
+  mr::Engine<WordCountSpec> reused{opts};
+  const auto first =
+      run_partitioned_file(reused, WordCountSpec{}, path, stream, job);
+  ASSERT_TRUE(first.is_ok());
+  const auto second =
+      run_partitioned_file(reused, WordCountSpec{}, path, stream, job);
+  ASSERT_TRUE(second.is_ok());
+
+  mr::Engine<WordCountSpec> fresh{opts};
+  const auto baseline =
+      run_partitioned_file(fresh, WordCountSpec{}, path, stream, job);
+  ASSERT_TRUE(baseline.is_ok());
+
+  // Byte-identical, not just map-equal: same pairs in the same order.
+  ASSERT_EQ(first.value().size(), baseline.value().size());
+  for (std::size_t i = 0; i < first.value().size(); ++i) {
+    EXPECT_EQ(first.value()[i].key, baseline.value()[i].key);
+    EXPECT_EQ(first.value()[i].value, baseline.value()[i].value);
+  }
+  ASSERT_EQ(second.value().size(), baseline.value().size());
+  for (std::size_t i = 0; i < second.value().size(); ++i) {
+    EXPECT_EQ(second.value()[i].key, baseline.value()[i].key);
+    EXPECT_EQ(second.value()[i].value, baseline.value()[i].value);
+  }
+  EXPECT_EQ(to_map(first.value()), to_map(apps::wordcount_sequential(text)));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 

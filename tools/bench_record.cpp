@@ -11,7 +11,14 @@
 //   * wordcount_engine/N    — the full engine at each worker count;
 //   * stringmatch_engine/N  — the identity-reduce path;
 //   * combine_ratio         — raw emits per surviving key (emit-time
-//                             combining effectiveness).
+//                             combining effectiveness);
+//   * wordcount_{map,reduce,merge}_ms/N — per-phase engine seconds at
+//     each worker count (where the time goes as parallelism scales);
+//   * scaling_efficiency/N  — throughput(N) / (N x throughput(1));
+//   * fragment_{run,setup}_{cold,warm}_us, setup_overhead_reduction_pct
+//     — engine worker-state reuse A/B on a fragment-sized input: "cold"
+//     releases the cached emitters/arenas before every run, "warm"
+//     reuses them (the out-of-core driver's regime).
 //
 // Suite `obs` records what the observability layer costs:
 //   * wordcount_obs_on/N, wordcount_obs_off/N — the instrumented engine
@@ -143,23 +150,103 @@ void run_mapreduce_suite(bench::TrajectoryEntry& entry,
                      g_sink = g_sink + apps::wordcount_sequential(text).size();
                    }));
 
+  double single_worker_mb_s = 0.0;
   for (std::size_t workers : worker_counts) {
     mr::Options opts;
     opts.num_workers = workers;
     mr::Engine<apps::WordCountSpec> engine{opts};
     const auto chunks = mr::split_text(text, 64 * 1024);
     mr::Metrics metrics;
-    entry.add_series(
-        "wordcount_engine/" + std::to_string(workers),
-        measure_mb_s(text.size(), reps, [&] {
-          g_sink = g_sink +
-                   engine.run(apps::WordCountSpec{}, chunks, 0, &metrics)
-                       .size();
-        }));
+    const double mb_s = measure_mb_s(text.size(), reps, [&] {
+      g_sink = g_sink +
+               engine.run(apps::WordCountSpec{}, chunks, 0, &metrics).size();
+    });
+    entry.add_series("wordcount_engine/" + std::to_string(workers), mb_s);
+    // Per-phase breakdown of the last measured run: where engine time
+    // goes as workers scale (map+combine vs gather/sort/reduce vs merge).
+    const std::string n = std::to_string(workers);
+    entry.add_number("wordcount_map_ms/" + n, metrics.map_seconds * 1e3);
+    entry.add_number("wordcount_reduce_ms/" + n,
+                     metrics.reduce_seconds * 1e3);
+    entry.add_number("wordcount_merge_ms/" + n, metrics.merge_seconds * 1e3);
+    if (workers == 1) single_worker_mb_s = mb_s;
+    // Parallel efficiency: throughput at N over N x throughput at 1
+    // (1.0 = perfect scaling; < 1/N = negative scaling).
+    if (single_worker_mb_s > 0.0) {
+      entry.add_number("scaling_efficiency/" + n,
+                       mb_s / (static_cast<double>(workers) *
+                               single_worker_mb_s));
+    }
     if (metrics.unique_keys != 0) {
       combine_ratio = static_cast<double>(metrics.map_emits) /
                       static_cast<double>(metrics.unique_keys);
     }
+  }
+
+  // Engine worker-state reuse A/B on a fragment-sized input: arm "cold"
+  // drops the cached emitters/arenas/gather buffers before every run
+  // (the pre-reuse per-fragment construction cost); arm "warm" reuses
+  // them, as the out-of-core driver does.  Both arms run the identical
+  // input, so the cold arm's extra per-run time IS the state rebuild
+  // cost — it cannot be read off the phase clocks alone, because lazy
+  // vector/arena regrowth lands inside the map phase.  Setup overhead is
+  // therefore estimated as (cold - warm median run time) plus the warm
+  // arm's residue outside the phase clocks (worker-state reset, output
+  // bookkeeping).  Measured at one worker: run() then executes inline,
+  // so the estimate is free of thread-dispatch jitter — which on a
+  // core-constrained runner is far larger than the quantity measured.
+  {
+    apps::CorpusOptions frag_corpus;
+    frag_corpus.bytes = std::max<std::uint64_t>(bytes / 32, 64 * 1024);
+    frag_corpus.vocabulary = 5'000;
+    const std::string fragment = apps::generate_corpus(frag_corpus);
+    const auto frag_chunks = mr::split_text(fragment, 64 * 1024);
+    mr::Options opts;
+    opts.num_workers = 1;
+    mr::Engine<apps::WordCountSpec> engine{opts};
+    const int runs = std::max(64, 32 * reps);
+
+    // Median per-run total and residue (total minus the engine's own
+    // phase clocks); medians, not best-of, so neither arm wins by the
+    // luckiest scheduling slice.
+    const auto measure_arm = [&](bool cold) {
+      std::vector<double> totals(static_cast<std::size_t>(runs));
+      std::vector<double> residues(static_cast<std::size_t>(runs));
+      mr::Metrics m;
+      for (int i = 0; i < runs; ++i) {
+        if (cold) engine.release_worker_state();
+        Stopwatch watch;
+        g_sink = g_sink +
+                 engine.run(apps::WordCountSpec{}, frag_chunks, 0, &m).size();
+        const double total = watch.elapsed_seconds();
+        totals[static_cast<std::size_t>(i)] = total;
+        residues[static_cast<std::size_t>(i)] =
+            total - (m.map_seconds + m.reduce_seconds + m.merge_seconds);
+      }
+      std::sort(totals.begin(), totals.end());
+      std::sort(residues.begin(), residues.end());
+      const auto mid = static_cast<std::size_t>(runs) / 2;
+      return std::pair{totals[mid], residues[mid]};
+    };
+
+    g_sink = g_sink +
+             engine.run(apps::WordCountSpec{}, frag_chunks).size();  // warmup
+    const auto [cold_run_s, cold_residue_s] = measure_arm(true);
+    const auto [warm_run_s, warm_residue_s] = measure_arm(false);
+    const double warm_setup_s = std::max(0.0, warm_residue_s);
+    const double cold_setup_s =
+        warm_setup_s + std::max(0.0, cold_run_s - warm_run_s);
+    entry.add_field("reuse_fragment_bytes", std::to_string(fragment.size()));
+    entry.add_number("fragment_run_cold_us", cold_run_s * 1e6, 1);
+    entry.add_number("fragment_run_warm_us", warm_run_s * 1e6, 1);
+    entry.add_number("fragment_setup_cold_us", cold_setup_s * 1e6, 1);
+    entry.add_number("fragment_setup_warm_us", warm_setup_s * 1e6, 1);
+    entry.add_number("setup_overhead_reduction_pct",
+                     cold_setup_s > 0.0
+                         ? (cold_setup_s - warm_setup_s) / cold_setup_s * 100.0
+                         : 0.0,
+                     1);
+    (void)cold_residue_s;  // folded into cold_setup via the run-time delta
   }
 
   {
