@@ -1,0 +1,338 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/random.hpp"
+
+namespace mcsd::fault {
+
+namespace {
+
+std::atomic<Sink> g_sink{nullptr};
+
+/// Deterministic per-decision draw: depends only on (seed, site, kind,
+/// step), never on thread identity or wall time.
+std::uint64_t mix(std::uint64_t seed, Site site, Kind kind,
+                  std::uint64_t step) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(site) << 8) | static_cast<std::uint64_t>(kind);
+  SplitMix64 sm{seed ^ (key * 0xBF58476D1CE4E5B9ULL) ^
+                (step * 0x94D049BB133111EBULL)};
+  return sm.next();
+}
+
+double unit_interval(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+std::size_t tally_index(Site site, Kind kind) {
+  return static_cast<std::size_t>(site) * kKindCount +
+         static_cast<std::size_t>(kind);
+}
+
+struct SiteKindName {
+  std::string_view token;  ///< config-key token ("eio", "torn", ...)
+  Kind kind;
+};
+
+constexpr SiteKindName kReadKinds[] = {{"eio", Kind::kEio},
+                                       {"torn", Kind::kTorn}};
+constexpr SiteKindName kWriteKinds[] = {{"eio", Kind::kEio},
+                                        {"torn", Kind::kTorn},
+                                        {"short", Kind::kShortWrite},
+                                        {"enospc", Kind::kEnospc},
+                                        {"delay", Kind::kDelayedRename}};
+constexpr SiteKindName kRefillKinds[] = {{"eio", Kind::kEio}};
+constexpr SiteKindName kWatchKinds[] = {{"suppress", Kind::kSuppressEvent}};
+
+struct SiteTable {
+  std::string_view token;
+  Site site;
+  const SiteKindName* kinds;
+  std::size_t kind_count;
+};
+
+constexpr SiteTable kSites[] = {
+    {"read", Site::kReadFile, kReadKinds, std::size(kReadKinds)},
+    {"write", Site::kWriteFile, kWriteKinds, std::size(kWriteKinds)},
+    {"refill", Site::kRefill, kRefillKinds, std::size(kRefillKinds)},
+    {"watch", Site::kWatchEvent, kWatchKinds, std::size(kWatchKinds)},
+};
+
+Result<Rule> parse_rule(std::string_view key, std::string_view value) {
+  const std::size_t dot = key.find('.');
+  if (dot == std::string_view::npos) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "fault rule key must be <site>.<kind>: " + std::string{key}};
+  }
+  const std::string_view site_token = key.substr(0, dot);
+  const std::string_view kind_token = key.substr(dot + 1);
+
+  Rule rule;
+  bool matched = false;
+  for (const SiteTable& site : kSites) {
+    if (site.token != site_token) continue;
+    for (std::size_t i = 0; i < site.kind_count; ++i) {
+      if (site.kinds[i].token != kind_token) continue;
+      rule.site = site.site;
+      rule.kind = site.kinds[i].kind;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "fault kind '" + std::string{kind_token} +
+                       "' is not injectable at site '" +
+                       std::string{site_token} + "'"};
+    }
+    break;
+  }
+  if (!matched) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unknown fault rule key: " + std::string{key}};
+  }
+
+  if (!value.empty() && value.front() == '@') {
+    // Explicit 1-based step schedule: "@3" or "@2+5+9".
+    std::string_view rest = value.substr(1);
+    while (!rest.empty()) {
+      const std::size_t plus = rest.find('+');
+      const std::string_view token =
+          plus == std::string_view::npos ? rest : rest.substr(0, plus);
+      rest = plus == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(plus + 1);
+      std::uint64_t step = 0;
+      for (char c : token) {
+        if (c < '0' || c > '9') {
+          return Error{ErrorCode::kInvalidArgument,
+                       "bad step in fault schedule: " + std::string{value}};
+        }
+        step = step * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      if (step == 0) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault schedule steps are 1-based: " + std::string{value}};
+      }
+      rule.steps.push_back(step);
+    }
+    if (rule.steps.empty()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "empty fault schedule: " + std::string{key}};
+    }
+    return rule;
+  }
+
+  char* end = nullptr;
+  const std::string owned{value};
+  rule.probability = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || rule.probability < 0.0 ||
+      rule.probability > 1.0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "fault probability must be in [0,1]: " + std::string{key} +
+                     "=" + owned};
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::string_view to_string(Site site) noexcept {
+  switch (site) {
+    case Site::kReadFile: return "read";
+    case Site::kWriteFile: return "write";
+    case Site::kRefill: return "refill";
+    case Site::kWatchEvent: return "watch";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kEio: return "eio";
+    case Kind::kTorn: return "torn";
+    case Kind::kShortWrite: return "short";
+    case Kind::kEnospc: return "enospc";
+    case Kind::kDelayedRename: return "delay";
+    case Kind::kSuppressEvent: return "suppress";
+  }
+  return "unknown";
+}
+
+Result<FaultPlan> FaultPlan::from_config(const KeyValueMap& config) {
+  FaultPlan plan;
+  for (const auto& [key, value] : config.entries()) {
+    if (key == "seed") {
+      auto seed = config.get_uint(key);
+      if (!seed) return seed.error();
+      plan.seed = seed.value();
+    } else if (key == "rename_delay_ms") {
+      auto ms = config.get_int(key);
+      if (!ms) return ms.error();
+      if (ms.value() < 0) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "rename_delay_ms must be >= 0"};
+      }
+      plan.rename_delay = std::chrono::milliseconds{ms.value()};
+    } else if (key == "path_filter") {
+      plan.path_filter = value;
+    } else {
+      auto rule = parse_rule(key, value);
+      if (!rule) return rule.error();
+      plan.rules.push_back(std::move(rule).value());
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::from_spec(std::string_view spec) {
+  if (spec.empty() || spec == "none") return FaultPlan{};
+  if (spec == "default") return default_plan(1);
+  // Inline spec: commas double as record separators so a plan fits in
+  // one CLI argument / env var.
+  std::string text{spec};
+  std::replace(text.begin(), text.end(), ',', '\n');
+  auto parsed = KeyValueMap::parse(text);
+  if (!parsed) return parsed.error();
+  return from_config(parsed.value());
+}
+
+FaultPlan FaultPlan::default_plan(std::uint64_t seed) {
+  const auto parsed = from_spec(
+      "read.eio=0.03,read.torn=0.03,"
+      "write.eio=0.03,write.torn=0.03,write.short=0.02,write.enospc=0.01,"
+      "write.delay=0.05,refill.eio=0.05,watch.suppress=0.10,"
+      "rename_delay_ms=5");
+  FaultPlan plan = parsed.value();  // the literal above must parse
+  plan.seed = seed;
+  return plan;
+}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::install(FaultPlan plan) {
+  std::lock_guard lock{mutex_};
+  for (auto& step : steps_) step.store(0, std::memory_order_relaxed);
+  for (auto& count : injected_) count.store(0, std::memory_order_relaxed);
+  const bool live = !plan.empty();
+  plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+  active_.store(live, std::memory_order_release);
+}
+
+void Injector::uninstall() {
+  std::lock_guard lock{mutex_};
+  active_.store(false, std::memory_order_release);
+  plan_.reset();
+}
+
+Decision Injector::decide(Site site, std::string_view path) {
+  std::shared_ptr<const FaultPlan> plan;
+  {
+    std::lock_guard lock{mutex_};
+    plan = plan_;
+  }
+  if (!plan || plan->empty()) return {};
+  if (!plan->path_filter.empty() &&
+      path.find(plan->path_filter) == std::string_view::npos) {
+    // Filtered paths do not consume steps: the targeted site's fault
+    // sequence stays aligned no matter how much unrelated I/O runs.
+    return {};
+  }
+  const std::uint64_t step =
+      steps_[static_cast<std::size_t>(site)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;  // 1-based, matching the "@step" schedule syntax
+
+  for (const Rule& rule : plan->rules) {
+    if (rule.site != site) continue;
+    bool fire = false;
+    if (!rule.steps.empty()) {
+      fire = std::find(rule.steps.begin(), rule.steps.end(), step) !=
+             rule.steps.end();
+    } else if (rule.probability > 0.0) {
+      fire = unit_interval(mix(plan->seed, site, rule.kind, step)) <
+             rule.probability;
+    }
+    if (!fire) continue;
+
+    injected_[tally_index(site, rule.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (Sink sink = g_sink.load(std::memory_order_acquire)) {
+      sink(site, rule.kind);
+    }
+    // Second draw: independent entropy for the site's secondary choice
+    // (truncation point of a torn write, etc.).
+    return Decision{rule.kind, mix(plan->seed ^ 0xD1B54A32D192ED03ULL, site,
+                                   rule.kind, step)};
+  }
+  return {};
+}
+
+std::chrono::milliseconds Injector::rename_delay() const {
+  std::lock_guard lock{mutex_};
+  return plan_ ? plan_->rename_delay : std::chrono::milliseconds{0};
+}
+
+std::uint64_t Injector::injected(Site site, Kind kind) const {
+  return injected_[tally_index(site, kind)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& count : injected_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+KeyValueMap Injector::injected_report() const {
+  KeyValueMap report;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    for (std::size_t k = 0; k < kKindCount; ++k) {
+      const auto count = injected_[s * kKindCount + k].load(
+          std::memory_order_relaxed);
+      if (count == 0) continue;
+      report.set_uint("fault.injected_" +
+                          std::string{to_string(static_cast<Site>(s))} + "_" +
+                          std::string{to_string(static_cast<Kind>(k))},
+                      count);
+    }
+  }
+  return report;
+}
+
+void set_injection_sink(Sink sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+Status install_from_env() {
+  const char* spec = std::getenv("MCSD_FAULTS");
+  if (spec == nullptr || *spec == '\0') return Status::ok();
+
+  std::string text{spec};
+  if (std::filesystem::exists(text)) {
+    std::ifstream in{text};
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    if (!in) {
+      return Status{ErrorCode::kIoError, "cannot read MCSD_FAULTS file " + text};
+    }
+    text = contents.str();
+  }
+  auto plan = FaultPlan::from_spec(text);
+  if (!plan) {
+    return Status{plan.error().code(),
+                  "MCSD_FAULTS: " + plan.error().message()};
+  }
+  Injector::instance().install(std::move(plan).value());
+  return Status::ok();
+}
+
+}  // namespace mcsd::fault

@@ -3,16 +3,26 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
+
+#include "core/fault.hpp"
 
 namespace mcsd {
 
 namespace fs = std::filesystem;
 
 Result<std::string> read_file(const fs::path& path) {
+  const fault::Decision injected =
+      fault::check(fault::Site::kReadFile, path.native());
+  if (injected.kind == fault::Kind::kEio) {
+    return Error{ErrorCode::kIoError,
+                 "injected EIO reading " + path.string()};
+  }
   std::ifstream in{path, std::ios::binary};
   if (!in) {
     return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
@@ -28,6 +38,12 @@ Result<std::string> read_file(const fs::path& path) {
   in.read(contents.data(), size);
   if (!in) {
     return Error{ErrorCode::kIoError, "short read on " + path.string()};
+  }
+  if (injected.kind == fault::Kind::kTorn && !contents.empty()) {
+    // Torn read: the caller silently sees a prefix, as if it raced a
+    // non-atomic writer.  Record CRCs are what catch this downstream.
+    contents.resize(static_cast<std::size_t>(injected.entropy %
+                                             contents.size()));
   }
   return contents;
 }
@@ -59,18 +75,50 @@ Status append_file(const fs::path& path, std::string_view contents) {
 }
 
 Status write_file_atomic(const fs::path& path, std::string_view contents) {
+  const fault::Decision injected =
+      fault::check(fault::Site::kWriteFile, path.native());
+  switch (injected.kind) {
+    case fault::Kind::kEio:
+      return Status{ErrorCode::kIoError,
+                    "injected EIO writing " + path.string()};
+    case fault::Kind::kEnospc:
+      return Status{ErrorCode::kIoError,
+                    "injected ENOSPC (no space left on device) writing " +
+                        path.string()};
+    default:
+      break;
+  }
+  std::string_view effective = contents;
+  if ((injected.kind == fault::Kind::kTorn ||
+       injected.kind == fault::Kind::kShortWrite) &&
+      !contents.empty()) {
+    // The replacement lands, but holds only a prefix — the close-to-open
+    // NFS failure mode a record CRC exists to catch.
+    effective = contents.substr(
+        0, static_cast<std::size_t>(injected.entropy % contents.size()));
+  }
+
   static std::atomic<std::uint64_t> counter{0};
   const fs::path tmp =
       path.parent_path() /
       (path.filename().string() + ".tmp." +
        std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
-  if (Status s = write_file(tmp, contents); !s) return s;
+  if (Status s = write_file(tmp, effective); !s) return s;
+  if (injected.kind == fault::Kind::kDelayedRename) {
+    std::this_thread::sleep_for(fault::Injector::instance().rename_delay());
+  }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return Status{ErrorCode::kIoError,
                   "rename to " + path.string() + " failed: " + ec.message()};
+  }
+  if (injected.kind == fault::Kind::kShortWrite) {
+    // Unlike kTorn, the failure is *reported* — the caller knows the
+    // destination may hold garbage and can rewrite.
+    return Status{ErrorCode::kIoError,
+                  "injected short write on " + path.string()};
   }
   return Status::ok();
 }
@@ -84,7 +132,10 @@ Result<ChunkedFileReader> ChunkedFileReader::open(const fs::path& path,
   return ChunkedFileReader{std::move(in), path.string(), buffer_bytes};
 }
 
-Status ChunkedFileReader::fill(std::string& out) {
+Status ChunkedFileReader::fill_once(std::string& out) {
+  if (fault::check(fault::Site::kRefill, path_).kind == fault::Kind::kEio) {
+    return Status{ErrorCode::kIoError, "injected EIO on " + path_};
+  }
   const std::size_t before = out.size();
   out.resize(before + buffer_bytes_);
   in_.read(out.data() + before, static_cast<std::streamsize>(buffer_bytes_));
@@ -95,7 +146,22 @@ Status ChunkedFileReader::fill(std::string& out) {
   } else if (!in_) {
     return Status{ErrorCode::kIoError, "read failed on " + path_};
   }
+  file_pos_ += static_cast<std::uint64_t>(got);
   return Status::ok();
+}
+
+Status ChunkedFileReader::fill(std::string& out) {
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+    const std::size_t before = out.size();
+    last = fill_once(out);
+    if (last.is_ok()) return last;
+    // Transient failure: rewind to the last byte known good and retry.
+    out.resize(before);
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(file_pos_));
+  }
+  return last;
 }
 
 Result<bool> ChunkedFileReader::next_fragment(

@@ -56,6 +56,12 @@ class ChunkedFileReader {
   /// OS read granularity; fragments are assembled from reads of this size.
   static constexpr std::size_t kDefaultBufferBytes = 256 * 1024;
 
+  /// Attempts per buffer refill.  A transient read failure (an NFS
+  /// hiccup, or an injected fault from core/fault) is retried against
+  /// the last good offset before the error propagates, so a pipelined
+  /// out-of-core run survives sporadic EIO with byte-identical output.
+  static constexpr int kReadAttempts = 4;
+
   /// Opens `path` for streaming; kNotFound when it cannot be opened.
   static Result<ChunkedFileReader> open(
       const std::filesystem::path& path,
@@ -91,14 +97,18 @@ class ChunkedFileReader {
         buffer_bytes_(buffer_bytes == 0 ? kDefaultBufferBytes : buffer_bytes) {
   }
 
-  /// Appends up to one buffer of file data to `out`; sets eof_.
+  /// Appends up to one buffer of file data to `out`; sets eof_.  Retries
+  /// transient failures (kReadAttempts total) from the last good offset.
   Status fill(std::string& out);
+  /// One read attempt; the fault-injection site for Site::kRefill.
+  Status fill_once(std::string& out);
 
   std::ifstream in_;
   std::string path_;
   std::size_t buffer_bytes_;
   std::string carry_;  ///< bytes read past the previous fragment's cut
   std::uint64_t next_offset_ = 0;
+  std::uint64_t file_pos_ = 0;  ///< bytes successfully read off the file
   bool eof_ = false;
 };
 

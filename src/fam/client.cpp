@@ -1,5 +1,6 @@
 #include "fam/client.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "core/io.hpp"
@@ -18,11 +19,24 @@ bool Client::module_available(std::string_view module) const {
 }
 
 std::uint64_t Client::current_seq(const fs::path& log) const {
-  auto contents = read_file(log);
-  if (!contents) return 0;
-  auto record = decode_record(contents.value());
-  if (!record) return 0;  // comment header or torn write
-  return record.value().seq;
+  // A failed or undecodable read here is usually transient — a torn read
+  // racing write_file_atomic's rename, or an NFS hiccup.  Falling back to
+  // 0 on a *populated* log would restart the seq sequence, and the
+  // daemon's dedup gate would then silently drop every request until the
+  // counter climbed back past its high-water mark.  Retry briefly first.
+  constexpr int kSeqReadAttempts = 5;
+  for (int attempt = 0; attempt < kSeqReadAttempts; ++attempt) {
+    if (attempt > 0) std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    auto contents = read_file(log);
+    if (!contents) continue;
+    if (contents.value().rfind("# mcsd", 0) == 0) {
+      return 0;  // pristine comment-only header: seq genuinely starts at 0
+    }
+    auto record = decode_record(contents.value());
+    if (!record) continue;  // torn write; next read sees a whole record
+    return record.value().seq;
+  }
+  return 0;
 }
 
 Result<KeyValueMap> Client::invoke(std::string_view module,
@@ -58,7 +72,15 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
   const int attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
   Error last_error{ErrorCode::kInternal, "unreachable"};
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) MCSD_OBS_COUNT("fam.client_retries", 1);
+    if (attempt > 0) {
+      MCSD_OBS_COUNT("fam.client_retries", 1);
+      // Re-seed before every retry: a timeout may mean another host (or
+      // our own lost write) advanced the log past our counter, and
+      // re-sending a stale seq would only bounce off the daemon's dedup
+      // gate again.  max() keeps the counter monotonic even if the file
+      // currently shows an older record (or reads as torn -> 0).
+      state->next_seq = std::max(state->next_seq, current_seq(log) + 1);
+    }
     const std::uint64_t seq = state->next_seq++;
     Stopwatch round_trip;
 
@@ -68,19 +90,34 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
     request.module = std::string{module};
     request.payload = params;
     if (Status s = write_file_atomic(log, encode_record(request)); !s) {
-      return Error{s.error().code(),
-                   "cannot write request: " + s.to_string()};
+      // A failed request write (ENOSPC, transient EIO) consumes an
+      // attempt rather than failing the invoke: the channel may recover.
+      last_error = Error{s.error().code(),
+                         "cannot write request: " + s.to_string()};
+      continue;
     }
 
     // Await the matching response (inotify-equivalent: poll the file).
     Stopwatch waited;
-    bool timed_out = false;
-    while (!timed_out) {
+    bool next_attempt = false;
+    while (!next_attempt) {
       if (auto contents = read_file(log)) {
         if (auto record = decode_record(contents.value())) {
           const Record& r = record.value();
           if (r.type == RecordType::kResponse && r.seq == seq &&
               r.module == module) {
+            if (!r.ok && r.last_seq > seq) {
+              // Stale-seq reply: the daemon has already handled a higher
+              // seq (another host owns the log right now).  Jump past its
+              // high-water mark and retry instead of surfacing an error.
+              MCSD_OBS_COUNT("fam.client_stale_replies", 1);
+              state->next_seq = std::max(state->next_seq, r.last_seq + 1);
+              last_error =
+                  Error{ErrorCode::kUnavailable,
+                        "request lost seq race: " + r.error_message};
+              next_attempt = true;
+              continue;
+            }
             // Round trip = request write .. response observed, the
             // paper's invoke->dispatch->result latency as the host sees
             // it (includes daemon poll + module run).
@@ -97,9 +134,15 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
           }
           if (r.seq > seq) {
             // Someone raced past us (another host process); our response
-            // is unrecoverable.
-            return Error{ErrorCode::kProtocolError,
-                         "response overwritten by newer request"};
+            // is unrecoverable.  Leapfrog the racer's seq and re-send.
+            state->next_seq = std::max(state->next_seq, r.seq + 1);
+            last_error =
+                Error{ErrorCode::kProtocolError,
+                      "response overwritten by newer request (seq " +
+                          std::to_string(r.seq) + " > " +
+                          std::to_string(seq) + ")"};
+            next_attempt = true;
+            continue;
           }
         }
       }
@@ -111,7 +154,7 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
                 std::to_string(options_.timeout.count()) + " ms (attempt " +
                 std::to_string(attempt + 1) + "/" + std::to_string(attempts) +
                 ")"};
-        timed_out = true;
+        next_attempt = true;
       } else {
         std::this_thread::sleep_for(options_.poll_interval);
       }

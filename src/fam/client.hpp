@@ -29,11 +29,13 @@ struct ClientOptions {
   std::chrono::milliseconds poll_interval{1};
   /// Give up on one attempt after this long without a response.
   std::chrono::milliseconds timeout{10'000};
-  /// Total attempts per invoke (>= 1).  A retry re-sends the request
-  /// under a fresh sequence number — safe because the daemon dedupes by
-  /// seq and one log file holds a single in-flight request.  Retries
-  /// paper over a storage node that was still booting or a request
-  /// record lost to a crash between write and dispatch.
+  /// Total attempts per invoke (>= 1).  A retry re-reads the log to
+  /// re-seed the sequence counter, then re-sends under a fresh (higher)
+  /// seq — safe because the daemon dedupes by seq and one log file holds
+  /// a single in-flight request.  Retries paper over a storage node that
+  /// was still booting, a request record lost to a crash or suppressed
+  /// watcher event, a response clobbered by another host's request, and
+  /// transient I/O failures writing the request itself.
   int max_attempts = 1;
 };
 

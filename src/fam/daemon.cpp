@@ -125,19 +125,43 @@ void Daemon::on_file_change(const fs::path& path) {
   if (path.filename().string() != log_file_name(record.value().module)) {
     return;
   }
+  enqueue_request(std::move(record).value());
+}
 
+void Daemon::enqueue_request(Record request) {
+  std::uint64_t stale_last = 0;
   {
     std::lock_guard lock{seq_mutex_};
-    auto& last = last_handled_seq_[record.value().module];
-    if (record.value().seq <= last) return;  // already handled / replay
-    last = record.value().seq;
+    auto& last = last_handled_seq_[request.module];
+    if (request.seq > last) {
+      last = request.seq;
+    } else if (request.seq == last) {
+      // Duplicate observation of the request currently being handled
+      // (watcher fired twice, or the conflict guard rescued a request
+      // the watcher had also seen).  Its response is already on the way.
+      return;
+    } else {
+      // The seq went backwards: another host raced past this one on the
+      // shared log.  Reply with an error carrying the high-water mark so
+      // the loser re-seeds instead of waiting out its timeout.
+      stale_last = last;
+    }
   }
-  pending_.push(std::move(record).value());
+  if (!pending_.push(Work{std::move(request), stale_last})) {
+    // stop() closed the queue; the client recovers by retrying against
+    // the restarted daemon.
+    dropped_on_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    MCSD_OBS_COUNT("fam.daemon_dropped_on_shutdown", 1);
+  }
 }
 
 void Daemon::dispatch_loop() {
-  while (auto request = pending_.pop()) {
-    handle_request(*request);
+  while (auto work = pending_.pop()) {
+    if (work->stale_last_seq != 0) {
+      handle_stale(work->request, work->stale_last_seq);
+    } else {
+      handle_request(work->request);
+    }
   }
 }
 
@@ -183,12 +207,58 @@ void Daemon::handle_request(const Record& request) {
   MCSD_OBS_HIST("fam.dispatch_us", "us",
                 static_cast<std::uint64_t>(dispatch.elapsed_seconds() * 1e6));
 
-  const fs::path log = options_.log_dir / log_file_name(request.module);
-  if (Status s = write_file_atomic(log, encode_record(response)); !s) {
-    MCSD_LOG(kError, "fam.daemon")
-        << "cannot write response for " << request.module << ": "
-        << s.to_string();
+  write_response(response);
+}
+
+void Daemon::handle_stale(const Record& request, std::uint64_t last_seq) {
+  stale_replies_.fetch_add(1, std::memory_order_relaxed);
+  MCSD_OBS_COUNT("fam.daemon_stale_replies", 1);
+  Record response;
+  response.type = RecordType::kResponse;
+  response.seq = request.seq;
+  response.module = request.module;
+  response.ok = false;
+  response.last_seq = last_seq;
+  response.error_message =
+      "stale request seq " + std::to_string(request.seq) +
+      " (daemon already handled seq " + std::to_string(last_seq) + ")";
+  write_response(response);
+}
+
+void Daemon::write_response(const Record& response) {
+  const fs::path log = options_.log_dir / log_file_name(response.module);
+  Status last_write = Status::ok();
+  for (int attempt = 0; attempt < kResponseWriteAttempts; ++attempt) {
+    // Conflict guard: the log is a single-record channel, and the host
+    // may have replaced our request with a *newer* one while the module
+    // ran.  Writing blindly would destroy that request — and a polling
+    // watcher, which samples only the latest state, would never replay
+    // it.  Lose gracefully instead: drop this response (its client
+    // retries) and put the newer request back through the dispatch gate.
+    if (auto contents = read_file(log)) {
+      if (auto current = decode_record(contents.value());
+          current.is_ok() && current.value().seq > response.seq) {
+        response_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        MCSD_OBS_COUNT("fam.daemon_response_conflicts", 1);
+        if (current.value().type == RecordType::kRequest) {
+          // enqueue_request dedupes by seq, so if the watcher also saw
+          // this request the double observation cannot double-dispatch.
+          enqueue_request(std::move(current).value());
+        }
+        return;
+      }
+    }
+    // The read-check-write above is not atomic; a request landing inside
+    // that window is still clobbered.  The client-side retry covers the
+    // residual race — see DESIGN.md's fault model for why the window
+    // cannot close without giving up the single-record channel.
+    last_write = write_file_atomic(log, encode_record(response));
+    if (last_write) return;
   }
+  MCSD_LOG(kError, "fam.daemon")
+      << "cannot write response for " << response.module << " seq "
+      << response.seq << " after " << kResponseWriteAttempts
+      << " attempts: " << last_write.to_string();
 }
 
 }  // namespace mcsd::fam

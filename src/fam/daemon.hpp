@@ -74,7 +74,13 @@ class Daemon {
 
   /// Starts the watcher and dispatch workers.  Idempotent.
   void start();
-  /// Drains in-flight work and stops.  Idempotent; destructor calls it.
+  /// Stops the watcher, then closes the dispatch queue and joins the
+  /// workers.  MpmcQueue::close() lets pops drain what was already
+  /// accepted, so every request enqueued before stop() still gets a
+  /// response written — stop() discards nothing.  Requests arriving
+  /// *after* close (the conflict guard can re-enqueue during drain) are
+  /// counted in dropped_on_shutdown(); their clients recover by retry
+  /// against the restarted daemon.  Idempotent; destructor calls it.
   void stop();
 
   [[nodiscard]] const std::filesystem::path& log_dir() const noexcept {
@@ -91,6 +97,20 @@ class Daemon {
   [[nodiscard]] std::uint64_t errors_returned() const noexcept {
     return errors_returned_.load(std::memory_order_relaxed);
   }
+  /// Responses discarded because a newer request had already replaced the
+  /// log record this response would have clobbered.
+  [[nodiscard]] std::uint64_t response_conflicts() const noexcept {
+    return response_conflicts_.load(std::memory_order_relaxed);
+  }
+  /// Error replies sent for requests whose seq fell behind the daemon's
+  /// high-water mark (two hosts colliding on one module log).
+  [[nodiscard]] std::uint64_t stale_replies() const noexcept {
+    return stale_replies_.load(std::memory_order_relaxed);
+  }
+  /// Requests observed after stop() closed the dispatch queue.
+  [[nodiscard]] std::uint64_t dropped_on_shutdown() const noexcept {
+    return dropped_on_shutdown_.load(std::memory_order_relaxed);
+  }
 
   /// The backend actually in use (inotify may have fallen back).
   [[nodiscard]] WatcherBackend active_backend() const noexcept {
@@ -98,15 +118,38 @@ class Daemon {
   }
 
  private:
+  /// One dispatch-queue entry.  `stale_last_seq` != 0 marks a request
+  /// whose seq fell behind the dedup high-water mark: instead of invoking
+  /// the module, the worker replies with an error carrying that mark.
+  struct Work {
+    Record request;
+    std::uint64_t stale_last_seq = 0;
+  };
+
+  /// Attempts to land a response before giving up (transient write
+  /// failures; each retry re-runs the conflict guard).
+  static constexpr int kResponseWriteAttempts = 3;
+
   void on_file_change(const std::filesystem::path& path);
+  /// Routes a decoded request through the seq gate: newer than the high-
+  /// water mark -> dispatch, equal -> duplicate observation (dropped),
+  /// older -> stale reply.  Used by the watcher callback and by the
+  /// conflict guard when it rescues a request it nearly clobbered.
+  void enqueue_request(Record request);
   void dispatch_loop();
   void handle_request(const Record& request);
+  void handle_stale(const Record& request, std::uint64_t last_seq);
+  /// Writes `response` into its module's log unless the log has moved on
+  /// to a newer record — the single-record channel must never go
+  /// backwards.  A newer *request* found there is re-enqueued (the
+  /// watcher may have fingerprinted it away already).
+  void write_response(const Record& response);
 
   DaemonOptions options_;
   ModuleRegistry registry_;
   std::unique_ptr<Watcher> watcher_;
   WatcherBackend active_backend_ = WatcherBackend::kPolling;
-  MpmcQueue<Record> pending_;
+  MpmcQueue<Work> pending_;
   std::vector<std::thread> dispatchers_;
   bool started_ = false;
   std::mutex lifecycle_mutex_;
@@ -116,6 +159,9 @@ class Daemon {
 
   std::atomic<std::uint64_t> requests_handled_{0};
   std::atomic<std::uint64_t> errors_returned_{0};
+  std::atomic<std::uint64_t> response_conflicts_{0};
+  std::atomic<std::uint64_t> stale_replies_{0};
+  std::atomic<std::uint64_t> dropped_on_shutdown_{0};
 };
 
 }  // namespace mcsd::fam

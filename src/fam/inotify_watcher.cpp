@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "core/fault.hpp"
 #include "core/log.hpp"
 
 namespace mcsd::fam {
@@ -97,6 +98,12 @@ void InotifyWatcher::run() {
       if (event->mask & IN_ISDIR) continue;       // subdirectory noise
       const std::string name{event->name};
       if (name.find(".tmp.") != std::string::npos) continue;  // staging
+      // Injected lost event: inotify queues can genuinely overflow
+      // (IN_Q_OVERFLOW); the channel must survive a dropped delivery.
+      if (fault::check(fault::Site::kWatchEvent, name).kind ==
+          fault::Kind::kSuppressEvent) {
+        continue;
+      }
       events_fired_.fetch_add(1, std::memory_order_relaxed);
       if (on_change_) on_change_(directory_ / name);
     }

@@ -16,6 +16,7 @@
 //   mcsd.module = module name
 //   mcsd.status = ok | error                (responses only)
 //   mcsd.error  = message                   (error responses only)
+//   mcsd.last   = daemon's last handled seq (stale-reply responses only)
 //   mcsd.crc    = FNV-1a of the payload     (integrity across NFS)
 //   <everything else>                       = user parameters / results
 #pragma once
@@ -38,6 +39,11 @@ struct Record {
   std::string module;
   bool ok = true;              ///< responses: module succeeded
   std::string error_message;   ///< responses with ok == false
+  /// Responses only, 0 = absent.  When a request's seq falls behind the
+  /// daemon's last handled seq (two hosts sharing one module log), the
+  /// daemon's error reply carries its high-water mark here so the losing
+  /// client can re-seed instead of burning its full timeout.
+  std::uint64_t last_seq = 0;
   KeyValueMap payload;         ///< user parameters or results
 };
 

@@ -2,6 +2,7 @@
 
 #include <system_error>
 
+#include "core/fault.hpp"
 #include "core/hash.hpp"
 #include "core/io.hpp"
 #include "core/log.hpp"
@@ -97,6 +98,14 @@ void FileWatcher::poll_once_internal(bool fire) {
 #endif
   if (!fire) return;
   for (const auto& path : changed) {
+    // Injected lost event: the fingerprint above already advanced, so
+    // this change is never replayed — exactly the NFS-attribute-cache
+    // failure mode clients must recover from by re-sending.
+    if (fault::check(fault::Site::kWatchEvent, path.native()).kind ==
+        fault::Kind::kSuppressEvent) {
+      MCSD_OBS_COUNT("fam.watcher_suppressed_events", 1);
+      continue;
+    }
     events_fired_.fetch_add(1, std::memory_order_relaxed);
     MCSD_OBS_COUNT("fam.watcher_events", 1);
     if (on_change_) on_change_(path);

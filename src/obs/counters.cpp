@@ -1,10 +1,31 @@
 #include "obs/counters.hpp"
 
+#include "core/fault.hpp"
+
 namespace mcsd::obs {
 
 namespace {
 std::atomic<bool> g_enabled{true};
 std::atomic<std::size_t> g_next_shard{0};
+
+#if MCSD_OBS_ENABLED
+// Mirror fault injections into the metric registry as
+// `fault.injected_<site>_<kind>` counters.  core/fault cannot link obs
+// (obs already links core), so it exposes a sink pointer instead; this
+// TU always accompanies any obs use, making registration unconditional.
+void count_injection(fault::Site site, fault::Kind kind) {
+  if (!enabled()) return;
+  Registry::instance()
+      .counter("fault.injected_" + std::string{fault::to_string(site)} + "_" +
+               std::string{fault::to_string(kind)})
+      .add(1);
+}
+
+[[maybe_unused]] const bool g_fault_sink_registered = [] {
+  fault::set_injection_sink(&count_injection);
+  return true;
+}();
+#endif
 }  // namespace
 
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }

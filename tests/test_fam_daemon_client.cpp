@@ -2,13 +2,20 @@
 // paper's Fig. 5 message sequence exercised over a real filesystem.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "core/fault.hpp"
 #include "core/io.hpp"
 #include "fam/client.hpp"
 #include "fam/daemon.hpp"
+#include "fam/protocol.hpp"
 #include "obs/counters.hpp"
 
 namespace mcsd::fam {
@@ -215,6 +222,195 @@ TEST_F(FamFixture, ConcurrentCallersOnSameModuleSerialise) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(ok_count.load(), 4);
   EXPECT_EQ(daemon.requests_handled(), 4u);
+}
+
+// Regression for the response-clobbers-newer-request bug: request seq N
+// is dispatching while request seq N+1 lands in the log.  Without the
+// conflict guard the daemon's seq-N response atomically replaces the
+// seq-N+1 request; the polling watcher's fingerprint then advances past
+// it and seq N+1 is never answered.  The fixed daemon re-reads the log
+// before responding, drops the stale response, and re-dispatches the
+// newer request.
+TEST(ResponseConflict, ResponseNeverClobbersNewerRequest) {
+  TempDir dir{"famclobber"};
+  // A slow poll cadence leaves a wide window between "module finished"
+  // and "watcher would next observe the log" — the exact window where
+  // the unguarded write lost the newer request.
+  Daemon daemon{DaemonOptions{dir.path(), 150ms, 1}};
+  std::atomic<bool> entered{false};
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  ASSERT_TRUE(daemon
+                  .preload(std::make_shared<FunctionModule>(
+                      "slow",
+                      [&](const KeyValueMap& params) -> Result<KeyValueMap> {
+                        entered.store(true);
+                        std::unique_lock lock{gate_mutex};
+                        gate_cv.wait(lock, [&] { return gate_open; });
+                        KeyValueMap out;
+                        out.set("tag", params.get_or("tag", ""));
+                        return out;
+                      }))
+                  .is_ok());
+  daemon.start();
+  const auto log = dir / "slow.log";
+
+  Record first;
+  first.type = RecordType::kRequest;
+  first.seq = 1;
+  first.module = "slow";
+  first.payload.set("tag", "one");
+  ASSERT_TRUE(write_file_atomic(log, encode_record(first)).is_ok());
+  for (int i = 0; i < 5000 && !entered.load(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(entered.load()) << "request 1 never reached the module";
+
+  // Request 2 lands while the module still chews on request 1; releasing
+  // the gate right after makes the seq-1 response race the next poll.
+  Record second = first;
+  second.seq = 2;
+  second.payload.set("tag", "two");
+  ASSERT_TRUE(write_file_atomic(log, encode_record(second)).is_ok());
+  {
+    std::lock_guard lock{gate_mutex};
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  bool answered = false;
+  for (int i = 0; i < 5000 && !answered; ++i) {
+    if (const auto contents = read_file(log); contents.is_ok()) {
+      if (const auto record = decode_record(contents.value());
+          record.is_ok() && record.value().type == RecordType::kResponse &&
+          record.value().seq == 2) {
+        EXPECT_EQ(record.value().payload.get("tag"), "two");
+        answered = true;
+      }
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(answered) << "request 2 was clobbered and never answered";
+  // The module finished request 1 strictly after request 2 was in the
+  // log, so the guard must have seen (and counted) the conflict.
+  EXPECT_GE(daemon.response_conflicts(), 1u);
+  daemon.stop();
+}
+
+// Two Client objects sharing one module log — the paper's multi-host
+// scenario.  The client that falls behind sends a stale seq; the daemon
+// answers with its high-water mark (mcsd.last) and the client re-seeds
+// and retries instead of burning its full timeout budget.
+TEST(SeqCollision, TwoClientsSharingOneModuleLogBothSucceed) {
+  TempDir dir{"famcollide"};
+  Daemon daemon{DaemonOptions{dir.path(), 1ms, 2}};
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  daemon.start();
+
+  ClientOptions copts{dir.path(), 1ms, 5'000ms};
+  copts.max_attempts = 4;
+  Client a{copts};
+  Client b{copts};
+
+  KeyValueMap params;
+  params.set("who", "a1");
+  ASSERT_TRUE(a.invoke("echo", params).is_ok());  // a's next seq: 2
+
+  // b seeds from the log (sees a's response, seq 1) and advances the
+  // channel past a's bookkeeping.
+  params.set("who", "b1");
+  ASSERT_TRUE(b.invoke("echo", params).is_ok());  // seq 2
+  params.set("who", "b2");
+  ASSERT_TRUE(b.invoke("echo", params).is_ok());  // seq 3
+
+  // a now sends seq 2 < 3: stale.  The daemon's mcsd.last reply re-seeds
+  // a to seq 4 and the retry lands.
+  params.set("who", "a2");
+  const auto recovered = a.invoke("echo", params);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.error().to_string();
+  EXPECT_EQ(recovered.value().get("who"), "a2");
+  EXPECT_GE(daemon.stale_replies(), 1u);
+  EXPECT_EQ(daemon.requests_handled(), 4u);  // stale replies aren't handled
+}
+
+// stop() drains: every request the watcher accepted before stop() still
+// gets a response; only post-close arrivals are counted as dropped.
+TEST(DaemonStop, DrainsAcceptedRequestsBeforeStopping) {
+  TempDir dir{"famdrain"};
+  Daemon daemon{DaemonOptions{dir.path(), 5ms, 1}};
+  const std::vector<std::string> modules{"drain1", "drain2", "drain3"};
+  for (const std::string& name : modules) {
+    ASSERT_TRUE(daemon
+                    .preload(std::make_shared<FunctionModule>(
+                        name,
+                        [](const KeyValueMap&) -> Result<KeyValueMap> {
+                          std::this_thread::sleep_for(150ms);
+                          KeyValueMap out;
+                          out.set("drained", "true");
+                          return out;
+                        }))
+                    .is_ok());
+  }
+  daemon.start();
+  for (const std::string& name : modules) {
+    Record request;
+    request.type = RecordType::kRequest;
+    request.seq = 1;
+    request.module = name;
+    ASSERT_TRUE(
+        write_file_atomic(dir / (name + ".log"), encode_record(request))
+            .is_ok());
+  }
+  // One dispatcher, 150 ms per module: by now all three requests are
+  // enqueued but at most one is done.  stop() must finish the backlog.
+  std::this_thread::sleep_for(100ms);
+  daemon.stop();
+  EXPECT_EQ(daemon.requests_handled(), 3u);
+  EXPECT_EQ(daemon.dropped_on_shutdown(), 0u);
+  for (const std::string& name : modules) {
+    const auto contents = read_file(dir / (name + ".log"));
+    ASSERT_TRUE(contents.is_ok());
+    const auto record = decode_record(contents.value());
+    ASSERT_TRUE(record.is_ok()) << name;
+    EXPECT_EQ(record.value().type, RecordType::kResponse) << name;
+    EXPECT_EQ(record.value().seq, 1u) << name;
+    EXPECT_EQ(record.value().payload.get("drained"), "true") << name;
+  }
+}
+
+// A transient read failure while the client seeds its sequence number
+// must not reset it to 1 (which the daemon would silently drop as a
+// duplicate).  The retry inside current_seq absorbs the glitch, so even
+// a single-attempt client succeeds.
+TEST(ClientRetry, SeqSeedingSurvivesTransientReadFailure) {
+  TempDir dir{"famseed"};
+  Daemon daemon{DaemonOptions{dir.path(), 1ms, 1}};
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  daemon.start();
+
+  ClientOptions copts{dir.path(), 1ms, 5'000ms};
+  Client warmup{copts};
+  KeyValueMap params;
+  params.set("who", "warmup");
+  ASSERT_TRUE(warmup.invoke("echo", params).is_ok());  // daemon last = 1
+
+  // A fresh client's very first log reads (the seq seeding) fail with
+  // EIO.  Without the in-place retry it would fall back to seq 1,
+  // collide with the handled seq above, and time out.  Three scheduled
+  // steps because the daemon's polling fingerprint shares the read site:
+  // whichever thread absorbs a step, the client's first read still
+  // faults, and the five seeding attempts still outlast the schedule.
+  copts.max_attempts = 1;
+  copts.timeout = 2'000ms;
+  Client fresh{copts};
+  fault::FaultScope scope{
+      fault::FaultPlan::from_spec("read.eio=@1+2+3,path_filter=echo.log")
+          .value()};
+  params.set("who", "fresh");
+  const auto result = fresh.invoke("echo", params);
+  ASSERT_TRUE(result.is_ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().get("who"), "fresh");
 }
 
 TEST(ClientRetry, SecondAttemptSucceedsAfterLateDaemonStart) {

@@ -65,6 +65,35 @@ TEST(Protocol, ResponseRoundTripError) {
   EXPECT_EQ(decoded.error_message, "dimension mismatch");
 }
 
+TEST(Protocol, StaleReplyLastSeqRoundTrips) {
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 8;
+  r.module = "echo";
+  r.ok = false;
+  r.error_message = "stale request";
+  r.last_seq = 12;
+  const std::string wire = encode_record(r);
+  EXPECT_NE(wire.find("mcsd.last=12"), std::string::npos);
+  const auto decoded = decode_record(wire).value();
+  EXPECT_EQ(decoded.last_seq, 12u);
+  EXPECT_FALSE(decoded.payload.contains("mcsd.last"));
+}
+
+TEST(Protocol, LastSeqAbsentDefaultsToZero) {
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 9;
+  r.module = "echo";
+  const std::string wire = encode_record(r);
+  EXPECT_EQ(wire.find("mcsd.last"), std::string::npos);
+  EXPECT_EQ(decode_record(wire).value().last_seq, 0u);
+  // Requests never carry it, even when set by mistake.
+  Record req = sample_request();
+  req.last_seq = 5;
+  EXPECT_EQ(encode_record(req).find("mcsd.last"), std::string::npos);
+}
+
 TEST(Protocol, PayloadWithReservedLookingValuesSurvives) {
   Record r = sample_request();
   r.payload.set("tricky", "mcsd.type=response\nmcsd.seq=999");

@@ -18,6 +18,7 @@
 
 #include "apps/modules.hpp"
 #include "core/cli.hpp"
+#include "core/fault.hpp"
 #include "core/io.hpp"
 #include "core/log.hpp"
 #include "fam/daemon.hpp"
@@ -31,6 +32,12 @@ void handle_signal(int) { g_stop = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
+  // MCSD_FAULTS (inline spec or plan file) arms storage-side fault
+  // injection — for soaking the real two-process deployment.
+  if (Status s = fault::install_from_env(); !s) {
+    std::fprintf(stderr, "bad MCSD_FAULTS: %s\n", s.to_string().c_str());
+    return 2;
+  }
   CliParser cli;
   cli.add_option("dir", "", "shared log folder to serve");
   cli.add_option("config", "",

@@ -12,6 +12,7 @@
 
 #include "core/cli.hpp"
 #include "core/config.hpp"
+#include "core/fault.hpp"
 #include "core/strings.hpp"
 #include "core/units.hpp"
 #include "fam/client.hpp"
@@ -20,6 +21,12 @@
 using namespace mcsd;
 
 int main(int argc, char** argv) {
+  // MCSD_FAULTS (inline spec or plan file) arms host-side fault
+  // injection — for soaking the real two-process deployment.
+  if (Status s = fault::install_from_env(); !s) {
+    std::fprintf(stderr, "bad MCSD_FAULTS: %s\n", s.to_string().c_str());
+    return 2;
+  }
   CliParser cli;
   cli.add_option("dir", "", "shared log folder (required)");
   cli.add_option("module", "", "module to invoke (required)");

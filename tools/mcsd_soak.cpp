@@ -1,0 +1,613 @@
+// mcsd_soak — deterministic fault-injection soak of the smartFAM channel.
+//
+// Stands up a live in-process daemon on a scratch folder, then hammers it
+// with N concurrent Client::invoke workers *and* a pipelined out-of-core
+// job while core/fault injects EIO, torn/short writes, delayed renames,
+// ENOSPC and suppressed watcher events on a seed-scheduled plan.  Three
+// invariants are asserted, per the channel's fault model (DESIGN.md):
+//
+//   1. Every accepted invoke finishes with exactly one response — a
+//      payload matching the fault-free run — or a clean typed error
+//      (kTimeout / kIoError / kUnavailable / kProtocolError / module
+//      error).  Anything else (wrong payload, kNotFound, ...) fails.
+//   2. No invoke outlives its budget of timeout x max_attempts (+slack);
+//      a watchdog aborts the whole soak if the process wedges.
+//   3. The out-of-core job's merged output stays byte-identical to the
+//      fault-free baseline (ChunkedFileReader's refill retry at work).
+//
+//   mcsd_soak --seed 1..5 --faults default --backend both
+//             [--clients 4] [--invokes 6] [--timeout-ms 300]
+//             [--attempts 5] [--poll-ms 2] [--ooc-bytes 256K]
+//             [--report soak.json] [--verbose]
+//
+// Exit status: 0 when every run of every seed/backend held all three
+// invariants, 1 otherwise (violations are listed on stderr and in the
+// --report JSON).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/modules.hpp"
+#include "apps/wordcount.hpp"
+#include "core/cli.hpp"
+#include "core/fault.hpp"
+#include "core/io.hpp"
+#include "core/log.hpp"
+#include "core/strings.hpp"
+#include "fam/client.hpp"
+#include "fam/daemon.hpp"
+#include "partition/outofcore.hpp"
+
+using namespace mcsd;
+
+namespace {
+
+struct SoakConfig {
+  std::vector<std::uint64_t> seeds;
+  std::string faults_spec = "default";
+  int clients = 4;
+  int invokes = 6;
+  std::vector<fam::WatcherBackend> backends;
+  std::chrono::milliseconds timeout{300};
+  int attempts = 5;
+  std::chrono::milliseconds daemon_poll{2};
+  std::uint64_t ooc_bytes = 256 * 1024;
+  std::string report_path;
+  bool verbose = false;
+};
+
+struct RunStats {
+  std::uint64_t seed = 0;
+  std::string backend;
+  std::uint64_t invokes_total = 0;
+  std::uint64_t successes = 0;
+  std::map<std::string, std::uint64_t> error_codes;
+  std::uint64_t daemon_requests = 0;
+  std::uint64_t daemon_errors = 0;
+  std::uint64_t response_conflicts = 0;
+  std::uint64_t stale_replies = 0;
+  std::uint64_t dropped_on_shutdown = 0;
+  std::uint64_t faults_injected = 0;
+  std::vector<std::pair<std::string, std::string>> fault_detail;
+  std::uint64_t ooc_runs = 0;
+  double wall_seconds = 0.0;
+  std::vector<std::string> violations;
+};
+
+/// Deterministic filler text: seeded LCG over a small vocabulary, one
+/// sentence per line (stringmatch needs line records).
+std::string make_text(std::uint64_t seed, std::uint64_t target_bytes) {
+  static constexpr const char* kVocab[] = {
+      "storage", "node",  "module", "log",    "record", "invoke",
+      "fault",   "merge", "stream", "daemon", "core",   "channel"};
+  constexpr std::size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+  std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  std::string text;
+  text.reserve(target_bytes + 64);
+  int words_in_line = 0;
+  while (text.size() < target_bytes) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    text += kVocab[(state >> 33) % kVocabSize];
+    if (++words_in_line == 8) {
+      text += '\n';
+      words_in_line = 0;
+    } else {
+      text += ' ';
+    }
+  }
+  if (text.empty() || text.back() != '\n') text += '\n';
+  return text;
+}
+
+/// One module workload: what to send and which result keys must match
+/// the fault-free capture (only timing-independent keys qualify —
+/// peak_resident_bytes and friends vary run to run).
+struct Workload {
+  std::string module;
+  KeyValueMap params;
+  std::vector<std::string> stable_keys;
+};
+
+std::vector<Workload> make_workloads(const std::filesystem::path& input) {
+  std::vector<Workload> loads;
+  {
+    Workload wc;
+    wc.module = "wordcount";
+    wc.params.set("input", input.string());
+    wc.params.set_uint("workers", 2);
+    wc.stable_keys = {"unique", "total", "fragments"};
+    loads.push_back(std::move(wc));
+  }
+  {
+    Workload sm;
+    sm.module = "stringmatch";
+    sm.params.set("input", input.string());
+    sm.params.set("keys", "storage,fault,missingword");
+    sm.params.set_uint("workers", 2);
+    sm.stable_keys = {"matches", "fragments"};
+    loads.push_back(std::move(sm));
+  }
+  return loads;
+}
+
+/// The pipelined out-of-core job the soak runs alongside the invokes.
+/// Returns the merged word counts serialised to one canonical string so
+/// "byte-identical to the fault-free run" is literal.
+Result<std::string> run_ooc_job(const std::filesystem::path& input) {
+  mr::Options mr_opts;
+  mr_opts.num_workers = 2;
+  mr::Engine<apps::WordCountSpec> engine{mr_opts};
+  part::PipelineOptions popts;
+  popts.partition_size = 32 * 1024;  // several fragments => several refills
+  part::TextJob<apps::WordCountSpec> job;
+  job.incremental_merge = part::sum_incremental<std::string, std::uint64_t>();
+  auto merged =
+      part::run_partitioned_file(engine, apps::WordCountSpec{}, input, popts,
+                                 job);
+  if (!merged) return merged.error();
+  auto counts = std::move(merged).value();
+  std::sort(counts.begin(), counts.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  std::string out;
+  for (const auto& [word, count] : counts) {
+    out += word;
+    out += '\t';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+bool allowed_error(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTimeout:
+    case ErrorCode::kIoError:
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kProtocolError:
+    case ErrorCode::kInternal:  // "module error: ..." (module saw a fault)
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* backend_name(fam::WatcherBackend backend) {
+  return backend == fam::WatcherBackend::kInotify ? "inotify" : "polling";
+}
+
+RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
+                  const SoakConfig& config) {
+  RunStats stats;
+  stats.seed = seed;
+  stats.backend = backend_name(backend);
+  std::mutex stats_mutex;
+  const auto violation = [&](std::string what) {
+    std::lock_guard lock{stats_mutex};
+    std::fprintf(stderr, "[soak seed=%llu %s] VIOLATION: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 stats.backend.c_str(), what.c_str());
+    stats.violations.push_back(std::move(what));
+  };
+
+  TempDir dir{"mcsd-soak"};
+  const auto data_dir = dir / "data";
+  const auto log_dir = dir / "logs";
+  std::filesystem::create_directories(data_dir);
+  const auto module_input = data_dir / "module_input.txt";
+  const auto ooc_input = data_dir / "ooc_input.txt";
+  if (!write_file(module_input, make_text(seed, 64 * 1024)) ||
+      !write_file(ooc_input, make_text(seed + 1, config.ooc_bytes))) {
+    violation("cannot write soak inputs");
+    return stats;
+  }
+
+  fam::DaemonOptions daemon_options;
+  daemon_options.log_dir = log_dir;
+  daemon_options.poll_interval = config.daemon_poll;
+  daemon_options.dispatch_threads = 2;
+  daemon_options.backend = backend;
+  fam::Daemon daemon{daemon_options};
+  stats.backend = backend_name(daemon.active_backend());  // may have fallen back
+  for (auto module : {apps::make_wordcount_module(2),
+                      apps::make_stringmatch_module(2)}) {
+    if (Status s = daemon.preload(std::move(module)); !s) {
+      violation("preload failed: " + s.to_string());
+      return stats;
+    }
+  }
+  daemon.start();
+
+  fam::ClientOptions client_options;
+  client_options.log_dir = log_dir;
+  client_options.poll_interval = std::chrono::milliseconds{1};
+  client_options.timeout = config.timeout;
+  client_options.max_attempts = config.attempts;
+  // Two Client instances sharing the module logs: their per-module
+  // serialisation is process-local, so cross-client seq collisions (the
+  // multi-host scenario) happen naturally under load.
+  fam::Client client_a{client_options};
+  fam::Client client_b{client_options};
+  fam::Client* const client_pool[2] = {&client_a, &client_b};
+
+  // Fault-free capture: expected stable results per workload, and the
+  // out-of-core baseline, both before any plan is installed.
+  auto workloads = make_workloads(module_input);
+  for (auto& load : workloads) {
+    auto result = client_a.invoke(load.module, load.params);
+    if (!result) {
+      violation("fault-free " + load.module +
+                " invoke failed: " + result.error().to_string());
+      return stats;
+    }
+    // Rewrite stable_keys into "key=expected" pairs for the workers.
+    std::vector<std::string> expected;
+    expected.reserve(load.stable_keys.size());
+    for (const auto& key : load.stable_keys) {
+      expected.push_back(key + "=" + result.value().get_or(key, "<missing>"));
+    }
+    load.stable_keys = std::move(expected);
+  }
+  auto baseline = run_ooc_job(ooc_input);
+  if (!baseline) {
+    violation("fault-free out-of-core run failed: " +
+              baseline.error().to_string());
+    return stats;
+  }
+
+  auto plan_result = fault::FaultPlan::from_spec(config.faults_spec);
+  if (!plan_result) {
+    violation("bad fault plan: " + plan_result.error().to_string());
+    return stats;
+  }
+  fault::FaultPlan plan = std::move(plan_result).value();
+  plan.seed = seed;
+
+  const Stopwatch wall;
+  std::atomic<bool> done{false};
+  // Per-invoke budget (invariant 2): every attempt may burn the full
+  // timeout plus channel I/O; anything past that with slack is a hang.
+  const auto invoke_budget =
+      config.attempts * (config.timeout + std::chrono::milliseconds{200}) +
+      std::chrono::seconds{2};
+  // Whole-soak watchdog: workers of one client serialise per module, so
+  // the worst honest case is every invoke timing out back to back.
+  const auto global_budget =
+      static_cast<std::uint64_t>(config.clients) * config.invokes *
+          static_cast<std::uint64_t>(invoke_budget.count()) +
+      60'000;
+  std::thread watchdog{[&] {
+    Stopwatch elapsed;
+    while (!done.load(std::memory_order_relaxed)) {
+      if (elapsed.elapsed() > std::chrono::milliseconds{global_budget}) {
+        std::fprintf(stderr,
+                     "[soak seed=%llu %s] WEDGED: still running after %llu "
+                     "ms; aborting\n",
+                     static_cast<unsigned long long>(seed),
+                     stats.backend.c_str(),
+                     static_cast<unsigned long long>(global_budget));
+        std::_Exit(3);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    }
+  }};
+
+  {
+    fault::FaultScope scope{plan};
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(config.clients));
+    for (int w = 0; w < config.clients; ++w) {
+      workers.emplace_back([&, w] {
+        fam::Client& client = *client_pool[w % 2];
+        for (int i = 0; i < config.invokes; ++i) {
+          const Workload& load = workloads[static_cast<std::size_t>(w + i) %
+                                           workloads.size()];
+          Stopwatch one;
+          auto result = client.invoke(load.module, load.params);
+          const auto took =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  one.elapsed());
+          {
+            std::lock_guard lock{stats_mutex};
+            ++stats.invokes_total;
+          }
+          if (took > invoke_budget) {
+            violation("invoke of " + load.module + " took " +
+                      std::to_string(took.count()) + " ms (budget " +
+                      std::to_string(invoke_budget.count()) + " ms)");
+          }
+          if (result) {
+            std::lock_guard lock{stats_mutex};
+            ++stats.successes;
+            for (const auto& key_equals_value : load.stable_keys) {
+              const auto eq = key_equals_value.find('=');
+              const std::string key = key_equals_value.substr(0, eq);
+              const std::string want = key_equals_value.substr(eq + 1);
+              const std::string got =
+                  result.value().get_or(key, "<missing>");
+              if (got != want) {
+                stats.violations.push_back(
+                    load.module + " payload mismatch: " + key + "=" + got +
+                    ", fault-free run said " + want);
+                std::fprintf(stderr, "[soak seed=%llu %s] VIOLATION: %s\n",
+                             static_cast<unsigned long long>(seed),
+                             stats.backend.c_str(),
+                             stats.violations.back().c_str());
+              }
+            }
+          } else {
+            const ErrorCode code = result.error().code();
+            {
+              std::lock_guard lock{stats_mutex};
+              ++stats.error_codes[std::string{to_string(code)}];
+            }
+            if (!allowed_error(code)) {
+              violation(load.module + " returned a non-channel error: " +
+                        result.error().to_string());
+            }
+            if (config.verbose) {
+              std::fprintf(stderr, "[soak] %s attempt error: %s\n",
+                           load.module.c_str(),
+                           result.error().to_string().c_str());
+            }
+          }
+        }
+      });
+    }
+
+    // The out-of-core job runs concurrently with the invoke storm and
+    // must reproduce the baseline bytes every time (invariant 3).
+    std::atomic<bool> workers_done{false};
+    std::thread ooc{[&] {
+      do {
+        auto faulted = run_ooc_job(ooc_input);
+        {
+          std::lock_guard lock{stats_mutex};
+          ++stats.ooc_runs;
+        }
+        if (!faulted) {
+          violation("out-of-core run failed under faults: " +
+                    faulted.error().to_string());
+        } else if (faulted.value() != baseline.value()) {
+          violation("out-of-core output diverged from fault-free baseline (" +
+                    std::to_string(faulted.value().size()) + " vs " +
+                    std::to_string(baseline.value().size()) + " bytes)");
+        }
+      } while (!workers_done.load(std::memory_order_relaxed));
+    }};
+
+    for (auto& worker : workers) worker.join();
+    workers_done.store(true, std::memory_order_relaxed);
+    ooc.join();
+
+    const auto& injector = fault::Injector::instance();
+    stats.faults_injected = injector.total_injected();
+    const KeyValueMap report = injector.injected_report();
+    for (const auto& [key, value] : report.entries()) {
+      stats.fault_detail.emplace_back(key, value);
+    }
+  }
+
+  done.store(true, std::memory_order_relaxed);
+  watchdog.join();
+  daemon.stop();
+  stats.daemon_requests = daemon.requests_handled();
+  stats.daemon_errors = daemon.errors_returned();
+  stats.response_conflicts = daemon.response_conflicts();
+  stats.stale_replies = daemon.stale_replies();
+  stats.dropped_on_shutdown = daemon.dropped_on_shutdown();
+  stats.wall_seconds = wall.elapsed_seconds();
+  return stats;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string report_json(const std::vector<RunStats>& runs,
+                        const SoakConfig& config) {
+  std::string json = "{\n  \"faults\": \"" + json_escape(config.faults_spec) +
+                     "\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunStats& r = runs[i];
+    json += "    {\"seed\": " + std::to_string(r.seed) + ", \"backend\": \"" +
+            r.backend + "\", \"invokes\": " + std::to_string(r.invokes_total) +
+            ", \"successes\": " + std::to_string(r.successes) +
+            ", \"ooc_runs\": " + std::to_string(r.ooc_runs) +
+            ", \"daemon_requests\": " + std::to_string(r.daemon_requests) +
+            ", \"daemon_errors\": " + std::to_string(r.daemon_errors) +
+            ", \"response_conflicts\": " +
+            std::to_string(r.response_conflicts) +
+            ", \"stale_replies\": " + std::to_string(r.stale_replies) +
+            ", \"dropped_on_shutdown\": " +
+            std::to_string(r.dropped_on_shutdown) +
+            ", \"faults_injected\": " + std::to_string(r.faults_injected) +
+            ", \"wall_seconds\": " + std::to_string(r.wall_seconds);
+    json += ", \"errors\": {";
+    bool first = true;
+    for (const auto& [code, count] : r.error_codes) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + json_escape(code) + "\": " + std::to_string(count);
+    }
+    json += "}, \"fault_detail\": {";
+    first = true;
+    for (const auto& [key, value] : r.fault_detail) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + json_escape(key) + "\": " + value;
+    }
+    json += "}, \"violations\": [";
+    first = true;
+    for (const auto& v : r.violations) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + json_escape(v) + "\"";
+    }
+    json += "]}";
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+Result<std::vector<std::uint64_t>> parse_seeds(std::string_view spec) {
+  std::vector<std::uint64_t> seeds;
+  for (const auto part : split(spec, ',')) {
+    const auto dots = part.find("..");
+    if (dots == std::string_view::npos) {
+      seeds.push_back(std::strtoull(std::string{part}.c_str(), nullptr, 10));
+      continue;
+    }
+    const auto lo =
+        std::strtoull(std::string{part.substr(0, dots)}.c_str(), nullptr, 10);
+    const auto hi =
+        std::strtoull(std::string{part.substr(dots + 2)}.c_str(), nullptr, 10);
+    if (hi < lo || hi - lo > 10'000) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "bad seed range: " + std::string{part}};
+    }
+    for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+  }
+  if (seeds.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "no seeds given"};
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("seed", "1..3", "seed or range, e.g. 7 or 1..5 or 1,4,9");
+  cli.add_option("faults", "default",
+                 "fault plan: default, none, inline spec, or a plan file");
+  cli.add_option("clients", "4", "concurrent invoke workers");
+  cli.add_option("invokes", "6", "invokes per worker");
+  cli.add_option("backend", "both", "polling, inotify, or both");
+  cli.add_option("timeout-ms", "300", "per-attempt invoke timeout");
+  cli.add_option("attempts", "5", "invoke attempts before a typed failure");
+  cli.add_option("poll-ms", "2", "daemon watcher poll interval");
+  cli.add_option("ooc-bytes", "256K", "out-of-core input size");
+  cli.add_option("report", "", "write a JSON soak report here");
+  cli.add_flag("verbose", "log every failed attempt");
+  if (Status s = cli.parse(argc, argv); !s) {
+    std::fprintf(stderr, "%s\n", s.error().message().c_str());
+    return s.error().code() == ErrorCode::kUnavailable ? 0 : 2;
+  }
+
+  SoakConfig config;
+  auto seeds = parse_seeds(cli.option("seed"));
+  if (!seeds) {
+    std::fprintf(stderr, "%s\n", seeds.error().to_string().c_str());
+    return 2;
+  }
+  config.seeds = std::move(seeds).value();
+  config.faults_spec = cli.option("faults");
+  // The spec may be a plan file (as MCSD_FAULTS allows): inline it.
+  if (std::filesystem::exists(config.faults_spec)) {
+    if (auto contents = read_file(config.faults_spec)) {
+      config.faults_spec = contents.value();
+    }
+  }
+  config.clients =
+      static_cast<int>(std::max<std::int64_t>(
+          cli.option_int("clients").value_or(4), 1));
+  config.invokes =
+      static_cast<int>(std::max<std::int64_t>(
+          cli.option_int("invokes").value_or(6), 1));
+  config.timeout = std::chrono::milliseconds{
+      std::max<std::int64_t>(cli.option_int("timeout-ms").value_or(300), 10)};
+  config.attempts = static_cast<int>(
+      std::max<std::int64_t>(cli.option_int("attempts").value_or(5), 1));
+  config.daemon_poll = std::chrono::milliseconds{
+      std::max<std::int64_t>(cli.option_int("poll-ms").value_or(2), 1)};
+  config.ooc_bytes =
+      std::max<std::uint64_t>(cli.option_bytes("ooc-bytes").value_or(256 * 1024),
+                              4 * 1024);
+  config.report_path = cli.option("report");
+  config.verbose = cli.flag("verbose");
+  const std::string backend = cli.option("backend");
+  if (backend == "both") {
+    config.backends = {fam::WatcherBackend::kPolling,
+                       fam::WatcherBackend::kInotify};
+  } else if (backend == "polling") {
+    config.backends = {fam::WatcherBackend::kPolling};
+  } else if (backend == "inotify") {
+    config.backends = {fam::WatcherBackend::kInotify};
+  } else {
+    std::fprintf(stderr, "--backend must be polling, inotify or both\n");
+    return 2;
+  }
+  // Sanity-check the plan up front so a typo fails fast, not mid-soak.
+  if (auto plan = fault::FaultPlan::from_spec(config.faults_spec); !plan) {
+    std::fprintf(stderr, "bad --faults: %s\n",
+                 plan.error().to_string().c_str());
+    return 2;
+  }
+  Logger::instance().set_level(config.verbose ? LogLevel::kInfo
+                                              : LogLevel::kError);
+
+  std::vector<RunStats> runs;
+  std::size_t total_violations = 0;
+  for (const std::uint64_t seed : config.seeds) {
+    for (const fam::WatcherBackend be : config.backends) {
+      RunStats stats = run_soak(seed, be, config);
+      std::printf(
+          "seed=%llu backend=%s: %llu invokes (%llu ok), %llu faults "
+          "injected, %llu conflicts, %llu stale replies, %llu ooc runs, "
+          "%.1fs — %s\n",
+          static_cast<unsigned long long>(stats.seed), stats.backend.c_str(),
+          static_cast<unsigned long long>(stats.invokes_total),
+          static_cast<unsigned long long>(stats.successes),
+          static_cast<unsigned long long>(stats.faults_injected),
+          static_cast<unsigned long long>(stats.response_conflicts),
+          static_cast<unsigned long long>(stats.stale_replies),
+          static_cast<unsigned long long>(stats.ooc_runs), stats.wall_seconds,
+          stats.violations.empty() ? "OK" : "VIOLATIONS");
+      total_violations += stats.violations.size();
+      runs.push_back(std::move(stats));
+    }
+  }
+
+  if (!config.report_path.empty()) {
+    if (Status s = write_file(config.report_path, report_json(runs, config));
+        !s) {
+      std::fprintf(stderr, "cannot write --report: %s\n",
+                   s.to_string().c_str());
+      return 2;
+    }
+  }
+  if (total_violations != 0) {
+    std::fprintf(stderr, "soak FAILED: %zu violation(s)\n", total_violations);
+    return 1;
+  }
+  std::printf("soak passed: %zu run(s) clean\n", runs.size());
+  return 0;
+}
