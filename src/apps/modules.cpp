@@ -155,8 +155,14 @@ std::shared_ptr<fam::Module> make_matmul_module(std::size_t default_workers) {
         mr::Options opts;
         opts.num_workers = request_workers(params, default_workers);
         mr::Engine<MatMulSpec> engine{opts};
+        // Index chunks carry no payload, so the memory model needs the
+        // job's real input size (both operand matrices) passed explicitly.
+        const std::uint64_t input_bytes =
+            (a.value().data().size() + b.value().data().size()) *
+            sizeof(double);
         const auto cells = engine.run(
-            spec, mr::split_index(a.value().rows(), 4 * opts.num_workers));
+            spec, mr::split_index(a.value().rows(), 4 * opts.num_workers),
+            input_bytes);
         const Matrix c =
             assemble_matrix(cells, a.value().rows(), b.value().cols());
         if (Status s = write_matrix(*out_path, c); !s) {

@@ -2,23 +2,12 @@
 
 #include <algorithm>
 
+#include "core/strings.hpp"
+
 namespace mcsd::apps {
 
-namespace {
-/// Invokes `fn(line, absolute_offset)` for every line in `text`, where
-/// `offset_base` is text's position in the whole input.  The final line
-/// may lack a trailing newline.
-template <typename Fn>
-void for_each_line(std::string_view text, std::uint64_t offset_base, Fn fn) {
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    std::size_t eol = text.find('\n', pos);
-    if (eol == std::string_view::npos) eol = text.size();
-    fn(text.substr(pos, eol - pos), offset_base + pos);
-    pos = eol + 1;
-  }
-}
-}  // namespace
+// Line iteration lives in core/strings.hpp (for_each_line), shared with
+// the sequential reference so both walk lines identically.
 
 void StringMatchSpec::map(const mr::TextChunk& chunk,
                           mr::Emitter<Key, Value>& emit) const {

@@ -22,6 +22,47 @@ constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
   return h;
 }
 
+/// Continues an FNV-1a hash over `bytes` from intermediate state `h`.
+constexpr std::uint64_t fnv1a_tail(std::uint64_t h,
+                                   std::string_view bytes) noexcept {
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Hashes four byte ranges with interleaved FNV-1a streams.  FNV's
+/// per-byte multiply forms a serial dependency chain, so hashing one key
+/// at a time leaves the multiplier idle most cycles; four independent
+/// chains overlap that latency.  Lanes advance together to the shortest
+/// key's length, then each finishes scalar — every lane's result is
+/// byte-identical to fnv1a() (the emitter's batched emit path relies on
+/// this to reuse the same hash for routing, probes, and reduce grouping).
+inline void fnv1a_x4(const std::string_view* keys, std::uint64_t* out) noexcept {
+  constexpr std::uint64_t kBasis = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  std::uint64_t h0 = kBasis, h1 = kBasis, h2 = kBasis, h3 = kBasis;
+  const char* p0 = keys[0].data();
+  const char* p1 = keys[1].data();
+  const char* p2 = keys[2].data();
+  const char* p3 = keys[3].data();
+  std::size_t m = keys[0].size();
+  for (int l = 1; l < 4; ++l) {
+    if (keys[l].size() < m) m = keys[l].size();
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    h0 = (h0 ^ static_cast<std::uint8_t>(p0[i])) * kPrime;
+    h1 = (h1 ^ static_cast<std::uint8_t>(p1[i])) * kPrime;
+    h2 = (h2 ^ static_cast<std::uint8_t>(p2[i])) * kPrime;
+    h3 = (h3 ^ static_cast<std::uint8_t>(p3[i])) * kPrime;
+  }
+  out[0] = fnv1a_tail(h0, keys[0].substr(m));
+  out[1] = fnv1a_tail(h1, keys[1].substr(m));
+  out[2] = fnv1a_tail(h2, keys[2].substr(m));
+  out[3] = fnv1a_tail(h3, keys[3].substr(m));
+}
+
 /// Stafford's Mix13 finaliser: scrambles integer keys so that sequential
 /// row/column ids (matrix multiply) spread across reduce buckets.
 constexpr std::uint64_t mix64(std::uint64_t x) noexcept {

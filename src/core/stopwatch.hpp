@@ -3,7 +3,26 @@
 
 #include <chrono>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <ctime>
+#endif
+
 namespace mcsd {
+
+/// CPU seconds consumed by the calling thread so far (0.0 where the
+/// platform offers no per-thread clock).  Wall time on an oversubscribed
+/// host measures time-slicing, not work; per-worker CPU time is what the
+/// map-phase scaling attribution compares across worker counts.
+inline double thread_cpu_seconds() noexcept {
+#if defined(__linux__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0.0;
+#endif
+}
 
 /// Monotonic stopwatch.  Started on construction; `elapsed_*` may be read
 /// repeatedly; `restart` resets the origin.

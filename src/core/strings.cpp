@@ -62,6 +62,27 @@ bool ends_with(std::string_view text, std::string_view suffix) {
          text.substr(text.size() - suffix.size()) == suffix;
 }
 
+void to_lower_ascii(std::string_view text, std::vector<char>& out) {
+  out.resize(text.size());
+  const char* src = text.data();
+  char* dst = out.data();
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t block = swar::load8(src + i);
+    const std::uint64_t upper =
+        swar::in_range7(block & ~swar::kHigh, 'A', 'Z') & ~(block & swar::kHigh);
+    // The classification bit is 0x80 per uppercase lane; >> 2 turns it
+    // into the 0x20 case bit.
+    const std::uint64_t lowered = block | (upper >> 2);
+    std::memcpy(dst + i, &lowered, sizeof(lowered));
+  }
+  for (; i < n; ++i) {
+    const char c = src[i];
+    dst[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 0x20) : c;
+  }
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {

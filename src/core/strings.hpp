@@ -2,8 +2,20 @@
 //
 // Nothing here allocates unless the return type requires it; inputs are
 // std::string_view throughout (C++ Core Guidelines F.15/F.16).
+//
+// The SWAR block (word_class_mask8 / to_lower_ascii / for_each_word)
+// powers the map-phase inner loops of Word Count and String Match: byte
+// classification and lower-casing run 8 bytes per step on plain 64-bit
+// registers, with no target-specific intrinsics, and token extraction
+// walks a 64-byte bitmask with countr_zero/countr_one instead of a
+// per-byte branch.  Property tests (test_core_strings) pin every SWAR
+// helper byte-identical to its scalar reference over random and
+// adversarial inputs.
 #pragma once
 
+#include <bit>
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +50,147 @@ constexpr bool is_default_delimiter(char c) noexcept {
 constexpr bool is_word_char(char c) noexcept {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9');
+}
+
+// ---------------------------------------------------------------------------
+// SWAR byte classification (8 bytes per step, no intrinsics).
+// ---------------------------------------------------------------------------
+
+namespace swar {
+
+inline constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kHigh = 0x8080808080808080ULL;
+
+/// Per-byte `v >= c` for 7-bit byte lanes (callers mask the high bit off
+/// first): sets bit 7 of every lane whose value is >= c.  Adding
+/// (0x80 - c) pushes exactly the in-range lanes past 0x80, and since every
+/// lane sum stays below 0x100 no carry crosses into a neighbour.
+constexpr std::uint64_t ge7(std::uint64_t v, unsigned c) noexcept {
+  return (v + (0x80u - c) * kOnes) & kHigh;
+}
+
+/// Per-byte range test lo <= v <= hi (7-bit lanes, hi <= 0x7E).
+constexpr std::uint64_t in_range7(std::uint64_t v, unsigned lo,
+                                  unsigned hi) noexcept {
+  return ge7(v, lo) & ~ge7(v, hi + 1);
+}
+
+/// Sets bit 7 of every byte lane holding an ASCII alphanumeric; bytes
+/// >= 0x80 (UTF-8 continuation etc.) always classify as non-word, same as
+/// the scalar is_word_char.
+constexpr std::uint64_t word_class_mask8(std::uint64_t block) noexcept {
+  const std::uint64_t hi = block & kHigh;
+  const std::uint64_t v = block & ~kHigh;
+  const std::uint64_t cls = in_range7(v, '0', '9') | in_range7(v, 'A', 'Z') |
+                            in_range7(v, 'a', 'z');
+  return cls & ~hi;
+}
+
+/// Compresses a per-byte-bit-7 mask into 8 low bits (bit i = lane i).
+/// The multiplier places each lane's bit at position 56 + i; all 64
+/// partial products land on distinct bit positions (8i - 7j is injective
+/// over i, j in [0,8)), so no carries corrupt the gather.
+constexpr std::uint64_t movemask8(std::uint64_t lane_mask) noexcept {
+  return ((lane_mask & kHigh) * 0x0002040810204081ULL) >> 56;
+}
+
+/// Unaligned 8-byte little-endian load (memcpy compiles to one mov).
+inline std::uint64_t load8(const char* p) noexcept {
+  std::uint64_t block;
+  std::memcpy(&block, p, sizeof(block));
+  return block;
+}
+
+}  // namespace swar
+
+/// ASCII-lowercases `text` into `out` (resized to match), 8 bytes per
+/// step: the uppercase lanes' classification bit, shifted down to 0x20,
+/// is OR-ed straight in.  Bytes >= 0x80 pass through untouched, matching
+/// std::tolower under the C locale.
+void to_lower_ascii(std::string_view text, std::vector<char>& out);
+
+/// Invokes `fn(token)` for every maximal run of ASCII alphanumerics in
+/// `text`, in order.  Tokens are views into `text`.  The scan builds a
+/// 64-byte word-class bitmask per stripe (8 SWAR blocks + movemask) and
+/// extracts runs with countr_zero / countr_one, so cost per byte is a
+/// handful of ALU ops instead of two data-dependent branches.
+template <typename Fn>
+void for_each_word(std::string_view text, Fn&& fn) {
+  const char* const data = text.data();
+  const std::size_t n = text.size();
+  std::size_t pos = 0;
+  std::size_t token_start = 0;
+  bool open = false;  // a token run extends past the previous stripe
+
+  while (pos + 64 <= n) {
+    std::uint64_t mask = 0;
+    for (unsigned j = 0; j < 8; ++j) {
+      mask |= swar::movemask8(swar::word_class_mask8(swar::load8(
+                  data + pos + 8 * j)))
+              << (8 * j);
+    }
+    std::uint64_t m = mask;
+    std::size_t base = pos;
+    if (open) {
+      const unsigned run = static_cast<unsigned>(std::countr_one(m));
+      if (run == 64) {
+        pos += 64;
+        continue;  // token spans the whole stripe; stays open
+      }
+      fn(std::string_view{data + token_start, base + run - token_start});
+      open = false;
+      m >>= run;
+      base += run;
+    }
+    while (m != 0) {
+      const unsigned skip = static_cast<unsigned>(std::countr_zero(m));
+      m >>= skip;
+      base += skip;
+      const unsigned run = static_cast<unsigned>(std::countr_one(m));
+      if (base + run == pos + 64) {
+        // Run touches the stripe edge: it may continue into the next
+        // stripe (or the tail), so leave it open.
+        token_start = base;
+        open = true;
+        break;
+      }
+      fn(std::string_view{data + base, run});
+      m >>= run;
+      base += run;
+    }
+    pos += 64;
+  }
+
+  // Scalar tail (< 64 bytes) plus any still-open token.
+  for (; pos < n; ++pos) {
+    if (is_word_char(data[pos])) {
+      if (!open) {
+        token_start = pos;
+        open = true;
+      }
+    } else if (open) {
+      fn(std::string_view{data + token_start, pos - token_start});
+      open = false;
+    }
+  }
+  if (open) {
+    fn(std::string_view{data + token_start, n - token_start});
+  }
+}
+
+/// Invokes `fn(line, absolute_offset)` for every line in `text`, where
+/// `offset_base` is text's position in the whole input.  The final line
+/// may lack a trailing newline.  Shared by String Match's map and its
+/// sequential reference so both iterate lines identically.
+template <typename Fn>
+void for_each_line(std::string_view text, std::uint64_t offset_base, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    fn(text.substr(pos, eol - pos), offset_base + pos);
+    pos = eol + 1;
+  }
 }
 
 }  // namespace mcsd

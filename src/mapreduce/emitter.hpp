@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -48,7 +49,25 @@ template <typename K>
 std::uint64_t key_bytes(const K&) noexcept {
   return sizeof(K);
 }
+
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
 }  // namespace detail
+
+/// Cycle-attribution sink for the map inner loop, one per worker (see
+/// Options.attribute_map_cycles).  The emitter's batched emit path fills
+/// hash_ns / probe_ns; the map function owns tokenize_ns (its time
+/// outside the emitter).  Plain counters, owner-thread-only.
+struct EmitAttribution {
+  std::uint64_t tokenize_ns = 0;
+  std::uint64_t hash_ns = 0;
+  std::uint64_t probe_ns = 0;
+};
 
 template <typename K, typename V>
 class Emitter {
@@ -96,6 +115,58 @@ class Emitter {
     emit_hashed(key, std::move(value), h);
   }
 
+  /// Upper bound on emit_batch() input size.
+  static constexpr std::size_t kMaxBatch = 64;
+
+  /// Batched string-key emit, all tokens carrying the same value (the
+  /// Word Count shape: every token counts 1).  Two passes: (1) hash every
+  /// token, four at a time through interleaved FNV-1a streams so the
+  /// multiply latency overlaps across tokens instead of serialising per
+  /// byte; (2) probe/insert, prefetching each token's slot line a few
+  /// tokens ahead so combiner-probe cache misses overlap too.  Emits are
+  /// routed and folded exactly as per-token emit() would — same hashes,
+  /// same bucket order, same counters.
+  void emit_batch(std::span<const std::string_view> tokens, const V& value)
+    requires kArenaKeys
+  {
+    assert(tokens.size() <= kMaxBatch);
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t hashes[kMaxBatch];
+    const auto hash_start = attribution_ ? Clock::now() : Clock::time_point{};
+    std::size_t i = 0;
+    for (; i + 4 <= tokens.size(); i += 4) {
+      fnv1a_x4(tokens.data() + i, hashes + i);
+    }
+    for (; i < tokens.size(); ++i) hashes[i] = KeyHash<K>{}(tokens[i]);
+    Clock::time_point probe_start{};
+    if (attribution_ != nullptr) {
+      probe_start = Clock::now();
+      attribution_->hash_ns += static_cast<std::uint64_t>(
+          std::chrono::nanoseconds(probe_start - hash_start).count());
+    }
+    constexpr std::size_t kPrefetchAhead = 4;
+    for (i = 0; i < tokens.size(); ++i) {
+      if (i + kPrefetchAhead < tokens.size()) {
+        prefetch_slot(hashes[i + kPrefetchAhead]);
+      }
+      emit_hashed(tokens[i], V(value), hashes[i]);
+    }
+    if (attribution_ != nullptr) {
+      attribution_->probe_ns += static_cast<std::uint64_t>(
+          std::chrono::nanoseconds(Clock::now() - probe_start).count());
+    }
+  }
+
+  /// Installs (or clears) the per-worker attribution sink the batched
+  /// emit path reports hash/probe nanoseconds into.  Owned by the engine;
+  /// must outlive emits.  Cleared by reset().
+  void set_attribution(EmitAttribution* sink) noexcept {
+    attribution_ = sink;
+  }
+  [[nodiscard]] EmitAttribution* attribution() const noexcept {
+    return attribution_;
+  }
+
   [[nodiscard]] std::size_t bucket_count() const noexcept {
     return buckets_.size();
   }
@@ -114,6 +185,47 @@ class Emitter {
     buckets_[b].log2_slots = 0;
   }
 
+  /// Folds every pair of `src`'s bucket `b` into this emitter's bucket
+  /// `b` through the installed combiner — the reduce phase's cross-worker
+  /// merge.  One O(1) probe per incoming pair replaces the gather+sort
+  /// over every worker's pairs; only the surviving unique pairs are ever
+  /// sorted.  Absorbed first-seen pairs *share* their key storage: the
+  /// views keep pointing into src's arena, which must stay un-reset while
+  /// this bucket's pairs are in use (the engine keeps all emitters alive
+  /// through reduce/merge).  Counters and byte metering are untouched —
+  /// absorb runs after the map-side accounting has been read.
+  void absorb_bucket(std::size_t b, const Emitter& src) {
+    assert(combine_ != nullptr &&
+           "absorb_bucket requires an installed combiner");
+    Bucket& dst = buckets_[b];
+    for (const Pair& p : src.buckets_[b].pairs) {
+      if (dst.slots.empty()) grow(dst);
+      std::size_t slot = hash_to_slot(p.hash, dst.log2_slots);
+      const std::size_t mask = dst.slots.size() - 1;
+      while (true) {
+        const std::uint32_t idx = dst.slots[slot];
+        if (idx == kEmptySlot) {
+          if ((dst.pairs.size() + 1) * 4 > dst.slots.size() * 3) {
+            grow(dst);
+            slot = hash_to_slot(p.hash, dst.log2_slots);
+            while (dst.slots[slot] != kEmptySlot) {
+              slot = (slot + 1) & (dst.slots.size() - 1);
+            }
+          }
+          dst.slots[slot] = static_cast<std::uint32_t>(dst.pairs.size());
+          dst.pairs.push_back(p);
+          break;
+        }
+        Pair& q = dst.pairs[idx];
+        if (q.hash == p.hash && q.key == p.key) {
+          q.value = combine_(combine_ctx_, q.key, q.value, p.value);
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+    }
+  }
+
   /// Rewinds the emitter for reuse: buckets and slot tables are cleared
   /// keeping capacity, the key arena is rewound (all stored views become
   /// invalid), counters zero, and the combiner is uninstalled so the next
@@ -128,6 +240,7 @@ class Emitter {
     arena_.reset();
     combine_ctx_ = nullptr;
     combine_ = nullptr;
+    attribution_ = nullptr;
     bytes_ = 0;
     count_ = 0;
     stored_ = 0;
@@ -150,15 +263,33 @@ class Emitter {
 
  private:
   static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
-  static constexpr unsigned kInitialLog2Slots = 4;  // 16 slots
+  // 256 initial slots: word-count-like keyspaces put hundreds of unique
+  // keys in every bucket, so starting at 16 meant four full rehash+
+  // reinsert rounds per bucket per fragment.  4 KiB of slack per
+  // worker×bucket is noise next to the pair storage it indexes.
+  static constexpr unsigned kInitialLog2Slots = 8;
 
-  struct Bucket {
+  /// Cache-line-aligned so adjacent buckets in the dense buckets_ vector
+  /// never share a line: the probe loop writes slots[] and pairs
+  /// metadata, and with 56-byte buckets every write dirtied a neighbour's
+  /// line too.
+  struct alignas(64) Bucket {
     std::vector<Pair> pairs;
     // Open-addressing index into `pairs`, linear probing, power-of-two
     // size, grown at 3/4 load.  Only populated when a combiner is set.
     std::vector<std::uint32_t> slots;
     unsigned log2_slots = 0;
   };
+
+  /// Warms the slot line a token a few positions ahead will probe.
+  void prefetch_slot(std::uint64_t h) const noexcept {
+    const Bucket& bucket =
+        buckets_[static_cast<std::size_t>(h) % buckets_.size()];
+    if (!bucket.slots.empty()) {
+      detail::prefetch_read(bucket.slots.data() +
+                            hash_to_slot(h, bucket.log2_slots));
+    }
+  }
 
   template <typename KeyLike>
   void emit_hashed(KeyLike&& key, V value, std::uint64_t h) {
@@ -225,6 +356,7 @@ class Emitter {
   BumpArena arena_;
   const void* combine_ctx_ = nullptr;
   CombineFn combine_ = nullptr;
+  EmitAttribution* attribution_ = nullptr;
   std::uint64_t bytes_ = 0;
   std::size_t count_ = 0;
   std::size_t stored_ = 0;

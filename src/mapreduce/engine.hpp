@@ -2,10 +2,27 @@
 //
 // Mirrors Phoenix's runtime structure (paper Fig. 1):
 //
-//   chunks ── dynamic scheduler ──> map workers ──> per-worker, per-bucket
-//   hash-combined intermediate stores ──> per-bucket gather + hash-then-key
-//   sort + group ──> reduce workers ──> merge (concatenate buckets,
-//   optional global key sort).
+//   chunks ── locality scheduler ──> map workers ──> per-worker, per-bucket
+//   hash-combined intermediate stores ──> per-bucket cross-worker fold (or
+//   gather + hash-then-key sort) + group ──> reduce workers ──> merge
+//   (parallel bucket placement, optional global key sort).
+//
+// Map-phase handoff is locality-aware (scheduler.hpp): each worker streams
+// a contiguous slab of the chunk index space on a private cursor and only
+// touches another worker's slab to steal from its back once its own runs
+// dry.  Each worker's wall time, thread CPU time, chunk/steal counts and
+// (opt-in) tokenize/hash/probe cycle split land in Metrics::map_workers,
+// so scaling regressions decompose into "which stage, which worker" —
+// and host oversubscription (CPU << wall) is visible rather than silently
+// eaten into throughput numbers.
+//
+// Reduce: for specs with both combine and reduce, bucket b is built by
+// *folding* workers 1..N-1's pairs into worker 0's open-addressing bucket
+// index (one O(1) probe per pair, reusing the cached hash) instead of
+// gathering and sorting every worker's pairs; only surviving unique pairs
+// are sorted.  Valid because the combiner contract already requires
+// reduce(k, vs) == reduce(k, [combine-fold(vs)]).  Per-bucket reduce work
+// therefore stops growing with worker count.
 //
 // Threading: one ThreadPool sized to Options.num_workers — the emulated
 // core count of the storage node.  Map-side data is strictly
@@ -50,8 +67,10 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 #include "core/thread_pool.hpp"
 #include "mapreduce/emitter.hpp"
@@ -179,24 +198,52 @@ class Engine {
       // as Phoenix does when it cannot mmap + mirror the input.
       throw MemoryOverflowError(input_bytes, usable);
     }
+    if (input_bytes == 0 && !chunks.empty()) {
+      // Index chunks carry no payload, so a derived byte count of zero
+      // almost always means the caller forgot to pass input_bytes.  With
+      // the memory model armed that silently disables input metering —
+      // warn loudly (and trip debug builds) instead of under-counting.
+      MCSD_OBS_COUNT("mr.zero_input_byte_jobs", 1);
+      if (usable != 0) {
+        MCSD_LOG(kWarn, "mr")
+            << "memory-budgeted job derived 0 input bytes over "
+            << chunks.size()
+            << " chunks; pass input_bytes explicitly for index chunks";
+        assert(false && "memory model saw 0 input bytes for a non-empty job");
+      }
+    }
 
     // ----- map phase (combining happens inside emit) ----------------------
     Stopwatch phase;
     prepare_worker_state(spec, workers, buckets);
 
-    DynamicScheduler scheduler{chunks.size()};
+    LocalityScheduler scheduler{chunks.size(), workers};
     const std::size_t batch =
-        DynamicScheduler::suggested_batch(chunks.size(), workers);
+        LocalityScheduler::suggested_batch(chunks.size(), workers);
     std::atomic<std::uint64_t> intermediate_bytes{0};
     std::atomic<bool> cancelled{false};
+    m.map_workers.assign(workers, MapWorkerStats{});
 
     {
       MCSD_OBS_SPAN("mr", "mr.map");
       pool_->parallel_for_workers(workers, [&](std::size_t w) {
         MCSD_OBS_SPAN("mr", "mr.map.worker");
-        auto& emitter = worker_state_[w].emitter;
+        WorkerState& ws = worker_state_[w];
+        auto& emitter = ws.emitter;
+        MapWorkerStats& stats = m.map_workers[w];
+        const bool attribute = options_.attribute_map_cycles;
+        Stopwatch wall;
+        const double cpu_start = thread_cpu_seconds();
         std::uint64_t reported = 0;
-        while (auto claimed = scheduler.next_batch(batch)) {
+        Stopwatch claim_watch;
+        bool stolen = false;
+        while (true) {
+          if (attribute) claim_watch.restart();
+          const auto claimed = scheduler.claim(w, batch, &stolen);
+          if (attribute) stats.claim_seconds += claim_watch.elapsed_seconds();
+          if (!claimed) break;
+          if (stolen) ++stats.steals;
+          stats.chunks += claimed->end - claimed->begin;
           for (std::size_t idx = claimed->begin; idx != claimed->end; ++idx) {
             if (cancelled.load(std::memory_order_relaxed)) return;
             spec.map(chunks[idx], emitter);
@@ -216,11 +263,23 @@ class Engine {
             }
           }
         }
+        stats.emits = emitter.count();
+        stats.cpu_seconds = thread_cpu_seconds() - cpu_start;
+        stats.wall_seconds = wall.elapsed_seconds();
+        stats.tokenize_seconds =
+            static_cast<double>(ws.attribution.tokenize_ns) * 1e-9;
+        stats.hash_seconds =
+            static_cast<double>(ws.attribution.hash_ns) * 1e-9;
+        stats.probe_seconds =
+            static_cast<double>(ws.attribution.probe_ns) * 1e-9;
         // Publish this worker's emitter counters: the emitter itself is
         // the thread-local shard, so the emit hot path never touches obs.
         MCSD_OBS_COUNT("mr.map_emits", emitter.count());
         MCSD_OBS_COUNT("mr.combine_hits", emitter.combine_hits());
         MCSD_OBS_COUNT("mr.intermediate_bytes", emitter.bytes());
+        MCSD_OBS_COUNT("mr.map_steals", stats.steals);
+        MCSD_OBS_HIST("mr.map_worker_cpu_us", "us",
+                      static_cast<std::uint64_t>(stats.cpu_seconds * 1e6));
       });
     }
     m.map_seconds = phase.elapsed_seconds();
@@ -247,31 +306,64 @@ class Engine {
         // One gather buffer per worker, reused across every bucket this
         // worker claims (and across runs): no per-bucket construction,
         // no shrink_to_fit churn inside the scheduler loop.
-        std::vector<StoredPair>& gathered = worker_state_[w].gather;
+        [[maybe_unused]] std::vector<StoredPair>& gathered =
+            worker_state_[w].gather;
         while (auto b = reduce_sched.next()) {
           MCSD_OBS_SPAN("mr", "mr.reduce.bucket");
-          gathered.clear();
-          std::size_t total = 0;
-          for (const auto& ws : worker_state_) {
-            total += ws.emitter.bucket(*b).size();
-          }
-          gathered.reserve(total);
-          for (auto& ws : worker_state_) {
-            ws.emitter.release_index(*b);
-            auto& src = ws.emitter.bucket(*b);
-            std::move(src.begin(), src.end(), std::back_inserter(gathered));
-            src.clear();  // keep capacity: refilled next run
-          }
-          if constexpr (HasReduce<Spec>) {
-            bucket_outputs[*b] = reduce_bucket(spec, gathered, unique_keys);
-          } else {
-            unique_keys.fetch_add(gathered.size(),
-                                  std::memory_order_relaxed);
+          if constexpr (kFoldReduce) {
+            // Cross-worker fold: absorb every other worker's pairs for
+            // this bucket into worker 0's combiner index — O(1) probe per
+            // pair on the cached hash — then sort only the surviving
+            // unique pairs.  Each value is already the combine-fold of
+            // its key's emits, so reduce runs on singleton spans (the
+            // combiner contract guarantees the same result).  Worker 0's
+            // buckets are disjoint across reduce workers (one claimant
+            // per bucket index) and cache-line padded, so concurrent
+            // absorbs into different buckets never contend.
+            Emitter<Key, Value>& base = worker_state_.front().emitter;
+            for (std::size_t src = 1; src < worker_state_.size(); ++src) {
+              base.absorb_bucket(*b, worker_state_[src].emitter);
+            }
+            auto& pairs = base.bucket(*b);
+            std::sort(pairs.begin(), pairs.end(), HashThenKeyLess{});
             Output& out = bucket_outputs[*b];
-            out.reserve(gathered.size());
-            for (auto& p : gathered) {
-              // Stored keys may be arena views; the output owns its keys.
-              out.push_back(Pair{Key(p.key), std::move(p.value)});
+            out.reserve(pairs.size());
+            for (auto& p : pairs) {
+              Key key{p.key};
+              const Value folded = std::move(p.value);
+              Value reduced =
+                  spec.reduce(key, std::span<const Value>{&folded, 1});
+              out.push_back(Pair{std::move(key), std::move(reduced)});
+            }
+            unique_keys.fetch_add(pairs.size(), std::memory_order_relaxed);
+            for (auto& ws : worker_state_) {
+              ws.emitter.release_index(*b);
+              ws.emitter.bucket(*b).clear();  // keep capacity for next run
+            }
+          } else {
+            gathered.clear();
+            std::size_t total = 0;
+            for (const auto& ws : worker_state_) {
+              total += ws.emitter.bucket(*b).size();
+            }
+            gathered.reserve(total);
+            for (auto& ws : worker_state_) {
+              ws.emitter.release_index(*b);
+              auto& src = ws.emitter.bucket(*b);
+              std::move(src.begin(), src.end(), std::back_inserter(gathered));
+              src.clear();  // keep capacity: refilled next run
+            }
+            if constexpr (HasReduce<Spec>) {
+              bucket_outputs[*b] = reduce_bucket(spec, gathered, unique_keys);
+            } else {
+              unique_keys.fetch_add(gathered.size(),
+                                    std::memory_order_relaxed);
+              Output& out = bucket_outputs[*b];
+              out.reserve(gathered.size());
+              for (auto& p : gathered) {
+                // Stored keys may be arena views; the output owns its keys.
+                out.push_back(Pair{Key(p.key), std::move(p.value)});
+              }
             }
           }
         }
@@ -288,11 +380,35 @@ class Engine {
     Output merged;
     {
       MCSD_OBS_SPAN("mr", "mr.merge");
-      std::size_t total = 0;
-      for (const auto& out : bucket_outputs) total += out.size();
-      merged.reserve(total);
-      for (auto& out : bucket_outputs) {
-        std::move(out.begin(), out.end(), std::back_inserter(merged));
+      std::vector<std::size_t> offsets(bucket_outputs.size() + 1, 0);
+      for (std::size_t b = 0; b < bucket_outputs.size(); ++b) {
+        offsets[b + 1] = offsets[b] + bucket_outputs[b].size();
+      }
+      const std::size_t total = offsets.back();
+      // Bucket placement offsets are known up front, so large merges
+      // resize the output once and move buckets into place in parallel —
+      // the serial append only survives for small outputs (and pair types
+      // that cannot be default-constructed for resize()).
+      constexpr std::size_t kParallelMergeMin = std::size_t{1} << 15;
+      bool merged_parallel = false;
+      if constexpr (std::is_default_constructible_v<Pair>) {
+        if (workers > 1 && total >= kParallelMergeMin) {
+          merged.resize(total);
+          DynamicScheduler merge_sched{bucket_outputs.size()};
+          pool_->parallel_for_workers(workers, [&](std::size_t) {
+            while (auto b = merge_sched.next()) {
+              auto& src = bucket_outputs[*b];
+              std::move(src.begin(), src.end(), merged.begin() + offsets[*b]);
+            }
+          });
+          merged_parallel = true;
+        }
+      }
+      if (!merged_parallel) {
+        merged.reserve(total);
+        for (auto& out : bucket_outputs) {
+          std::move(out.begin(), out.end(), std::back_inserter(merged));
+        }
       }
       if (options_.sort_output_by_key) {
         parallel_sort(merged, *pool_, [](const Pair& a, const Pair& b) {
@@ -305,6 +421,13 @@ class Engine {
   }
 
  private:
+  /// The cross-worker fold reduce applies when the spec has both hooks
+  /// (the combiner contract makes singleton-span reduce valid) and values
+  /// are copyable (absorb copies first-seen pairs between emitters).
+  static constexpr bool kFoldReduce =
+      HasReduce<Spec> && HasCombine<Spec> &&
+      std::is_copy_constructible_v<Value>;
+
   /// Per-worker hot state, cache-line padded: worker_state_ is a
   /// contiguous vector, and without the alignas adjacent workers' emit
   /// counters (bumped every emit) would false-share a line.
@@ -312,6 +435,7 @@ class Engine {
     explicit WorkerState(std::size_t buckets) : emitter(buckets) {}
     Emitter<Key, Value> emitter;
     std::vector<StoredPair> gather;  ///< reduce-phase gather buffer
+    EmitAttribution attribution;     ///< map-phase cycle sink (opt-in)
   };
 
   /// Builds or resets the reusable per-worker state and binds `spec`'s
@@ -331,6 +455,11 @@ class Engine {
       for (std::size_t w = 0; w < workers; ++w) {
         worker_state_.emplace_back(buckets);
       }
+    }
+    for (auto& ws : worker_state_) {
+      ws.attribution = EmitAttribution{};
+      ws.emitter.set_attribution(
+          options_.attribute_map_cycles ? &ws.attribution : nullptr);
     }
     if constexpr (HasCombine<Spec>) {
       for (auto& ws : worker_state_) {

@@ -7,6 +7,16 @@
 // so the claim counter is touched once per batch rather than once per
 // chunk, and the scheduler object is cache-line-aligned so its cursor
 // never false-shares with whatever the caller stacked next to it.
+//
+// `LocalityScheduler` is the map-phase handoff: the chunk index space is
+// carved into one contiguous slab per worker, so each worker streams its
+// own stretch of the corpus front to back (sequential memory, hardware
+// prefetcher friendly) on a cursor nobody else touches.  Only when a slab
+// runs dry does a worker steal — from the *back* of a victim's slab, the
+// end the owner will reach last, so thief and owner converge instead of
+// ping-ponging one shared cursor cache line (the Phoenix-style dynamic
+// chunking shape; cf. work-stealing deques' owner-LIFO/thief-FIFO split).
+//
 // `StaticScheduler` exists purely as the ablation baseline
 // (bench_ablation_scheduling) — block-cyclic assignment decided up front.
 #pragma once
@@ -14,8 +24,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace mcsd::mr {
 
@@ -60,6 +72,139 @@ class alignas(64) DynamicScheduler {
 
  private:
   std::atomic<std::size_t> cursor_{0};
+  std::size_t count_;
+};
+
+/// Locality-aware map-phase scheduler: contiguous per-worker slabs with
+/// owner-front claims and thief-back steals.
+///
+/// Each slab's state is one packed 64-bit atomic {begin:32, end:32}
+/// updated by CAS, padded to its own cache line: the owner's claim loop
+/// runs uncontended until thieves arrive, and a steal touches only the
+/// victim's line, never a global cursor.  Every index is handed out
+/// exactly once; claim() returns contiguous batches so callers keep the
+/// one-claim-per-batch amortisation.
+class LocalityScheduler {
+ public:
+  using Batch = DynamicScheduler::Batch;
+
+  LocalityScheduler(std::size_t task_count, std::size_t worker_count)
+      : slabs_(worker_count == 0 ? 1 : worker_count),
+        count_(task_count) {
+    const std::size_t workers = slabs_.size();
+    const std::size_t base = task_count / workers;
+    const std::size_t extra = task_count % workers;
+    std::uint32_t begin = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto len =
+          static_cast<std::uint32_t>(base + (w < extra ? 1 : 0));
+      slabs_[w].range.store(pack(begin, begin + len),
+                            std::memory_order_relaxed);
+      begin += len;
+    }
+  }
+
+  /// Claims up to `max_count` adjacent tasks for `worker`: from the front
+  /// of its own slab while any remain, then from the back of the fullest
+  /// other slab.  Returns nullopt only when every slab is empty.  Sets
+  /// `stolen` (when provided) so callers can count steals.
+  std::optional<Batch> claim(std::size_t worker, std::size_t max_count,
+                             bool* stolen = nullptr) noexcept {
+    if (max_count == 0) max_count = 1;
+    if (auto own = claim_front(slabs_[worker % slabs_.size()], max_count)) {
+      if (stolen != nullptr) *stolen = false;
+      return own;
+    }
+    // Own slab dry: scan victims, preferring the most loaded so steals
+    // spread rather than dogpiling one straggler.
+    while (true) {
+      std::size_t victim = slabs_.size();
+      std::size_t victim_left = 0;
+      for (std::size_t v = 0; v < slabs_.size(); ++v) {
+        const std::uint64_t cur = slabs_[v].range.load(std::memory_order_relaxed);
+        const std::size_t left = unpack_end(cur) - std::min<std::size_t>(
+                                     unpack_end(cur), unpack_begin(cur));
+        if (left > victim_left) {
+          victim = v;
+          victim_left = left;
+        }
+      }
+      if (victim == slabs_.size()) return std::nullopt;
+      // Steal at most half the victim's remainder (leave the owner the
+      // front it is already streaming), one batch minimum.
+      const std::size_t take =
+          std::min(max_count, std::max<std::size_t>(1, victim_left / 2));
+      if (auto got = claim_back(slabs_[victim], take)) {
+        if (stolen != nullptr) *stolen = true;
+        return got;
+      }
+      // Lost the race for that victim; rescan.
+    }
+  }
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return slabs_.size();
+  }
+
+  /// Batch size for owner claims: ~8 claims per slab keeps the CAS
+  /// traffic negligible while leaving thieves half-slabs to take.
+  [[nodiscard]] static std::size_t suggested_batch(
+      std::size_t task_count, std::size_t worker_count) noexcept {
+    return DynamicScheduler::suggested_batch(task_count, worker_count);
+  }
+
+ private:
+  struct alignas(64) Slab {
+    std::atomic<std::uint64_t> range{0};
+  };
+
+  static constexpr std::uint64_t pack(std::uint32_t begin,
+                                      std::uint32_t end) noexcept {
+    return (static_cast<std::uint64_t>(end) << 32) | begin;
+  }
+  static constexpr std::uint32_t unpack_begin(std::uint64_t packed) noexcept {
+    return static_cast<std::uint32_t>(packed);
+  }
+  static constexpr std::uint32_t unpack_end(std::uint64_t packed) noexcept {
+    return static_cast<std::uint32_t>(packed >> 32);
+  }
+
+  static std::optional<Batch> claim_front(Slab& slab,
+                                          std::size_t max_count) noexcept {
+    std::uint64_t cur = slab.range.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint32_t begin = unpack_begin(cur);
+      const std::uint32_t end = unpack_end(cur);
+      if (begin >= end) return std::nullopt;
+      const auto take = static_cast<std::uint32_t>(
+          std::min<std::size_t>(max_count, end - begin));
+      if (slab.range.compare_exchange_weak(cur, pack(begin + take, end),
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        return Batch{begin, begin + take};
+      }
+    }
+  }
+
+  static std::optional<Batch> claim_back(Slab& slab,
+                                         std::size_t max_count) noexcept {
+    std::uint64_t cur = slab.range.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint32_t begin = unpack_begin(cur);
+      const std::uint32_t end = unpack_end(cur);
+      if (begin >= end) return std::nullopt;
+      const auto take = static_cast<std::uint32_t>(
+          std::min<std::size_t>(max_count, end - begin));
+      if (slab.range.compare_exchange_weak(cur, pack(begin, end - take),
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        return Batch{end - take, end};
+      }
+    }
+  }
+
+  std::vector<Slab> slabs_;
   std::size_t count_;
 };
 

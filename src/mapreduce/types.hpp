@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace mcsd::mr {
 
@@ -75,9 +76,15 @@ struct Options {
   /// Number of map/reduce worker threads (the emulated core count).
   std::size_t num_workers = 2;
 
-  /// Reduce-side keyspace buckets.  0 selects 4 * num_workers, enough
-  /// slack for dynamic load balancing across skewed key distributions.
+  /// Reduce-side keyspace buckets.  0 selects kDefaultReduceBuckets — a
+  /// constant, deliberately *independent of worker count*: with a fixed
+  /// keyspace split, bucket geometry (and therefore bucket-order output)
+  /// is identical at any parallelism level, and per-bucket reduce work
+  /// stops growing as workers are added.  32 buckets leave ample dynamic
+  /// load-balancing slack up to 8 workers.
   std::size_t num_reduce_buckets = 0;
+
+  static constexpr std::size_t kDefaultReduceBuckets = 32;
 
   /// Map-side memory budget in bytes; 0 disables enforcement.  Models the
   /// RAM of the storage node running the job.
@@ -91,8 +98,16 @@ struct Options {
   /// bucket order (deterministic for a fixed bucket count).
   bool sort_output_by_key = false;
 
+  /// When true the map phase attributes cycles per worker: tokenize vs
+  /// hash vs combine-probe (reported by the emitter's batched emit path)
+  /// plus chunk-claim/steal time, into Metrics::map_workers.  Costs a few
+  /// steady_clock reads per emit batch — off by default so throughput
+  /// runs measure the uninstrumented loop; benches flip it on for one
+  /// attribution pass.
+  bool attribute_map_cycles = false;
+
   [[nodiscard]] std::size_t effective_reduce_buckets() const noexcept {
-    return num_reduce_buckets != 0 ? num_reduce_buckets : 4 * num_workers;
+    return num_reduce_buckets != 0 ? num_reduce_buckets : kDefaultReduceBuckets;
   }
 
   [[nodiscard]] std::uint64_t usable_budget() const noexcept {
@@ -112,6 +127,24 @@ struct Options {
   }
 };
 
+/// Per-worker map-phase attribution.  Wall vs CPU seconds separate "the
+/// worker was slow" from "the worker was descheduled" (on a host with
+/// fewer cores than workers the two diverge wildly — the whole point of
+/// recording both).  The tokenize/hash/probe/claim timing split is filled
+/// only when Options.attribute_map_cycles is set; chunk/steal/emit counts
+/// are always on (they cost one addition per scheduler round).
+struct MapWorkerStats {
+  double wall_seconds = 0.0;      ///< worker body wall time
+  double cpu_seconds = 0.0;       ///< worker body thread CPU time
+  double tokenize_seconds = 0.0;  ///< map fn outside the emitter (attribution)
+  double hash_seconds = 0.0;      ///< batched key hashing (attribution)
+  double probe_seconds = 0.0;     ///< combiner probe/insert (attribution)
+  double claim_seconds = 0.0;     ///< scheduler claims incl. steal scans
+  std::size_t chunks = 0;         ///< chunks this worker mapped
+  std::size_t steals = 0;         ///< batches taken from another slab
+  std::size_t emits = 0;          ///< raw emits from this worker
+};
+
 /// Per-phase wall-clock timings and volume counters, filled by the engine.
 struct Metrics {
   double split_seconds = 0.0;
@@ -126,6 +159,19 @@ struct Metrics {
   std::uint64_t peak_intermediate_bytes = 0;
   /// Post-combine emitter bytes summed over workers (excludes input).
   std::uint64_t map_intermediate_bytes = 0;
+  /// Per-worker map-phase attribution (size == num_workers after run()).
+  std::vector<MapWorkerStats> map_workers;
+
+  [[nodiscard]] double map_cpu_seconds() const noexcept {
+    double total = 0.0;
+    for (const auto& w : map_workers) total += w.cpu_seconds;
+    return total;
+  }
+  [[nodiscard]] std::size_t map_steals() const noexcept {
+    std::size_t total = 0;
+    for (const auto& w : map_workers) total += w.steals;
+    return total;
+  }
 
   [[nodiscard]] double total_seconds() const noexcept {
     return split_seconds + map_seconds + reduce_seconds + merge_seconds;

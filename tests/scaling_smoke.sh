@@ -1,0 +1,52 @@
+#!/bin/sh
+# Scaling smoke: a reduced-size mapreduce bench run must (a) record the
+# per-worker scaling-anatomy fields, (b) produce byte-identical engine
+# output across the measured worker counts, and (c) show core-aware
+# parallel efficiency of at least 0.5 at 4 workers.  The full bench run
+# records ~1.0, so the 0.5 gate trips on genuine scaling regressions
+# (a reintroduced shared cursor, a reduce phase growing with N) rather
+# than runner noise; efficiency is normalised by min(workers, host_cores),
+# so an oversubscribed CI runner measures the engine, not the host.
+#
+# Usage: scaling_smoke.sh [tools-binary-dir]
+set -eu
+
+if [ "$#" -ge 1 ]; then
+  TOOLS_DIR="$1"
+else
+  repo_root=$(cd "$(dirname "$0")/.." && pwd)
+  TOOLS_DIR=""
+  for candidate in "$repo_root"/build*/tools "$repo_root"/build*/*/tools; do
+    [ -x "$candidate/bench_record" ] && TOOLS_DIR="$candidate"
+  done
+  if [ -z "$TOOLS_DIR" ]; then
+    echo "cannot find bench_record; build first or pass the directory"
+    exit 1
+  fi
+fi
+
+out=BENCH_scaling_smoke.json
+rm -f "$out"
+"$TOOLS_DIR/bench_record" --suite mapreduce --bytes 2M --reps 3 \
+    --workers 1,4 --label scaling-smoke --out "$out" > /dev/null
+
+for needle in host_cores "map_cpu_ms/4" "map_steals/4" \
+    "scaling_efficiency/4" "wall_scaling_efficiency/4" \
+    "wordcount_tokenize_ms/4" "wordcount_hash_ms/4" "wordcount_probe_ms/4" \
+    "wordcount_map_mb_s/4" output_identical_across_workers; do
+  grep -q "$needle" "$out" || {
+    echo "$out: missing '$needle'"; exit 1;
+  }
+done
+
+grep -q '"output_identical_across_workers": true' "$out" || {
+  echo "engine output differs across worker counts"; exit 1;
+}
+
+eff=$(sed -n 's/.*"scaling_efficiency\/4": \([0-9.]*\).*/\1/p' "$out" | tail -1)
+[ -n "$eff" ] || { echo "cannot parse scaling_efficiency/4"; exit 1; }
+awk -v e="$eff" 'BEGIN { exit (e >= 0.5) ? 0 : 1 }' || {
+  echo "scaling_efficiency/4 = $eff < 0.5"; exit 1;
+}
+
+echo "scaling smoke passed (scaling_efficiency/4 = $eff)"

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/hash.hpp"
+
 namespace mcsd {
 namespace {
 
@@ -84,6 +90,176 @@ TEST(CharClasses, WordChars) {
   EXPECT_TRUE(is_word_char('0'));
   EXPECT_FALSE(is_word_char(' '));
   EXPECT_FALSE(is_word_char('-'));
+}
+
+// ---------------------------------------------------------------------------
+// SWAR property tests: every vectorised helper byte-identical to its
+// scalar reference over random and adversarial inputs.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> words_scalar(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !is_word_char(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && is_word_char(text[i])) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string> words_swar(std::string_view text) {
+  std::vector<std::string> out;
+  for_each_word(text, [&](std::string_view token) {
+    out.emplace_back(token);
+  });
+  return out;
+}
+
+std::string lower_scalar(std::string_view text) {
+  std::string out{text};
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 0x20);
+  }
+  return out;
+}
+
+std::string lower_swar(std::string_view text) {
+  std::vector<char> buf;
+  to_lower_ascii(text, buf);
+  return std::string{buf.data(), buf.size()};
+}
+
+TEST(SwarClasses, WordClassMask8MatchesScalarForEveryByte) {
+  for (int b = 0; b < 256; ++b) {
+    const auto byte = static_cast<std::uint64_t>(b);
+    // Place the byte in every lane position; neighbours are 0x00.
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      const std::uint64_t block = byte << (8 * lane);
+      const std::uint64_t mask = swar::word_class_mask8(block);
+      const bool expect = is_word_char(static_cast<char>(b));
+      EXPECT_EQ((mask >> (8 * lane + 7)) & 1, expect ? 1u : 0u)
+          << "byte=" << b << " lane=" << lane;
+    }
+  }
+}
+
+TEST(SwarClasses, Movemask8GathersEveryLaneSubset) {
+  for (unsigned subset = 0; subset < 256; ++subset) {
+    std::uint64_t lane_mask = 0;
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      if (subset & (1u << lane)) {
+        lane_mask |= std::uint64_t{0x80} << (8 * lane);
+      }
+    }
+    EXPECT_EQ(swar::movemask8(lane_mask), subset);
+  }
+}
+
+TEST(ForEachWord, MatchesScalarOnRandomByteSoup) {
+  // Full byte range (including >= 0x80: UTF-8 continuation bytes must
+  // classify as delimiters), lengths straddling the 64-byte stripe size.
+  std::mt19937 rng{0xC0FFEEu};
+  std::uniform_int_distribution<int> byte_dist{0, 255};
+  for (int round = 0; round < 200; ++round) {
+    std::uniform_int_distribution<std::size_t> len_dist{0, 300};
+    std::string text(len_dist(rng), '\0');
+    for (char& c : text) c = static_cast<char>(byte_dist(rng));
+    EXPECT_EQ(words_swar(text), words_scalar(text)) << "round=" << round;
+  }
+}
+
+TEST(ForEachWord, MatchesScalarOnWordLikeCorpus) {
+  std::mt19937 rng{1234u};
+  std::uniform_int_distribution<int> word_len{1, 20};
+  std::uniform_int_distribution<int> ch{0, 25};
+  std::string text;
+  for (int w = 0; w < 4'000; ++w) {
+    const int len = word_len(rng);
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>((w % 3 == 0 ? 'A' : 'a') + ch(rng));
+    }
+    text += (w % 7 == 0) ? '\n' : ' ';
+  }
+  EXPECT_EQ(words_swar(text), words_scalar(text));
+}
+
+TEST(ForEachWord, TokensSpanningStripeBoundaries) {
+  // Adversarial: maximal runs placed so they open, span, and close
+  // 64-byte stripes, including runs longer than several stripes.
+  for (std::size_t word_len :
+       {1u, 7u, 63u, 64u, 65u, 127u, 128u, 129u, 200u, 1000u}) {
+    for (std::size_t lead : {0u, 1u, 62u, 63u, 64u, 65u}) {
+      std::string text(lead, ' ');
+      text += std::string(word_len, 'x');
+      text += ' ';
+      text += std::string(word_len, 'y');
+      EXPECT_EQ(words_swar(text), words_scalar(text))
+          << "word_len=" << word_len << " lead=" << lead;
+    }
+  }
+  // No trailing delimiter: the final token must still close.
+  const std::string open_tail = std::string(70, ' ') + std::string(130, 'z');
+  EXPECT_EQ(words_swar(open_tail), words_scalar(open_tail));
+  // Degenerate stripes.
+  EXPECT_TRUE(words_swar("").empty());
+  EXPECT_TRUE(words_swar(std::string(256, ' ')).empty());
+  const std::string all_word(256, 'a');
+  EXPECT_EQ(words_swar(all_word), words_scalar(all_word));
+}
+
+TEST(ToLowerAscii, MatchesScalarOnAllBytes) {
+  std::string all;
+  for (int b = 0; b < 256; ++b) all += static_cast<char>(b);
+  all += all;  // exercise the 8-byte loop across repeats
+  EXPECT_EQ(lower_swar(all), lower_scalar(all));
+}
+
+TEST(ToLowerAscii, MatchesScalarOnRandomInputsIncludingTails) {
+  std::mt19937 rng{77u};
+  std::uniform_int_distribution<int> byte_dist{0, 255};
+  for (std::size_t len = 0; len < 40; ++len) {
+    std::string text(len, '\0');
+    for (char& c : text) c = static_cast<char>(byte_dist(rng));
+    EXPECT_EQ(lower_swar(text), lower_scalar(text)) << "len=" << len;
+  }
+}
+
+TEST(Fnv1aX4, LanesMatchScalarHashes) {
+  // The batched emit path reuses fnv1a_x4 output for routing, probes and
+  // grouping, so every lane must equal fnv1a() exactly — including
+  // length-skewed and empty lanes.
+  std::mt19937 rng{42u};
+  std::uniform_int_distribution<int> byte_dist{0, 255};
+  std::uniform_int_distribution<std::size_t> len_dist{0, 40};
+  for (int round = 0; round < 200; ++round) {
+    std::string backing[4];
+    std::string_view keys[4];
+    for (int l = 0; l < 4; ++l) {
+      backing[l].resize(len_dist(rng));
+      for (char& c : backing[l]) c = static_cast<char>(byte_dist(rng));
+      keys[l] = backing[l];
+    }
+    std::uint64_t out[4];
+    fnv1a_x4(keys, out);
+    for (int l = 0; l < 4; ++l) {
+      EXPECT_EQ(out[l], fnv1a(keys[l])) << "round=" << round << " lane=" << l;
+    }
+  }
+}
+
+TEST(ForEachLine, SharedIteratorReportsAbsoluteOffsets) {
+  std::vector<std::pair<std::string, std::uint64_t>> lines;
+  for_each_line("ab\nc\n\nlast", 100,
+                [&](std::string_view line, std::uint64_t off) {
+                  lines.emplace_back(std::string{line}, off);
+                });
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], (std::pair<std::string, std::uint64_t>{"ab", 100}));
+  EXPECT_EQ(lines[1], (std::pair<std::string, std::uint64_t>{"c", 103}));
+  EXPECT_EQ(lines[2], (std::pair<std::string, std::uint64_t>{"", 105}));
+  EXPECT_EQ(lines[3], (std::pair<std::string, std::uint64_t>{"last", 106}));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <string>
 
 #include "apps/datagen.hpp"
@@ -84,10 +85,15 @@ TEST(Engine, OptionsValidation) {
   EXPECT_THROW(Engine<WordCountSpec>{bad_fraction}, std::invalid_argument);
 }
 
-TEST(Engine, ReduceBucketsDefaultScalesWithWorkers) {
+TEST(Engine, ReduceBucketsDefaultIsWorkerCountIndependent) {
+  // A fixed default keyspace split keeps bucket geometry — and therefore
+  // bucket-order output — identical at any parallelism level, and stops
+  // per-job reduce work from growing as workers are added.
   Options opts;
   opts.num_workers = 3;
-  EXPECT_EQ(opts.effective_reduce_buckets(), 12u);
+  EXPECT_EQ(opts.effective_reduce_buckets(), Options::kDefaultReduceBuckets);
+  opts.num_workers = 8;
+  EXPECT_EQ(opts.effective_reduce_buckets(), Options::kDefaultReduceBuckets);
   opts.num_reduce_buckets = 5;
   EXPECT_EQ(opts.effective_reduce_buckets(), 5u);
 }
@@ -298,6 +304,56 @@ TEST(Emitter, ResetAndReuseProducesIdenticalContents) {
   EXPECT_EQ(emitter.stored(), first_stored);
 }
 
+TEST(Emitter, BatchedEmitMatchesPerTokenEmit) {
+  // emit_batch must be observationally identical to per-token emit():
+  // same contents, same counters, same byte accounting — it only changes
+  // how hashing and probing are scheduled.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 300; ++i) {
+    corpus.push_back("tok-" + std::to_string(i % 37));
+  }
+  std::vector<std::string_view> views{corpus.begin(), corpus.end()};
+
+  Emitter<std::string, std::uint64_t> scalar{8};
+  scalar.set_combiner(nullptr, sum_combiner);
+  for (const auto& v : views) scalar.emit(v, 1);
+
+  Emitter<std::string, std::uint64_t> batched{8};
+  batched.set_combiner(nullptr, sum_combiner);
+  std::size_t i = 0;
+  while (i < views.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        Emitter<std::string, std::uint64_t>::kMaxBatch, views.size() - i);
+    batched.emit_batch(std::span<const std::string_view>{&views[i], n}, 1);
+    i += n;
+  }
+
+  EXPECT_EQ(batched.count(), scalar.count());
+  EXPECT_EQ(batched.stored(), scalar.stored());
+  EXPECT_EQ(batched.bytes(), scalar.bytes());
+  EXPECT_EQ(emitter_contents(batched), emitter_contents(scalar));
+}
+
+TEST(Emitter, AbsorbBucketFoldsAcrossEmitters) {
+  // The reduce phase's cross-worker merge: absorbing src's bucket must
+  // yield the same per-key sums as emitting everything into one emitter.
+  Emitter<std::string, std::uint64_t> a{4};
+  Emitter<std::string, std::uint64_t> b{4};
+  a.set_combiner(nullptr, sum_combiner);
+  b.set_combiner(nullptr, sum_combiner);
+  for (int i = 0; i < 500; ++i) {
+    a.emit(std::string_view{"key-" + std::to_string(i % 60)}, 1);
+    b.emit(std::string_view{"key-" + std::to_string(i % 90)}, 2);
+  }
+  std::map<std::string, std::uint64_t> expected = emitter_contents(a);
+  for (const auto& [key, value] : emitter_contents(b)) expected[key] += value;
+
+  for (std::size_t bucket = 0; bucket < a.bucket_count(); ++bucket) {
+    a.absorb_bucket(bucket, b);
+  }
+  EXPECT_EQ(emitter_contents(a), expected);
+}
+
 TEST(Emitter, BudgetMetersArenaBytesNotStringCapacity) {
   // Arena accounting: the meter charges exactly the key bytes copied into
   // the arena (plus the pair), never std::string header/capacity, and the
@@ -347,6 +403,91 @@ TEST(DynamicScheduler, SuggestedBatchKeepsStealingGranularity) {
 }
 
 // ---------------------------------------------------------------------------
+// LocalityScheduler: contiguous slabs, owner-front claims, thief-back
+// steals.
+// ---------------------------------------------------------------------------
+
+TEST(LocalityScheduler, EveryIndexClaimedExactlyOnce) {
+  LocalityScheduler sched{103, 4};
+  std::vector<int> seen(103, 0);
+  // Round-robin the workers so everyone both drains its slab and steals.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t w = 0; w < 4; ++w) {
+      bool stolen = false;
+      if (auto b = sched.claim(w, 5, &stolen)) {
+        any = true;
+        EXPECT_LT(b->begin, b->end);
+        EXPECT_LE(b->end, 103u);
+        for (std::size_t i = b->begin; i < b->end; ++i) ++seen[i];
+      }
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+  bool stolen = false;
+  EXPECT_FALSE(sched.claim(0, 5, &stolen).has_value());
+}
+
+TEST(LocalityScheduler, OwnSlabClaimsAreContiguousAndFrontToBack) {
+  // 40 tasks, 4 workers: worker 1 owns [10, 20) and must walk it in
+  // order — the sequential-streaming property the map phase relies on.
+  LocalityScheduler sched{40, 4};
+  std::size_t expected = 10;
+  bool stolen = true;
+  while (expected < 20) {
+    const auto b = sched.claim(1, 3, &stolen);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_FALSE(stolen);
+    EXPECT_EQ(b->begin, expected);
+    expected = b->end;
+    ASSERT_LE(expected, 20u);
+  }
+  EXPECT_EQ(expected, 20u);
+}
+
+TEST(LocalityScheduler, DrySlabStealsFromBackOfFullestVictim) {
+  LocalityScheduler sched{32, 2};  // worker 0: [0,16), worker 1: [16,32)
+  // Drain worker 1's slab: four claims of four tasks each.
+  bool stolen = false;
+  for (int i = 0; i < 4; ++i) {
+    const auto b = sched.claim(1, 4, &stolen);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_FALSE(stolen);
+  }
+  // Worker 1's next claims must be steals from the *back* of worker 0's
+  // untouched slab, at most half the remainder at a time.
+  stolen = false;
+  const auto theft = sched.claim(1, 4, &stolen);
+  ASSERT_TRUE(theft.has_value());
+  EXPECT_TRUE(stolen);
+  EXPECT_EQ(theft->end, 16u);  // back end of victim's slab
+  EXPECT_LE(theft->end - theft->begin, 8u);  // at most half of 16 left
+  // The owner still claims its front unperturbed.
+  const auto own = sched.claim(0, 4, &stolen);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_FALSE(stolen);
+  EXPECT_EQ(own->begin, 0u);
+}
+
+TEST(LocalityScheduler, HandlesFewerTasksThanWorkers) {
+  LocalityScheduler sched{3, 8};
+  std::vector<int> seen(3, 0);
+  for (std::size_t w = 0; w < 8; ++w) {
+    while (auto b = sched.claim(w, 2)) {
+      for (std::size_t i = b->begin; i < b->end; ++i) ++seen[i];
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(LocalityScheduler, EmptyTaskSpaceYieldsNothing) {
+  LocalityScheduler sched{0, 4};
+  EXPECT_FALSE(sched.claim(0, 8).has_value());
+  EXPECT_FALSE(sched.claim(3, 8).has_value());
+}
+
+// ---------------------------------------------------------------------------
 // Engine worker-state reuse.
 // ---------------------------------------------------------------------------
 
@@ -378,6 +519,74 @@ TEST(Engine, ReusedWorkerStateProducesIdenticalOutputAcrossRuns) {
   EXPECT_EQ(to_map(second_a), to_map(first_a));
   EXPECT_EQ(to_map(first_b), to_map(fresh_b));
   EXPECT_EQ(to_map(first_a), to_map(apps::wordcount_sequential(text_a)));
+}
+
+TEST(Engine, OutputByteIdenticalAcrossWorkerCounts) {
+  // Acceptance property: with the default (fixed) bucket geometry, the
+  // engine's bucket-order output — not just its key->count map — must be
+  // identical at 1, 2 and 4 workers, and stable across runs on a reused
+  // engine.
+  apps::CorpusOptions corpus;
+  corpus.bytes = 128 * 1024;
+  corpus.vocabulary = 400;
+  const std::string text = apps::generate_corpus(corpus);
+  const auto chunks = split_text(text, 8 * 1024);
+
+  std::vector<std::vector<KV<std::string, std::uint64_t>>> outputs;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    Options opts;
+    opts.num_workers = workers;
+    Engine<WordCountSpec> engine{opts};
+    auto first = engine.run(WordCountSpec{}, chunks);
+    const auto second = engine.run(WordCountSpec{}, chunks);  // reused state
+    EXPECT_EQ(first, second) << "reused-engine drift at workers=" << workers;
+    outputs.push_back(std::move(first));
+  }
+  EXPECT_EQ(outputs[1], outputs[0]) << "2 workers != 1 worker";
+  EXPECT_EQ(outputs[2], outputs[0]) << "4 workers != 1 worker";
+}
+
+TEST(Engine, MapWorkerStatsAttributeTheMapPhase) {
+  apps::CorpusOptions corpus;
+  corpus.bytes = 256 * 1024;
+  corpus.vocabulary = 500;
+  const std::string text = apps::generate_corpus(corpus);
+
+  Options opts;
+  opts.num_workers = 2;
+  opts.attribute_map_cycles = true;
+  Engine<WordCountSpec> engine{opts};
+  Metrics metrics;
+  engine.run(WordCountSpec{}, split_text(text, 8 * 1024), 0, &metrics);
+
+  ASSERT_EQ(metrics.map_workers.size(), 2u);
+  std::size_t chunks = 0, emits = 0;
+  double attributed = 0.0;
+  for (const auto& w : metrics.map_workers) {
+    chunks += w.chunks;
+    emits += w.emits;
+    attributed += w.tokenize_seconds + w.hash_seconds + w.probe_seconds;
+    EXPECT_GE(w.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(chunks, metrics.chunks);
+  EXPECT_EQ(emits, metrics.map_emits);
+  EXPECT_GT(attributed, 0.0);
+#if defined(__linux__) || defined(__APPLE__)
+  EXPECT_GT(metrics.map_cpu_seconds(), 0.0);
+#endif
+  // Attribution is strictly opt-in: without the flag the split stays 0.
+  Options plain = opts;
+  plain.attribute_map_cycles = false;
+  Engine<WordCountSpec> plain_engine{plain};
+  Metrics plain_metrics;
+  plain_engine.run(WordCountSpec{}, split_text(text, 8 * 1024), 0,
+                   &plain_metrics);
+  double plain_attributed = 0.0;
+  for (const auto& w : plain_metrics.map_workers) {
+    plain_attributed += w.tokenize_seconds + w.hash_seconds + w.probe_seconds +
+                        w.claim_seconds;
+  }
+  EXPECT_EQ(plain_attributed, 0.0);
 }
 
 TEST(Engine, ReleaseWorkerStateKeepsResultsCorrect) {
