@@ -34,10 +34,12 @@ std::size_t request_workers(const KeyValueMap& params,
 }  // namespace
 
 std::shared_ptr<fam::Module> make_wordcount_module(
-    std::size_t default_workers) {
+    std::size_t default_workers, std::shared_ptr<storage::BufferManager> pool) {
   return std::make_shared<fam::FunctionModule>(
       "wordcount",
-      [default_workers](const KeyValueMap& params) -> Result<KeyValueMap> {
+      [default_workers,
+       pool = std::move(pool)](const KeyValueMap& params)
+          -> Result<KeyValueMap> {
         const auto input = params.get("input");
         if (!input) return Error{ErrorCode::kInvalidArgument, "missing input"};
 
@@ -50,6 +52,7 @@ std::shared_ptr<fam::Module> make_wordcount_module(
         popts.partition_size = static_cast<std::uint64_t>(
             params.get_int_or("partition_size", 0));
         popts.prefetch = params.get_bool("pipeline").value_or(true);
+        popts.pool = pool;  // daemon-resident: warm across invocations
         part::TextJob<WordCountSpec> job;
         job.incremental_merge =
             part::sum_incremental<std::string, std::uint64_t>();
@@ -86,10 +89,12 @@ std::shared_ptr<fam::Module> make_wordcount_module(
 }
 
 std::shared_ptr<fam::Module> make_stringmatch_module(
-    std::size_t default_workers) {
+    std::size_t default_workers, std::shared_ptr<storage::BufferManager> pool) {
   return std::make_shared<fam::FunctionModule>(
       "stringmatch",
-      [default_workers](const KeyValueMap& params) -> Result<KeyValueMap> {
+      [default_workers,
+       pool = std::move(pool)](const KeyValueMap& params)
+          -> Result<KeyValueMap> {
         const auto input = params.get("input");
         const auto keys_csv = params.get("keys");
         if (!input || !keys_csv) {
@@ -113,6 +118,7 @@ std::shared_ptr<fam::Module> make_stringmatch_module(
             params.get_int_or("partition_size", 0));
         popts.is_delimiter = part::newline_delimiter();
         popts.prefetch = params.get_bool("pipeline").value_or(true);
+        popts.pool = pool;  // daemon-resident: warm across invocations
         part::TextJob<StringMatchSpec> job;
         job.chunker = [](std::string_view text) {
           return mr::split_lines(text, 64 * 1024);

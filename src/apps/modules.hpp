@@ -31,17 +31,23 @@
 #include "apps/matmul.hpp"
 #include "apps/wordcount.hpp"
 #include "fam/module.hpp"
+#include "storage/buffer_manager.hpp"
 
 namespace mcsd::apps {
 
 /// Word count (partition-enabled MapReduce).  `default_workers` is the
 /// storage node's core count; requests may lower it via workers=.
+/// `pool` serves the out-of-core fragment pages; the daemon passes its
+/// long-lived pool so repeat invocations over the same corpus run warm
+/// (null falls back to the process-wide pool).
 std::shared_ptr<fam::Module> make_wordcount_module(
-    std::size_t default_workers);
+    std::size_t default_workers,
+    std::shared_ptr<storage::BufferManager> pool = nullptr);
 
-/// String match (reduce-less MapReduce).
+/// String match (reduce-less MapReduce).  `pool` as for wordcount.
 std::shared_ptr<fam::Module> make_stringmatch_module(
-    std::size_t default_workers);
+    std::size_t default_workers,
+    std::shared_ptr<storage::BufferManager> pool = nullptr);
 
 /// Matrix multiplication; operands and result as on-disk matrix files.
 std::shared_ptr<fam::Module> make_matmul_module(std::size_t default_workers);
@@ -63,13 +69,17 @@ std::shared_ptr<fam::Module> make_sort_module(std::size_t default_workers);
 std::shared_ptr<fam::Module> make_join_module(std::size_t default_workers);
 
 /// Preloads all standard modules into a daemon-side registry consumer.
-/// Returns the first error, if any.
+/// Returns the first error, if any.  `pool` is threaded into the
+/// out-of-core modules (wordcount, stringmatch); pass
+/// Daemon::buffer_pool() so their corpus pages survive across
+/// invocations.
 template <typename PreloadFn>
-Status preload_standard_modules(PreloadFn&& preload,
-                                std::size_t default_workers) {
+Status preload_standard_modules(
+    PreloadFn&& preload, std::size_t default_workers,
+    std::shared_ptr<storage::BufferManager> pool = nullptr) {
   for (auto module :
-       {make_wordcount_module(default_workers),
-        make_stringmatch_module(default_workers),
+       {make_wordcount_module(default_workers, pool),
+        make_stringmatch_module(default_workers, pool),
         make_matmul_module(default_workers),
         make_select_module(default_workers),
         make_sort_module(default_workers),

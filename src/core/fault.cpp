@@ -48,6 +48,9 @@ constexpr SiteKindName kWriteKinds[] = {{"eio", Kind::kEio},
                                         {"delay", Kind::kDelayedRename}};
 constexpr SiteKindName kRefillKinds[] = {{"eio", Kind::kEio}};
 constexpr SiteKindName kWatchKinds[] = {{"suppress", Kind::kSuppressEvent}};
+constexpr SiteKindName kStorageReadKinds[] = {{"eio", Kind::kEio}};
+constexpr SiteKindName kStorageWriteKinds[] = {{"eio", Kind::kEio},
+                                               {"enospc", Kind::kEnospc}};
 
 struct SiteTable {
   std::string_view token;
@@ -61,6 +64,10 @@ constexpr SiteTable kSites[] = {
     {"write", Site::kWriteFile, kWriteKinds, std::size(kWriteKinds)},
     {"refill", Site::kRefill, kRefillKinds, std::size(kRefillKinds)},
     {"watch", Site::kWatchEvent, kWatchKinds, std::size(kWatchKinds)},
+    {"sread", Site::kStorageRead, kStorageReadKinds,
+     std::size(kStorageReadKinds)},
+    {"swrite", Site::kStorageWrite, kStorageWriteKinds,
+     std::size(kStorageWriteKinds)},
 };
 
 Result<Rule> parse_rule(std::string_view key, std::string_view value) {
@@ -146,6 +153,8 @@ std::string_view to_string(Site site) noexcept {
     case Site::kWriteFile: return "write";
     case Site::kRefill: return "refill";
     case Site::kWatchEvent: return "watch";
+    case Site::kStorageRead: return "sread";
+    case Site::kStorageWrite: return "swrite";
   }
   return "unknown";
 }
@@ -206,6 +215,7 @@ FaultPlan FaultPlan::default_plan(std::uint64_t seed) {
       "read.eio=0.03,read.torn=0.03,"
       "write.eio=0.03,write.torn=0.03,write.short=0.02,write.enospc=0.01,"
       "write.delay=0.05,refill.eio=0.05,watch.suppress=0.10,"
+      "sread.eio=0.04,swrite.eio=0.02,swrite.enospc=0.01,"
       "rename_delay_ms=5");
   FaultPlan plan = parsed.value();  // the literal above must parse
   plan.seed = seed;

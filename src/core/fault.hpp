@@ -43,12 +43,14 @@ namespace mcsd::fault {
 
 /// Instrumented operations.
 enum class Site : std::uint8_t {
-  kReadFile,    ///< core/io read_file
-  kWriteFile,   ///< core/io write_file_atomic
-  kRefill,      ///< ChunkedFileReader buffer refill
-  kWatchEvent,  ///< fam watcher change-event delivery
+  kReadFile,      ///< core/io read_file
+  kWriteFile,     ///< core/io write_file_atomic
+  kRefill,        ///< ChunkedFileReader buffer refill
+  kWatchEvent,    ///< fam watcher change-event delivery
+  kStorageRead,   ///< storage buffer pool page load (pread)
+  kStorageWrite,  ///< storage buffer pool dirty-page write-back (pwrite)
 };
-inline constexpr std::size_t kSiteCount = 4;
+inline constexpr std::size_t kSiteCount = 6;
 
 /// What goes wrong.  Not every kind applies to every site; FaultPlan
 /// parsing rejects impossible pairs.
@@ -98,8 +100,9 @@ struct FaultPlan {
   /// Parses a plan from key=value records.  Keys:
   ///   seed=<u64>  rename_delay_ms=<int>  path_filter=<substring>
   ///   <site>.<kind>=<probability in [0,1]> | @s1[+s2...]   (1-based steps)
-  /// Sites: read write refill watch.  Kinds: eio torn short enospc delay
-  /// suppress.  Unknown keys or impossible site/kind pairs error.
+  /// Sites: read write refill watch sread swrite.  Kinds: eio torn short
+  /// enospc delay suppress.  Unknown keys or impossible site/kind pairs
+  /// error.
   static Result<FaultPlan> from_config(const KeyValueMap& config);
 
   /// Convenience: "none"/"" (empty plan), "default" (the standard soak

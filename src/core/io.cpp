@@ -132,12 +132,33 @@ Result<ChunkedFileReader> ChunkedFileReader::open(const fs::path& path,
   return ChunkedFileReader{std::move(in), path.string(), buffer_bytes};
 }
 
+Result<ChunkedFileReader> ChunkedFileReader::open_with_source(
+    std::shared_ptr<RandomAccessSource> source, std::string name,
+    std::size_t buffer_bytes) {
+  if (!source) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "open_with_source: null source for " + name};
+  }
+  return ChunkedFileReader{std::move(source), std::move(name), buffer_bytes};
+}
+
 Status ChunkedFileReader::fill_once(std::string& out) {
   if (fault::check(fault::Site::kRefill, path_).kind == fault::Kind::kEio) {
     return Status{ErrorCode::kIoError, "injected EIO on " + path_};
   }
   const std::size_t before = out.size();
   out.resize(before + buffer_bytes_);
+  if (source_) {
+    auto got = source_->read_at(file_pos_, out.data() + before, buffer_bytes_);
+    if (!got.is_ok()) {
+      out.resize(before);
+      return Status{got.error().code(), got.error().message()};
+    }
+    out.resize(before + got.value());
+    if (got.value() < buffer_bytes_) eof_ = true;  // short read == EOF
+    file_pos_ += static_cast<std::uint64_t>(got.value());
+    return Status::ok();
+  }
   in_.read(out.data() + before, static_cast<std::streamsize>(buffer_bytes_));
   const auto got = in_.gcount();
   out.resize(before + static_cast<std::size_t>(got));
@@ -157,9 +178,13 @@ Status ChunkedFileReader::fill(std::string& out) {
     last = fill_once(out);
     if (last.is_ok()) return last;
     // Transient failure: rewind to the last byte known good and retry.
+    // (Source mode is positioned — file_pos_ never advanced — so only
+    // the ifstream needs its error state cleared and cursor restored.)
     out.resize(before);
-    in_.clear();
-    in_.seekg(static_cast<std::streamoff>(file_pos_));
+    if (!source_) {
+      in_.clear();
+      in_.seekg(static_cast<std::streamoff>(file_pos_));
+    }
   }
   return last;
 }

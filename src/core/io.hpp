@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -41,6 +42,24 @@ Status write_file_atomic(const std::filesystem::path& path,
 /// File size in bytes, or kNotFound.
 Result<std::uint64_t> file_size(const std::filesystem::path& path);
 
+/// Positioned-read abstraction: lets ChunkedFileReader pull its refills
+/// from something other than an ifstream — in particular from the
+/// storage buffer pool (storage::PooledFileSource), so fragment streaming
+/// is served from pinned frames that survive across runs.
+class RandomAccessSource {
+ public:
+  virtual ~RandomAccessSource() = default;
+
+  /// Reads up to `len` bytes at absolute `offset` into `dst`.  Returns
+  /// the byte count actually read; a short count means end-of-file (a
+  /// mid-file short read must be reported as an error instead).
+  virtual Result<std::size_t> read_at(std::uint64_t offset, char* dst,
+                                      std::size_t len) = 0;
+
+  /// Human-readable identity for error messages.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
 /// Streams a file as a sequence of record-aligned fragments without ever
 /// holding more than one fragment (plus the bytes carried past its cut)
 /// in memory — the I/O half of the out-of-core pipeline.
@@ -67,6 +86,13 @@ class ChunkedFileReader {
       const std::filesystem::path& path,
       std::size_t buffer_bytes = kDefaultBufferBytes);
 
+  /// Streams from `source` instead of an owned ifstream.  `name` stands
+  /// in for the path in error messages and fault-injection filtering
+  /// (Site::kRefill consumes steps identically in both modes).
+  static Result<ChunkedFileReader> open_with_source(
+      std::shared_ptr<RandomAccessSource> source, std::string name,
+      std::size_t buffer_bytes = kDefaultBufferBytes);
+
   ChunkedFileReader(ChunkedFileReader&&) = default;
   ChunkedFileReader& operator=(ChunkedFileReader&&) = default;
 
@@ -90,12 +116,23 @@ class ChunkedFileReader {
     return eof_ && carry_.empty();
   }
 
+  /// Bytes read past the previous fragment's cut and held for the next
+  /// one — the only fragment text resident inside the reader itself.
+  [[nodiscard]] std::uint64_t carry_bytes() const noexcept {
+    return carry_.size();
+  }
+
  private:
   ChunkedFileReader(std::ifstream in, std::string path,
                     std::size_t buffer_bytes)
       : in_(std::move(in)), path_(std::move(path)),
         buffer_bytes_(buffer_bytes == 0 ? kDefaultBufferBytes : buffer_bytes) {
   }
+  ChunkedFileReader(std::shared_ptr<RandomAccessSource> source,
+                    std::string name, std::size_t buffer_bytes)
+      : path_(std::move(name)),
+        buffer_bytes_(buffer_bytes == 0 ? kDefaultBufferBytes : buffer_bytes),
+        source_(std::move(source)) {}
 
   /// Appends up to one buffer of file data to `out`; sets eof_.  Retries
   /// transient failures (kReadAttempts total) from the last good offset.
@@ -106,6 +143,7 @@ class ChunkedFileReader {
   std::ifstream in_;
   std::string path_;
   std::size_t buffer_bytes_;
+  std::shared_ptr<RandomAccessSource> source_;  ///< non-null in source mode
   std::string carry_;  ///< bytes read past the previous fragment's cut
   std::uint64_t next_offset_ = 0;
   std::uint64_t file_pos_ = 0;  ///< bytes successfully read off the file

@@ -3,6 +3,7 @@
 #include "core/io.hpp"
 #include "core/log.hpp"
 #include "core/stopwatch.hpp"
+#include "core/units.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
@@ -31,6 +32,13 @@ Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config) {
                      "dispatch_threads must be >= 1"};
       }
       options.dispatch_threads = static_cast<std::size_t>(threads.value());
+    } else if (key == "pool_bytes") {
+      auto bytes = parse_bytes(value);
+      if (!bytes) return bytes.error();
+      if (bytes.value() == 0) {
+        return Error{ErrorCode::kInvalidArgument, "pool_bytes must be > 0"};
+      }
+      options.pool_bytes = static_cast<std::size_t>(bytes.value());
     } else if (key == "backend") {
       if (value == "polling") {
         options.backend = WatcherBackend::kPolling;
@@ -49,6 +57,9 @@ Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config) {
 }
 
 Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  storage::PoolOptions pool_options;
+  if (options_.pool_bytes != 0) pool_options.pool_bytes = options_.pool_bytes;
+  pool_ = std::make_shared<storage::BufferManager>(pool_options);
   fs::create_directories(options_.log_dir);
   const auto callback = [this](const fs::path& path) {
     on_file_change(path);

@@ -22,6 +22,7 @@
 #include "fam/module.hpp"
 #include "fam/protocol.hpp"
 #include "fam/watcher.hpp"
+#include "storage/buffer_manager.hpp"
 
 namespace mcsd::fam {
 
@@ -49,13 +50,18 @@ struct DaemonOptions {
   /// the storage node (<= its core count).
   std::size_t dispatch_threads = 1;
   WatcherBackend backend = WatcherBackend::kPolling;
+  /// Capacity of the daemon's buffer pool (storage tier).  0 keeps the
+  /// storage::PoolOptions default.  The pool lives as long as the daemon,
+  /// so file pages loaded by one module invocation serve the next one
+  /// warm — the smart-storage node's DRAM working set.
+  std::size_t pool_bytes = 0;
 };
 
 /// Builds DaemonOptions from a core/config KeyValueMap (the same
 /// key=value record syntax the smartFAM channel itself speaks).
 /// Recognised keys, all optional:
 ///   log_dir=<path>  poll_interval_ms=<int>=2  dispatch_threads=<int>=1
-///   backend=polling|inotify
+///   backend=polling|inotify  pool_bytes=<bytes, units ok: "128MiB">
 /// Unknown keys error (a typo must not silently run defaults).
 Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config);
 
@@ -88,6 +94,14 @@ class Daemon {
   }
   [[nodiscard]] const ModuleRegistry& registry() const noexcept {
     return registry_;
+  }
+
+  /// The daemon-lifetime buffer pool.  Thread modules' file I/O through
+  /// it (apps::preload_standard_modules takes it) so corpus pages stay
+  /// hot across invocations; never null.
+  [[nodiscard]] const std::shared_ptr<storage::BufferManager>& buffer_pool()
+      const noexcept {
+    return pool_;
   }
 
   /// Counters for tests and monitoring.
@@ -147,6 +161,7 @@ class Daemon {
 
   DaemonOptions options_;
   ModuleRegistry registry_;
+  std::shared_ptr<storage::BufferManager> pool_;
   std::unique_ptr<Watcher> watcher_;
   WatcherBackend active_backend_ = WatcherBackend::kPolling;
   MpmcQueue<Work> pending_;

@@ -56,10 +56,19 @@ struct OutOfCoreMetrics {
                                    ///< fragment I/O (reads hidden behind
                                    ///< compute do not show up here)
   std::uint64_t peak_fragment_footprint_bytes = 0;
-  /// File path: peak bytes of fragment text resident at once (<= 2
-  /// fragments when prefetching, <= 1 serial).
+  /// File path: peak bytes of *private* fragment text resident at once
+  /// — the consumer's fragment plus the reader's carry (~1 fragment).
+  /// Pool-frame residency is accounted by the buffer pool, bounded by
+  /// its capacity.
   std::uint64_t peak_resident_fragment_bytes = 0;
   std::uint64_t bytes_streamed = 0;  ///< file path: input bytes delivered
+  // Storage-tier activity attributable to this run (file path only):
+  // pins served without new disk I/O vs page loads initiated, and frames
+  // recycled.  A warm re-run over a daemon-resident pool shows
+  // storage_misses == 0 and storage_hit_rate() == 1.
+  std::uint64_t storage_hits = 0;
+  std::uint64_t storage_misses = 0;
+  std::uint64_t storage_evictions = 0;
   std::size_t map_emits = 0;    ///< raw emits summed over fragments
   std::size_t unique_keys = 0;  ///< post-combine keys summed over fragments
   bool fell_back_to_partitioning = false;  ///< set by run_adaptive
@@ -76,6 +85,13 @@ struct OutOfCoreMetrics {
     return unique_keys == 0 ? 1.0
                             : static_cast<double>(map_emits) /
                                   static_cast<double>(unique_keys);
+  }
+
+  /// Fraction of page accesses served without initiating disk I/O.
+  [[nodiscard]] double storage_hit_rate() const noexcept {
+    const std::uint64_t total = storage_hits + storage_misses;
+    return total == 0 ? 0.0 : static_cast<double>(storage_hits) /
+                                  static_cast<double>(total);
   }
 };
 
@@ -119,13 +135,17 @@ struct PipelineOptions {
   /// OS read granularity for the streaming reader.
   std::size_t io_buffer_bytes = ChunkedFileReader::kDefaultBufferBytes;
 
-  /// Read fragment N+1 on a prefetch thread while fragment N computes.
-  /// Disable for a serial A/B baseline.
+  /// Keep ~1 fragment of pool read-ahead in flight while fragment N
+  /// computes.  Disable for a serial A/B baseline.
   bool prefetch = true;
 
-  /// Emulated sequential-read rate in MiB/s; 0 = the raw device (see
-  /// StreamOptions::read_throttle_mibps).
+  /// Emulated sequential-read rate in MiB/s applied to page *loads*;
+  /// 0 = the raw device (see StreamOptions::read_throttle_mibps).
   double read_throttle_mibps = 0.0;
+
+  /// Buffer pool serving the fragment pages; null uses the process-wide
+  /// pool.  The FAM daemon threads its long-lived pool through here.
+  std::shared_ptr<storage::BufferManager> pool;
 };
 
 namespace detail {
@@ -252,6 +272,7 @@ run_partitioned_file(mr::Engine<Spec>& engine, const Spec& spec,
   stream.io_buffer_bytes = options.io_buffer_bytes;
   stream.prefetch = options.prefetch;
   stream.read_throttle_mibps = options.read_throttle_mibps;
+  stream.pool = options.pool;
   auto source = StreamingFragmentSource::open(path, std::move(stream));
   if (!source.is_ok()) return source.error();
 
@@ -272,6 +293,10 @@ run_partitioned_file(mr::Engine<Spec>& engine, const Spec& spec,
   m.bytes_streamed = source.value().bytes_streamed();
   m.peak_resident_fragment_bytes =
       source.value().peak_resident_fragment_bytes();
+  const storage::PoolStats pool_stats = source.value().pool_stats_delta();
+  m.storage_hits = pool_stats.hits;
+  m.storage_misses = pool_stats.misses;
+  m.storage_evictions = pool_stats.evictions;
   MCSD_OBS_COUNT("part.fragments", m.fragments);
   return detail::finish_merge(job, std::move(running), std::move(accumulated),
                               m);

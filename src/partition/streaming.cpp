@@ -1,121 +1,31 @@
 #include "partition/streaming.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <condition_variable>
-#include <mutex>
-#include <optional>
-#include <thread>
 #include <utility>
 
-#include "core/stopwatch.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "storage/file_source.hpp"
 
 namespace mcsd::part {
 
-// All cross-thread state sits behind one mutex; the hot path holds it
-// only for pointer-sized bookkeeping (fragment buffers move, never copy).
+// Single-consumer by contract, and the pool's I/O threads never touch
+// this state — so no locking here at all.
 struct StreamingFragmentSource::State {
   ChunkedFileReader reader;
   StreamOptions options;
+  std::shared_ptr<storage::BufferManager> pool;
+  storage::PoolStats base;  ///< pool stats at open(), for deltas
 
-  std::mutex mutex;
-  std::condition_variable slot_filled;   // prefetcher -> consumer
-  std::condition_variable slot_emptied;  // consumer -> prefetcher
-  std::optional<OwnedFragment> slot;     // single-slot mailbox
-  bool eof = false;
-  bool stop = false;
-  std::optional<Error> error;
-
-  // Stats (guarded by mutex).
-  std::uint64_t consumer_resident_bytes = 0;  // fragment the consumer holds
-  std::uint64_t source_resident_bytes = 0;    // fragment(s) inside the source
-  std::uint64_t peak_resident_bytes = 0;
-  std::uint64_t bytes_streamed = 0;
-  std::size_t produced = 0;
-
-  // Retired consumer buffer handed back for reuse (guarded by mutex):
-  // next() parks the buffer of the fragment the consumer just finished
-  // here, and the prefetcher seeds its next read with it, so steady state
-  // rotates two fragment-sized buffers instead of paying a free+malloc
-  // of ~fragment_bytes per fragment.
-  std::string spare;
-
-  // Serial-mode sequencing (prefetch == false).
   std::size_t next_index = 0;
+  std::size_t produced = 0;
+  std::uint64_t bytes_streamed = 0;
+  std::uint64_t peak_resident_bytes = 0;
 
-  std::thread prefetcher;
-
-  State(ChunkedFileReader r, StreamOptions o)
-      : reader(std::move(r)), options(std::move(o)) {}
-
-  void note_peak_locked() {
-    peak_resident_bytes = std::max(
-        peak_resident_bytes, consumer_resident_bytes + source_resident_bytes);
-  }
-
-  /// Reads one fragment; returns false at EOF, records errors.  Called by
-  /// the prefetch thread, or by the consumer in serial mode.
-  bool read_one(OwnedFragment& frag) {
-    frag.index = next_index;
-    frag.offset = reader.next_fragment_offset();
-    Stopwatch watch;
-    const auto got = reader.next_fragment(options.fragment_bytes,
-                                          options.is_delimiter, frag.text);
-    if (!got.is_ok()) {
-      std::lock_guard lock{mutex};
-      error = got.error();
-      return false;
-    }
-    if (!got.value()) return false;
-    if (options.read_throttle_mibps > 0.0) {
-      const double modelled = static_cast<double>(frag.text.size()) /
-                              (options.read_throttle_mibps * 1024.0 * 1024.0);
-      const double pad = modelled - watch.elapsed_seconds();
-      if (pad > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(pad));
-      }
-    }
-    ++next_index;
-    return true;
-  }
-
-  void prefetch_loop() {
-    for (;;) {
-      // Double-buffer bound: do NOT start reading fragment N+1 until the
-      // consumer has emptied the slot — at most one fragment lives inside
-      // the source (parked or in flight) plus one at the consumer.
-      OwnedFragment frag;
-      {
-        std::unique_lock lock{mutex};
-        slot_emptied.wait(lock, [&] { return !slot.has_value() || stop; });
-        if (stop) return;
-        // Seed the read with the consumer's retired buffer; its capacity
-        // enters the reader's rotation (next_fragment swaps buffers with
-        // its carry) so fragment-sized allocations stop recurring.
-        frag.text = std::move(spare);
-        frag.text.clear();
-      }
-      bool have = false;
-      {
-        MCSD_OBS_SPAN("part", "part.prefetch");
-        have = read_one(frag);
-      }
-      std::unique_lock lock{mutex};
-      if (!have) {
-        eof = true;
-        slot_filled.notify_all();
-        return;
-      }
-      source_resident_bytes += frag.text.size();
-      note_peak_locked();
-      MCSD_OBS_COUNT("part.prefetch_fragments", 1);
-      if (stop) return;
-      slot = std::move(frag);
-      slot_filled.notify_all();
-    }
-  }
+  State(ChunkedFileReader r, StreamOptions o,
+        std::shared_ptr<storage::BufferManager> p)
+      : reader(std::move(r)), options(std::move(o)), pool(std::move(p)),
+        base(pool->stats()) {}
 };
 
 StreamingFragmentSource::StreamingFragmentSource(std::unique_ptr<State> state)
@@ -126,83 +36,97 @@ StreamingFragmentSource::StreamingFragmentSource(
 StreamingFragmentSource& StreamingFragmentSource::operator=(
     StreamingFragmentSource&&) noexcept = default;
 
-StreamingFragmentSource::~StreamingFragmentSource() {
-  if (!state_) return;
-  {
-    std::lock_guard lock{state_->mutex};
-    state_->stop = true;
-  }
-  state_->slot_emptied.notify_all();
-  if (state_->prefetcher.joinable()) state_->prefetcher.join();
-}
+StreamingFragmentSource::~StreamingFragmentSource() = default;
 
 Result<StreamingFragmentSource> StreamingFragmentSource::open(
     const std::filesystem::path& path, StreamOptions options) {
-  auto reader = ChunkedFileReader::open(path, options.io_buffer_bytes);
-  if (!reader.is_ok()) return reader.error();
-  auto state = std::make_unique<State>(std::move(reader).value(),
-                                       std::move(options));
-  if (state->options.prefetch) {
-    State* raw = state.get();
-    state->prefetcher = std::thread([raw] { raw->prefetch_loop(); });
+  std::shared_ptr<storage::BufferManager> pool =
+      options.pool ? options.pool : storage::process_pool();
+
+  storage::SourceOptions source_options;
+  source_options.read_throttle_mibps = options.read_throttle_mibps;
+  source_options.hint = storage::AccessHint::kSequential;
+  if (options.prefetch) {
+    // Read about one fragment ahead — the pool analogue of the old
+    // double-buffering prefetch thread.
+    const std::size_t frame = pool->frame_bytes();
+    const std::uint64_t target =
+        options.fragment_bytes == 0
+            ? 2 * frame  // whole-file fragment: modest pipelining
+            : options.fragment_bytes;
+    source_options.readahead_pages = std::max<std::size_t>(
+        1, static_cast<std::size_t>((target + frame - 1) / frame));
   }
+  auto source = storage::PooledFileSource::open(pool, path, source_options);
+  if (!source.is_ok()) return source.error();
+
+  auto reader = ChunkedFileReader::open_with_source(
+      std::move(source).value(), path.string(), options.io_buffer_bytes);
+  if (!reader.is_ok()) return reader.error();
+
+  auto state = std::make_unique<State>(std::move(reader).value(),
+                                       std::move(options), std::move(pool));
   return StreamingFragmentSource{std::move(state)};
 }
 
 Result<bool> StreamingFragmentSource::next(OwnedFragment& out) {
   State& s = *state_;
-  if (!s.options.prefetch) {
-    // Serial mode: release the consumer's previous fragment, then read
-    // synchronously — never more than one fragment resident.
-    out.text.clear();
-    {
-      std::lock_guard lock{s.mutex};
-      s.consumer_resident_bytes = 0;
-    }
-    const bool have = s.read_one(out);
-    std::lock_guard lock{s.mutex};
-    if (s.error) return *s.error;
-    if (!have) return false;
-    s.consumer_resident_bytes = out.text.size();
-    s.bytes_streamed += out.text.size();
-    ++s.produced;
-    s.note_peak_locked();
-    return true;
+  out.text.clear();
+  out.index = s.next_index;
+  out.offset = s.reader.next_fragment_offset();
+  bool have = false;
+  {
+    MCSD_OBS_SPAN("part", "part.fragment_read");
+    const auto got = s.reader.next_fragment(s.options.fragment_bytes,
+                                            s.options.is_delimiter, out.text);
+    if (!got.is_ok()) return got.error();
+    have = got.value();
   }
-
-  std::unique_lock lock{s.mutex};
-  s.slot_filled.wait(lock,
-                     [&] { return s.slot.has_value() || s.eof; });
-  if (s.error) return *s.error;
-  if (!s.slot.has_value()) return false;  // clean EOF
-  // Taking fragment N+1 implies the consumer is done with fragment N:
-  // recycle its buffer through the prefetcher instead of freeing it.
-  s.spare = std::move(out.text);
-  s.spare.clear();
-  s.consumer_resident_bytes = s.slot->text.size();
-  s.source_resident_bytes -= s.slot->text.size();
-  s.bytes_streamed += s.slot->text.size();
+  if (!have) return false;
+  ++s.next_index;
   ++s.produced;
-  out = std::move(*s.slot);
-  s.slot.reset();
-  lock.unlock();
-  s.slot_emptied.notify_all();
+  s.bytes_streamed += out.text.size();
+  // The only fragment text living outside pool frames: the consumer's
+  // fragment plus whatever the reader carried past its cut.
+  s.peak_resident_bytes =
+      std::max(s.peak_resident_bytes,
+               static_cast<std::uint64_t>(out.text.size()) +
+                   s.reader.carry_bytes());
+  MCSD_OBS_COUNT("part.fragments_streamed", 1);
   return true;
 }
 
 std::uint64_t StreamingFragmentSource::peak_resident_fragment_bytes() const {
-  std::lock_guard lock{state_->mutex};
   return state_->peak_resident_bytes;
 }
 
 std::size_t StreamingFragmentSource::fragments_produced() const {
-  std::lock_guard lock{state_->mutex};
   return state_->produced;
 }
 
 std::uint64_t StreamingFragmentSource::bytes_streamed() const {
-  std::lock_guard lock{state_->mutex};
   return state_->bytes_streamed;
+}
+
+const std::shared_ptr<storage::BufferManager>& StreamingFragmentSource::pool()
+    const {
+  return state_->pool;
+}
+
+storage::PoolStats StreamingFragmentSource::pool_stats_delta() const {
+  const storage::PoolStats now = state_->pool->stats();
+  const storage::PoolStats& base = state_->base;
+  storage::PoolStats delta = now;
+  delta.hits = now.hits - base.hits;
+  delta.misses = now.misses - base.misses;
+  delta.evictions = now.evictions - base.evictions;
+  delta.writebacks = now.writebacks - base.writebacks;
+  delta.prefetches = now.prefetches - base.prefetches;
+  delta.read_retries = now.read_retries - base.read_retries;
+  delta.write_retries = now.write_retries - base.write_retries;
+  delta.read_errors = now.read_errors - base.read_errors;
+  delta.write_errors = now.write_errors - base.write_errors;
+  return delta;
 }
 
 }  // namespace mcsd::part

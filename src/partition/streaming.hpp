@@ -1,19 +1,25 @@
 // Streaming fragment source: the I/O side of the pipelined out-of-core
-// driver.
+// driver, served from the storage buffer pool.
 //
 // The serial driver materialises the whole input, partitions it, then
 // runs fragments one at a time — the storage node's cores idle during
-// every read.  This source instead streams fragments straight off a file
-// through core/io's ChunkedFileReader and, in prefetch mode, reads
-// fragment N+1 on a dedicated thread while the engine runs fragment N.
+// every read.  This source streams fragments straight off a file through
+// core/io's ChunkedFileReader, whose refills are satisfied by pinned
+// frames of a storage::BufferManager (via storage::PooledFileSource).
 //
-// Memory model (double buffering): the prefetch thread reads one
-// fragment ahead into its own buffer and parks it in a single-slot
-// mailbox; it does not start fragment N+2 until the consumer has taken
-// N+1 out of the slot.  At most two fragments are therefore resident at
-// any instant — the one the engine is chewing and the one in flight —
-// which is what keeps the pipelined path inside the same per-fragment
-// memory budget as the serial path.
+// Overlap model: read-ahead.  In prefetch mode the source keeps about a
+// fragment's worth of upcoming pages queued to the pool's background I/O
+// threads, so while the engine chews fragment N the pages of fragment
+// N+1 land in frames underneath it — the old dedicated prefetch thread
+// is gone.  Fragment assembly (delimiter-aligned cuts) happens
+// synchronously in next(); with warm or prefetched pages that is a
+// DRAM-speed copy.
+//
+// Residency: the only private fragment text is the one the consumer
+// holds plus the reader's carry; everything else lives in pool frames,
+// bounded by the pool's capacity and — crucially — still resident for
+// the *next* run over the same file when the pool outlives this source
+// (the FAM daemon's long-lived pool).
 #pragma once
 
 #include <cstddef>
@@ -25,14 +31,16 @@
 #include "core/io.hpp"
 #include "core/result.hpp"
 #include "partition/integrity.hpp"
+#include "storage/buffer_manager.hpp"
 
 namespace mcsd::part {
 
 /// One streamed fragment.  Unlike part::Fragment (a view into a caller
-/// buffer), the text is owned: the backing file bytes live nowhere else.
+/// buffer), the text is owned: the backing pool frames are unpinned as
+/// soon as the fragment is assembled.
 struct OwnedFragment {
   std::string text;
-  std::size_t index = 0;   ///< 0-based fragment number
+  std::size_t index = 0;     ///< 0-based fragment number
   std::uint64_t offset = 0;  ///< byte offset of `text` in the file
 };
 
@@ -47,19 +55,24 @@ struct StreamOptions {
   /// OS read granularity inside ChunkedFileReader.
   std::size_t io_buffer_bytes = ChunkedFileReader::kDefaultBufferBytes;
 
-  /// True: read fragment N+1 on a prefetch thread while the caller
-  /// processes fragment N.  False: read synchronously inside next()
-  /// (the serial A/B baseline).
+  /// True: keep ~1 fragment of pages queued as pool read-ahead so reads
+  /// overlap compute.  False: no read-ahead — every page load happens
+  /// inside next() (the serial A/B baseline).
   bool prefetch = true;
 
-  /// Emulated sequential-read rate in MiB/s; 0 = the raw device.  Reads
-  /// faster than this are padded (the padding sleeps, so in prefetch mode
-  /// compute still proceeds underneath — exactly like waiting on DMA).
-  /// Benchmarks set this to the Table-I disk model's seq_read_mibps so
-  /// the I/O:compute ratio matches the paper's hardware instead of a
-  /// host whose page-cache-warm reads are two orders faster than the
-  /// storage node being modelled.
+  /// Emulated sequential-read rate in MiB/s applied to page *loads*;
+  /// 0 = the raw device.  Pool hits are never throttled — they model
+  /// DRAM-resident data, which is exactly the warm-re-run effect the
+  /// storage tier exists to produce.  Benchmarks set this so the
+  /// I/O:compute ratio matches the paper's hardware instead of a host
+  /// whose page-cache-warm reads are two orders faster than the storage
+  /// node being modelled.
   double read_throttle_mibps = 0.0;
+
+  /// Pool to serve pages from; null uses storage::process_pool().  The
+  /// FAM daemon passes its own long-lived pool here so fragments stay
+  /// hot across module invocations.
+  std::shared_ptr<storage::BufferManager> pool;
 };
 
 /// Pull-based fragment stream over a file.  Not thread-safe: one consumer.
@@ -70,17 +83,20 @@ class StreamingFragmentSource {
 
   StreamingFragmentSource(StreamingFragmentSource&&) noexcept;
   StreamingFragmentSource& operator=(StreamingFragmentSource&&) noexcept;
-  ~StreamingFragmentSource();  ///< stops and joins the prefetch thread
+  ~StreamingFragmentSource();  ///< pool frames are unpinned already; any
+                               ///< in-flight read-ahead completes into
+                               ///< the pool and is simply left cached
 
-  /// Blocks until the next fragment is ready (in prefetch mode the wait
-  /// is only the part of the read not hidden behind compute).  Returns
-  /// true and fills `out`, false on clean end-of-file, or the first IO
-  /// error encountered.
+  /// Blocks until the next fragment is assembled (with read-ahead the
+  /// wait is only the part of the load not hidden behind compute).
+  /// Returns true and fills `out`, false on clean end-of-file, or the
+  /// first IO error encountered.
   Result<bool> next(OwnedFragment& out);
 
-  /// Peak bytes of fragment text simultaneously resident inside this
-  /// source *and* held by the consumer: <= 2 fragments in prefetch mode,
-  /// <= 1 in serial mode.
+  /// Peak bytes of private fragment text resident at once: the
+  /// consumer's fragment plus the reader's carry — exactly one
+  /// fragment's worth (pool frames are accounted by the pool, bounded
+  /// by its capacity).
   [[nodiscard]] std::uint64_t peak_resident_fragment_bytes() const;
 
   /// Fragments handed out so far.
@@ -88,6 +104,13 @@ class StreamingFragmentSource {
 
   /// File bytes delivered so far (sums fragment sizes).
   [[nodiscard]] std::uint64_t bytes_streamed() const;
+
+  /// The pool serving this stream (for capacity/stat assertions).
+  [[nodiscard]] const std::shared_ptr<storage::BufferManager>& pool() const;
+
+  /// Pool activity attributable to this stream: stats() deltas since
+  /// open().  Approximate when the pool is shared with concurrent users.
+  [[nodiscard]] storage::PoolStats pool_stats_delta() const;
 
  private:
   struct State;

@@ -1,0 +1,101 @@
+// Pool-backed adapters between the buffer manager and the byte-stream
+// world the rest of the codebase speaks.
+//
+//  * PooledFileSource — a core RandomAccessSource whose read_at() is
+//    served from pinned frames, with configurable read-ahead queued to
+//    the pool's I/O threads.  Plugged into ChunkedFileReader it replaces
+//    the ad-hoc per-stream prefetch thread: overlap now comes from the
+//    pool, and the pages it loads *stay* loaded for the next run.
+//  * SpillWriter — append-only writer that fills pool frames and lets
+//    eviction / flush() write them back: spill data transits the same
+//    frames and fault sites as everything else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/io.hpp"
+#include "core/result.hpp"
+#include "storage/buffer_manager.hpp"
+
+namespace mcsd::storage {
+
+struct SourceOptions {
+  /// Pages queued ahead of the highest page a read_at() touched.  0
+  /// disables read-ahead (the serial A/B baseline).
+  std::size_t readahead_pages = 0;
+
+  /// Emulated device rate applied to page *loads* (see
+  /// BufferManager::pin); hits are never throttled.
+  double read_throttle_mibps = 0.0;
+
+  /// Eviction hint for the pages this source touches.
+  AccessHint hint = AccessHint::kSequential;
+};
+
+class PooledFileSource final : public RandomAccessSource {
+ public:
+  /// Registers `path` with `pool` (kNotFound if absent).
+  static Result<std::shared_ptr<PooledFileSource>> open(
+      std::shared_ptr<BufferManager> pool, const std::filesystem::path& path,
+      SourceOptions options = {});
+
+  Result<std::size_t> read_at(std::uint64_t offset, char* dst,
+                              std::size_t len) override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::shared_ptr<File>& file() const noexcept {
+    return file_;
+  }
+
+ private:
+  PooledFileSource(std::shared_ptr<BufferManager> pool,
+                   std::shared_ptr<File> file, SourceOptions options)
+      : pool_(std::move(pool)), file_(std::move(file)), options_(options) {}
+
+  std::shared_ptr<BufferManager> pool_;
+  std::shared_ptr<File> file_;
+  SourceOptions options_;
+  std::uint64_t prefetch_cursor_ = 0;  ///< next page to queue read-ahead for
+};
+
+/// Append-only spill writer over pool frames.  Not thread-safe.  Pages
+/// are pinned one at a time, filled via mark_dirty, and released at each
+/// page boundary, so at most one frame is pinned per writer; finish()
+/// flushes everything dirty to disk.
+class SpillWriter {
+ public:
+  static Result<SpillWriter> create(std::shared_ptr<BufferManager> pool,
+                                    const std::filesystem::path& path);
+
+  SpillWriter(SpillWriter&&) noexcept = default;
+  SpillWriter& operator=(SpillWriter&&) noexcept = default;
+  ~SpillWriter() = default;  ///< dropping without finish() leaves dirty
+                             ///< frames to write back lazily at eviction
+
+  Status append(std::string_view bytes);
+
+  /// Releases the current frame and writes every dirty page back — the
+  /// durability point.
+  Status finish();
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return size_; }
+  [[nodiscard]] const std::shared_ptr<File>& file() const noexcept {
+    return file_;
+  }
+
+ private:
+  SpillWriter(std::shared_ptr<BufferManager> pool, std::shared_ptr<File> file)
+      : pool_(std::move(pool)), file_(std::move(file)) {}
+
+  std::shared_ptr<BufferManager> pool_;
+  std::shared_ptr<File> file_;
+  FrameGuard current_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace mcsd::storage

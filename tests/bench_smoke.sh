@@ -72,6 +72,23 @@ else
   exit 1
 fi
 
+# bench_record storage: a tiny cold-vs-warm run through the buffer pool
+# must record the warm-rerun speedup, hit rates for the fitting and
+# overflow pools, and the byte-identity + residency gates.  Appends to
+# the same out-of-core trajectory file checked above.
+"$TOOLS_DIR/bench_record" --suite storage --bytes 1M --reps 2 \
+    --workers 2 --label smoke --out BENCH_outofcore.json > /dev/null
+for needle in storage_cold storage_warm warm_rerun_speedup hit_rate \
+    warm_rerun_speedup_overflow hit_rate_overflow \
+    output_identical_warm_cold peak_resident_within_pool pool_bytes; do
+  grep -q "$needle" BENCH_outofcore.json || {
+    echo "BENCH_outofcore.json: missing '$needle'"; exit 1;
+  }
+done
+grep -q '"output_identical_warm_cold": true' BENCH_outofcore.json || {
+  echo "storage suite: warm output diverged from cold"; exit 1;
+}
+
 # bench_record mapreduce: a tiny run must record the per-phase breakdown,
 # scaling efficiency, and the worker-state-reuse A/B.  CI uploads the
 # JSON as an artifact.

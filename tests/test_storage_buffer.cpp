@@ -1,0 +1,536 @@
+// Property tests for the storage buffer pool (ISSUE 7): pinned frames
+// are never evicted, unpinned dirty frames are written back before
+// reuse, and concurrent pin/unpin from many threads is race-free (this
+// binary runs under TSan in CI).  Plus the supporting contracts: warm
+// re-pins are hits, the sequential hint keeps scans from flushing hot
+// pages, injected read/write faults are retried deterministically, and
+// a file replaced on disk never serves stale pages.
+#include "storage/buffer_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/io.hpp"
+#include "storage/file_source.hpp"
+
+namespace mcsd::storage {
+namespace {
+
+constexpr std::size_t kFrame = 4 * 1024;
+
+PoolOptions tiny_pool(std::size_t frames, std::size_t io_threads = 1) {
+  PoolOptions options;
+  options.frame_bytes = kFrame;
+  options.pool_bytes = frames * kFrame;
+  options.io_threads = io_threads;
+  return options;
+}
+
+/// `pages` full pages where page p is filled with a distinct byte.
+std::string patterned(std::size_t pages, std::size_t tail = 0) {
+  std::string out;
+  for (std::size_t p = 0; p < pages; ++p) {
+    out.append(kFrame, static_cast<char>('a' + (p % 26)));
+  }
+  out.append(tail, '!');
+  return out;
+}
+
+TEST(BufferManager, RoundTripReadAndWarmRepin) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  const std::string data = patterned(3, 512);  // 3.5 pages
+  ASSERT_TRUE(write_file(path, data).is_ok());
+
+  BufferManager pool{tiny_pool(8)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ(file.value()->size(), data.size());
+
+  std::string assembled;
+  for (std::uint64_t page = 0; page < 4; ++page) {
+    auto guard = pool.pin(file.value(), page);
+    ASSERT_TRUE(guard.is_ok());
+    assembled.append(guard.value().bytes());
+  }
+  EXPECT_EQ(assembled, data);
+
+  const PoolStats cold = pool.stats();
+  EXPECT_EQ(cold.misses, 4u);
+  EXPECT_EQ(cold.hits, 0u);
+
+  // Warm re-pin: every page is resident, zero further I/O.
+  for (std::uint64_t page = 0; page < 4; ++page) {
+    auto guard = pool.pin(file.value(), page);
+    ASSERT_TRUE(guard.is_ok());
+  }
+  const PoolStats warm = pool.stats();
+  EXPECT_EQ(warm.misses, 4u);
+  EXPECT_EQ(warm.hits, 4u);
+  EXPECT_DOUBLE_EQ(warm.hit_rate(), 0.5);
+}
+
+TEST(BufferManager, ReopeningUnchangedFileKeepsIdentity) {
+  TempDir dir{"storage"};
+  const auto path = dir / "same.bin";
+  ASSERT_TRUE(write_file(path, patterned(1)).is_ok());
+
+  BufferManager pool{tiny_pool(4)};
+  auto first = pool.open_file(path);
+  ASSERT_TRUE(first.is_ok());
+  auto second = pool.open_file(path);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(first.value()->id(), second.value()->id());
+}
+
+TEST(BufferManager, PinReadsPastEofAreEmpty) {
+  TempDir dir{"storage"};
+  const auto path = dir / "short.bin";
+  ASSERT_TRUE(write_file(path, std::string(100, 'x')).is_ok());
+
+  BufferManager pool{tiny_pool(2)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+  auto guard = pool.pin(file.value(), 7);
+  ASSERT_TRUE(guard.is_ok());
+  EXPECT_TRUE(guard.value().bytes().empty());
+}
+
+// Property: a pinned frame is never evicted and its bytes never move,
+// however much traffic churns through the rest of the pool.
+TEST(BufferManager, PinnedFramesAreNeverEvicted) {
+  TempDir dir{"storage"};
+  const auto hot_path = dir / "hot.bin";
+  const auto churn_path = dir / "churn.bin";
+  ASSERT_TRUE(write_file(hot_path, patterned(3)).is_ok());
+  ASSERT_TRUE(write_file(churn_path, patterned(20)).is_ok());
+
+  BufferManager pool{tiny_pool(4)};
+  auto hot = pool.open_file(hot_path);
+  auto churn = pool.open_file(churn_path);
+  ASSERT_TRUE(hot.is_ok());
+  ASSERT_TRUE(churn.is_ok());
+
+  std::vector<FrameGuard> held;
+  std::vector<const char*> addresses;
+  for (std::uint64_t page = 0; page < 3; ++page) {
+    auto guard = pool.pin(hot.value(), page);
+    ASSERT_TRUE(guard.is_ok());
+    addresses.push_back(guard.value().bytes().data());
+    held.push_back(std::move(guard).value());
+  }
+
+  // 20 pages through the single remaining frame: every one evicts its
+  // predecessor, yet the pinned three must stay put.
+  for (std::uint64_t page = 0; page < 20; ++page) {
+    auto guard = pool.pin(churn.value(), page);
+    ASSERT_TRUE(guard.is_ok());
+    EXPECT_EQ(guard.value().bytes().front(),
+              static_cast<char>('a' + (page % 26)));
+  }
+  EXPECT_GE(pool.stats().evictions, 19u);
+
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i].bytes().data(), addresses[i]) << "frame " << i
+                                                    << " moved while pinned";
+    EXPECT_EQ(held[i].bytes().front(), static_cast<char>('a' + i));
+    EXPECT_EQ(held[i].bytes().size(), kFrame);
+  }
+  EXPECT_EQ(pool.stats().pinned_frames, 3u);
+}
+
+// Property: an unpinned dirty frame is written back to disk before its
+// frame is reused — spill data survives eviction without an explicit
+// flush.
+TEST(BufferManager, DirtyFramesAreWrittenBackBeforeReuse) {
+  TempDir dir{"storage"};
+  const auto spill_path = dir / "spill.bin";
+  const auto churn_path = dir / "churn.bin";
+  ASSERT_TRUE(write_file(churn_path, patterned(4)).is_ok());
+
+  BufferManager pool{tiny_pool(2)};
+  auto spill = pool.create_file(spill_path);
+  ASSERT_TRUE(spill.is_ok());
+
+  for (std::uint64_t page = 0; page < 2; ++page) {
+    auto guard = pool.pin_write(spill.value(), page);
+    ASSERT_TRUE(guard.is_ok());
+    std::memset(guard.value().data(), static_cast<int>('A' + page), kFrame);
+    guard.value().mark_dirty(kFrame);
+  }
+  EXPECT_EQ(spill.value()->size(), 2 * kFrame);
+  // Nothing flushed yet: the on-disk file is still empty.
+  EXPECT_EQ(mcsd::file_size(spill_path).value(), 0u);
+
+  // Fill the whole pool with another file's pages, forcing both dirty
+  // frames through the write-back path.
+  for (std::uint64_t page = 0; page < 4; ++page) {
+    auto guard = pool.pin(pool.open_file(churn_path).value(), page);
+    ASSERT_TRUE(guard.is_ok());
+  }
+  EXPECT_GE(pool.stats().writebacks, 2u);
+
+  auto on_disk = read_file(spill_path);
+  ASSERT_TRUE(on_disk.is_ok());
+  EXPECT_EQ(on_disk.value(),
+            std::string(kFrame, 'A') + std::string(kFrame, 'B'));
+}
+
+TEST(BufferManager, FlushIsTheDurabilityPoint) {
+  TempDir dir{"storage"};
+  const auto path = dir / "spill.bin";
+  BufferManager pool{tiny_pool(4)};
+  auto spill = pool.create_file(path);
+  ASSERT_TRUE(spill.is_ok());
+
+  {
+    auto guard = pool.pin_write(spill.value(), 0);
+    ASSERT_TRUE(guard.is_ok());
+    std::memcpy(guard.value().data(), "durable", 7);
+    guard.value().mark_dirty(7);
+  }
+  ASSERT_TRUE(pool.flush(spill.value()).is_ok());
+  EXPECT_EQ(read_file(path).value(), "durable");
+
+  // The page stays resident after flush — a re-pin is a hit.
+  const std::uint64_t hits_before = pool.stats().hits;
+  auto again = pool.pin(spill.value(), 0);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().bytes(), "durable");
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+}
+
+TEST(BufferManager, DropCachedRefusesWhilePinnedThenResets) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  ASSERT_TRUE(write_file(path, patterned(2)).is_ok());
+
+  BufferManager pool{tiny_pool(4)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+  auto guard = pool.pin(file.value(), 0);
+  ASSERT_TRUE(guard.is_ok());
+
+  Status refused = pool.drop_cached();
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.error().code(), ErrorCode::kUnavailable);
+
+  guard.value().release();
+  ASSERT_TRUE(pool.drop_cached().is_ok());
+  EXPECT_EQ(pool.stats().resident_frames, 0u);
+
+  // Cold again: the next pin is a miss even though the File is cached.
+  const std::uint64_t misses_before = pool.stats().misses;
+  ASSERT_TRUE(pool.pin(file.value(), 0).is_ok());
+  EXPECT_EQ(pool.stats().misses, misses_before + 1);
+}
+
+TEST(BufferManager, PrefetchedPageIsAHitWhenPinned) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  ASSERT_TRUE(write_file(path, patterned(2)).is_ok());
+
+  BufferManager pool{tiny_pool(4)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+
+  pool.prefetch(file.value(), 1);
+  // Whether the load has landed or is still in flight, the pin never
+  // initiates new I/O — by definition a hit.
+  auto guard = pool.pin(file.value(), 1);
+  ASSERT_TRUE(guard.is_ok());
+  EXPECT_EQ(guard.value().bytes().front(), 'b');
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetches, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(BufferManager, PrefetchIsDroppedWhenPoolIsPinnedFull) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  ASSERT_TRUE(write_file(path, patterned(3)).is_ok());
+
+  BufferManager pool{tiny_pool(2)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+  auto a = pool.pin(file.value(), 0);
+  auto b = pool.pin(file.value(), 1);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+
+  pool.prefetch(file.value(), 2);  // no free frame: silently skipped
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetches, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+// Scan resistance: sequentially-hinted pages stream through the pool
+// without flushing a periodically re-referenced hot page, even when the
+// scan is twice the pool size.
+TEST(BufferManager, SequentialScanDoesNotEvictHotPage) {
+  TempDir dir{"storage"};
+  const auto hot_path = dir / "hot.bin";
+  const auto scan_path = dir / "scan.bin";
+  ASSERT_TRUE(write_file(hot_path, patterned(1)).is_ok());
+  ASSERT_TRUE(write_file(scan_path, patterned(16)).is_ok());
+
+  BufferManager pool{tiny_pool(8)};
+  auto hot = pool.open_file(hot_path);
+  auto scan = pool.open_file(scan_path);
+  ASSERT_TRUE(hot.is_ok());
+  ASSERT_TRUE(scan.is_ok());
+
+  ASSERT_TRUE(pool.pin(hot.value(), 0, AccessHint::kNormal).is_ok());
+  for (std::uint64_t page = 0; page < 16; ++page) {
+    auto guard = pool.pin(scan.value(), page, AccessHint::kSequential);
+    ASSERT_TRUE(guard.is_ok());
+    if ((page + 1) % 4 == 0) {
+      // The workload keeps coming back to the hot page.
+      ASSERT_TRUE(pool.pin(hot.value(), 0, AccessHint::kNormal).is_ok());
+    }
+  }
+
+  const std::uint64_t misses_before = pool.stats().misses;
+  auto final_pin = pool.pin(hot.value(), 0, AccessHint::kNormal);
+  ASSERT_TRUE(final_pin.is_ok());
+  EXPECT_EQ(final_pin.value().bytes().front(), 'a');
+  EXPECT_EQ(pool.stats().misses, misses_before)
+      << "hot page was evicted by a sequential scan";
+}
+
+TEST(BufferManager, ChangedFileOnDiskNeverServesStalePages) {
+  TempDir dir{"storage"};
+  const auto path = dir / "mutable.bin";
+  ASSERT_TRUE(write_file(path, std::string(kFrame, 'o')).is_ok());
+
+  BufferManager pool{tiny_pool(4)};
+  auto before = pool.open_file(path);
+  ASSERT_TRUE(before.is_ok());
+  {
+    auto guard = pool.pin(before.value(), 0);
+    ASSERT_TRUE(guard.is_ok());
+    EXPECT_EQ(guard.value().bytes().front(), 'o');
+  }
+
+  // Replace the file (different size so the identity check cannot
+  // collide even on filesystems with coarse mtimes).
+  ASSERT_TRUE(write_file(path, std::string(2 * kFrame, 'n')).is_ok());
+
+  auto after = pool.open_file(path);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_NE(after.value()->id(), before.value()->id());
+  auto guard = pool.pin(after.value(), 0);
+  ASSERT_TRUE(guard.is_ok());
+  EXPECT_EQ(guard.value().bytes().front(), 'n');
+  EXPECT_EQ(after.value()->size(), 2 * kFrame);
+}
+
+TEST(BufferManager, InjectedReadFaultsAreRetriedTransparently) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  ASSERT_TRUE(write_file(path, patterned(1)).is_ok());
+
+  auto plan = fault::FaultPlan::from_spec("sread.eio=@1");
+  ASSERT_TRUE(plan.is_ok());
+  fault::FaultScope scope{std::move(plan).value()};
+
+  BufferManager pool{tiny_pool(2)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+  auto guard = pool.pin(file.value(), 0);
+  ASSERT_TRUE(guard.is_ok()) << "transient EIO must not surface";
+  EXPECT_EQ(guard.value().bytes().front(), 'a');
+  const PoolStats stats = pool.stats();
+  EXPECT_GE(stats.read_retries, 1u);
+  EXPECT_GE(stats.read_errors, 1u);  // the failed first attempt
+}
+
+TEST(BufferManager, PersistentReadFaultSurfacesAfterAllAttempts) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  ASSERT_TRUE(write_file(path, patterned(1)).is_ok());
+
+  // Every one of the kLoadAttempts loads fails.
+  auto plan = fault::FaultPlan::from_spec("sread.eio=@1+2+3+4");
+  ASSERT_TRUE(plan.is_ok());
+  fault::FaultScope scope{std::move(plan).value()};
+
+  BufferManager pool{tiny_pool(2)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+  auto guard = pool.pin(file.value(), 0);
+  ASSERT_FALSE(guard.is_ok());
+  EXPECT_EQ(guard.error().code(), ErrorCode::kIoError);
+
+  // The dead frame was reclaimed, not wedged: with the schedule
+  // exhausted the same pin now succeeds.
+  auto retry = pool.pin(file.value(), 0);
+  ASSERT_TRUE(retry.is_ok());
+  EXPECT_EQ(retry.value().bytes().front(), 'a');
+}
+
+TEST(BufferManager, InjectedWriteBackFaultsAreRetried) {
+  TempDir dir{"storage"};
+  const auto path = dir / "spill.bin";
+
+  auto plan = fault::FaultPlan::from_spec("swrite.eio=@1");
+  ASSERT_TRUE(plan.is_ok());
+  fault::FaultScope scope{std::move(plan).value()};
+
+  BufferManager pool{tiny_pool(2)};
+  auto spill = pool.create_file(path);
+  ASSERT_TRUE(spill.is_ok());
+  {
+    auto guard = pool.pin_write(spill.value(), 0);
+    ASSERT_TRUE(guard.is_ok());
+    std::memcpy(guard.value().data(), "survives", 8);
+    guard.value().mark_dirty(8);
+  }
+  ASSERT_TRUE(pool.flush(spill.value()).is_ok());
+  EXPECT_GE(pool.stats().write_retries, 1u);
+  EXPECT_EQ(read_file(path).value(), "survives");
+}
+
+TEST(BufferManager, PersistentWriteBackFaultSurfacesFromFlush) {
+  TempDir dir{"storage"};
+  const auto path = dir / "spill.bin";
+
+  auto plan = fault::FaultPlan::from_spec("swrite.enospc=@1+2+3+4");
+  ASSERT_TRUE(plan.is_ok());
+  fault::FaultScope scope{std::move(plan).value()};
+
+  BufferManager pool{tiny_pool(2)};
+  auto spill = pool.create_file(path);
+  ASSERT_TRUE(spill.is_ok());
+  {
+    auto guard = pool.pin_write(spill.value(), 0);
+    ASSERT_TRUE(guard.is_ok());
+    std::memcpy(guard.value().data(), "doomed", 6);
+    guard.value().mark_dirty(6);
+  }
+  Status flushed = pool.flush(spill.value());
+  ASSERT_FALSE(flushed.is_ok());
+  EXPECT_EQ(flushed.error().code(), ErrorCode::kIoError);
+  EXPECT_GE(pool.stats().write_errors, 1u);
+  // The data is still resident (dirty) — nothing was lost, only not yet
+  // durable.  With the schedule exhausted a second flush succeeds.
+  ASSERT_TRUE(pool.flush(spill.value()).is_ok());
+  EXPECT_EQ(read_file(path).value(), "doomed");
+}
+
+// The TSan target: 8 threads hammer pin/unpin over a file bigger than
+// the pool, so hits, misses, evictions, and shared pins all interleave.
+TEST(BufferManager, ConcurrentPinUnpinFromEightThreads) {
+  TempDir dir{"storage"};
+  const auto path = dir / "corpus.bin";
+  constexpr std::size_t kPages = 8;
+  ASSERT_TRUE(write_file(path, patterned(kPages)).is_ok());
+
+  BufferManager pool{tiny_pool(4, /*io_threads=*/2)};
+  auto file = pool.open_file(path);
+  ASSERT_TRUE(file.is_ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto page =
+            static_cast<std::uint64_t>((t * 7 + i * 3) % kPages);
+        auto guard = pool.pin(file.value(), page);
+        if (!guard.is_ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const std::string_view bytes = guard.value().bytes();
+        if (bytes.size() != kFrame ||
+            bytes.front() != static_cast<char>('a' + page) ||
+            bytes.back() != static_cast<char>('a' + page)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.pinned_frames, 0u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(SpillWriter, RoundTripsOddSizedAppends) {
+  TempDir dir{"storage"};
+  const auto path = dir / "spill.bin";
+  BufferManager pool{tiny_pool(4)};
+  auto pool_ptr = std::shared_ptr<BufferManager>(&pool, [](BufferManager*) {});
+
+  auto writer = SpillWriter::create(pool_ptr, path);
+  ASSERT_TRUE(writer.is_ok());
+
+  // Chunk sizes chosen to straddle page boundaries unevenly.
+  std::string expected;
+  const std::size_t sizes[] = {1, 733, kFrame - 100, kFrame, 2 * kFrame + 17};
+  char fill = 'A';
+  for (const std::size_t size : sizes) {
+    const std::string chunk(size, fill++);
+    ASSERT_TRUE(writer.value().append(chunk).is_ok());
+    expected += chunk;
+  }
+  ASSERT_TRUE(writer.value().finish().is_ok());
+  EXPECT_EQ(writer.value().bytes_written(), expected.size());
+
+  auto on_disk = read_file(path);
+  ASSERT_TRUE(on_disk.is_ok());
+  EXPECT_EQ(on_disk.value(), expected);
+
+  // And the spill reads back warm through the pool-backed source.
+  auto source = PooledFileSource::open(pool_ptr, path);
+  ASSERT_TRUE(source.is_ok());
+  std::string through_pool(expected.size(), '\0');
+  auto got = source.value()->read_at(0, through_pool.data(),
+                                     through_pool.size());
+  ASSERT_TRUE(got.is_ok());
+  ASSERT_EQ(got.value(), expected.size());
+  EXPECT_EQ(through_pool, expected);
+}
+
+TEST(PooledFileSource, ShortReadMeansEof) {
+  TempDir dir{"storage"};
+  const auto path = dir / "tail.bin";
+  const std::string data = patterned(1, 37);  // 1 page + 37 bytes
+  ASSERT_TRUE(write_file(path, data).is_ok());
+
+  BufferManager pool{tiny_pool(4)};
+  auto pool_ptr = std::shared_ptr<BufferManager>(&pool, [](BufferManager*) {});
+  auto source = PooledFileSource::open(pool_ptr, path);
+  ASSERT_TRUE(source.is_ok());
+
+  std::string buffer(2 * kFrame, '\0');
+  auto got = source.value()->read_at(0, buffer.data(), buffer.size());
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), data.size());
+  EXPECT_EQ(buffer.substr(0, got.value()), data);
+
+  auto past = source.value()->read_at(10 * kFrame, buffer.data(), kFrame);
+  ASSERT_TRUE(past.is_ok());
+  EXPECT_EQ(past.value(), 0u);
+}
+
+}  // namespace
+}  // namespace mcsd::storage

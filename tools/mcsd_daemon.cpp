@@ -9,9 +9,11 @@
 //               [--config daemon.conf] [--trace-out trace.json]
 //
 // `--config` reads a core/config key=value file (log_dir,
-// poll_interval_ms, dispatch_threads, backend); explicit flags override
-// it.  `--trace-out` writes the obs trace + metrics on shutdown.
-// Runs until stdin closes or SIGINT.
+// poll_interval_ms, dispatch_threads, backend, pool_bytes); explicit
+// flags override it.  `--pool-bytes` sizes the daemon's storage-tier
+// buffer pool (units ok, e.g. 128MiB) — corpus pages cached there
+// serve repeat invocations warm.  `--trace-out` writes the obs trace +
+// metrics on shutdown.  Runs until stdin closes or SIGINT.
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -21,6 +23,7 @@
 #include "core/fault.hpp"
 #include "core/io.hpp"
 #include "core/log.hpp"
+#include "core/units.hpp"
 #include "fam/daemon.hpp"
 #include "obs/reporter.hpp"
 
@@ -44,6 +47,8 @@ int main(int argc, char** argv) {
                  "core/config file seeding the daemon options");
   cli.add_option("workers", "", "dispatch threads (default 2)");
   cli.add_option("poll-ms", "", "watcher poll interval, milliseconds");
+  cli.add_option("pool-bytes", "",
+                 "storage buffer pool capacity (units ok, e.g. 128MiB)");
   cli.add_option("trace-out", "",
                  "write obs trace JSON + metrics here on shutdown");
   cli.add_flag("inotify", "use the Linux inotify backend (local FS only)");
@@ -95,6 +100,15 @@ int main(int argc, char** argv) {
     options.poll_interval = std::chrono::milliseconds{
         std::max<std::int64_t>(cli.option_int("poll-ms").value_or(2), 1)};
   }
+  if (const std::string pool_spec = cli.option("pool-bytes");
+      !pool_spec.empty()) {
+    auto bytes = parse_bytes(pool_spec);
+    if (!bytes || bytes.value() == 0) {
+      std::fprintf(stderr, "bad --pool-bytes %s\n", pool_spec.c_str());
+      return 2;
+    }
+    options.pool_bytes = static_cast<std::size_t>(bytes.value());
+  }
   if (cli.flag("inotify")) {
     options.backend = fam::WatcherBackend::kInotify;
   }
@@ -107,7 +121,7 @@ int main(int argc, char** argv) {
   fam::Daemon daemon{options};
   if (Status s = apps::preload_standard_modules(
           [&daemon](auto m) { return daemon.preload(std::move(m)); },
-          options.dispatch_threads);
+          options.dispatch_threads, daemon.buffer_pool());
       !s) {
     std::fprintf(stderr, "preload failed: %s\n", s.to_string().c_str());
     return 1;

@@ -18,7 +18,14 @@
 //   mcsd_soak --seed 1..5 --faults default --backend both
 //             [--clients 4] [--invokes 6] [--timeout-ms 300]
 //             [--attempts 5] [--poll-ms 2] [--ooc-bytes 256K]
-//             [--report soak.json] [--verbose]
+//             [--reinvoke N] [--report soak.json] [--verbose]
+//
+// `--reinvoke N` adds a storage-tier phase: the same out-of-core
+// wordcount job is invoked N+1 times against the live daemon (whose
+// modules share its long-lived buffer pool), still under the fault
+// plan.  Run 1 is cold, runs 2..N+1 are warm from the pool; the full
+// count table must stay byte-identical and the warm runs must actually
+// hit the pool.
 //
 // Exit status: 0 when every run of every seed/backend held all three
 // invariants, 1 otherwise (violations are listed on stderr and in the
@@ -60,6 +67,7 @@ struct SoakConfig {
   int attempts = 5;
   std::chrono::milliseconds daemon_poll{2};
   std::uint64_t ooc_bytes = 256 * 1024;
+  int reinvoke = 0;
   std::string report_path;
   bool verbose = false;
 };
@@ -78,6 +86,8 @@ struct RunStats {
   std::uint64_t faults_injected = 0;
   std::vector<std::pair<std::string, std::string>> fault_detail;
   std::uint64_t ooc_runs = 0;
+  std::uint64_t reinvokes = 0;
+  std::uint64_t reinvoke_pool_hits = 0;
   double wall_seconds = 0.0;
   std::vector<std::string> violations;
 };
@@ -216,8 +226,11 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
   daemon_options.backend = backend;
   fam::Daemon daemon{daemon_options};
   stats.backend = backend_name(daemon.active_backend());  // may have fallen back
-  for (auto module : {apps::make_wordcount_module(2),
-                      apps::make_stringmatch_module(2)}) {
+  // Modules share the daemon's pool, exactly as the deployable daemon
+  // wires them — repeat invocations over one corpus run warm.
+  for (auto module :
+       {apps::make_wordcount_module(2, daemon.buffer_pool()),
+        apps::make_stringmatch_module(2, daemon.buffer_pool())}) {
     if (Status s = daemon.preload(std::move(module)); !s) {
       violation("preload failed: " + s.to_string());
       return stats;
@@ -388,6 +401,64 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
     workers_done.store(true, std::memory_order_relaxed);
     ooc.join();
 
+    if (config.reinvoke > 0) {
+      // Storage-tier phase: the identical out-of-core job, N+1 times,
+      // through the real channel, still under the fault plan.  The
+      // daemon's pool keeps the corpus resident between invocations, so
+      // the first run is cold and the rest are warm — with byte-for-byte
+      // identical results, or the tier is serving corrupt pages.
+      KeyValueMap params;
+      params.set("input", ooc_input.string());
+      params.set_uint("partition_size", 32 * 1024);
+      params.set_uint("workers", 2);
+      params.set_bool("full_counts", true);
+      std::string cold_counts;
+      bool have_cold = false;
+      storage::PoolStats after_cold;
+      std::uint64_t warm_successes = 0;
+      for (int i = 0; i <= config.reinvoke; ++i) {
+        auto result = client_a.invoke("wordcount", params);
+        {
+          std::lock_guard lock{stats_mutex};
+          ++stats.reinvokes;
+        }
+        if (!result) {
+          // Channel errors are legitimate under faults; anything else
+          // is a soak failure like everywhere else.
+          if (!allowed_error(result.error().code())) {
+            violation("reinvoke returned a non-channel error: " +
+                      result.error().to_string());
+          }
+          continue;
+        }
+        const std::string counts = result.value().get_or("counts", "");
+        if (counts.empty()) {
+          violation("reinvoke response carried no full_counts table");
+          continue;
+        }
+        if (!have_cold) {
+          have_cold = true;
+          cold_counts = counts;
+          after_cold = daemon.buffer_pool()->stats();
+        } else {
+          ++warm_successes;
+          if (counts != cold_counts) {
+            violation("reinvoke " + std::to_string(i) +
+                      ": warm output diverged from cold run (" +
+                      std::to_string(counts.size()) + " vs " +
+                      std::to_string(cold_counts.size()) + " bytes)");
+          }
+        }
+      }
+      if (warm_successes > 0) {
+        const storage::PoolStats after_warm = daemon.buffer_pool()->stats();
+        stats.reinvoke_pool_hits = after_warm.hits - after_cold.hits;
+        if (stats.reinvoke_pool_hits == 0) {
+          violation("warm reinvokes never hit the daemon's buffer pool");
+        }
+      }
+    }
+
     const auto& injector = fault::Injector::instance();
     stats.faults_injected = injector.total_injected();
     const KeyValueMap report = injector.injected_report();
@@ -440,6 +511,9 @@ std::string report_json(const std::vector<RunStats>& runs,
             r.backend + "\", \"invokes\": " + std::to_string(r.invokes_total) +
             ", \"successes\": " + std::to_string(r.successes) +
             ", \"ooc_runs\": " + std::to_string(r.ooc_runs) +
+            ", \"reinvokes\": " + std::to_string(r.reinvokes) +
+            ", \"reinvoke_pool_hits\": " +
+            std::to_string(r.reinvoke_pool_hits) +
             ", \"daemon_requests\": " + std::to_string(r.daemon_requests) +
             ", \"daemon_errors\": " + std::to_string(r.daemon_errors) +
             ", \"response_conflicts\": " +
@@ -515,6 +589,9 @@ int main(int argc, char** argv) {
   cli.add_option("attempts", "5", "invoke attempts before a typed failure");
   cli.add_option("poll-ms", "2", "daemon watcher poll interval");
   cli.add_option("ooc-bytes", "256K", "out-of-core input size");
+  cli.add_option("reinvoke", "0",
+                 "re-run the same out-of-core job N more times against the "
+                 "live daemon (cold-vs-warm storage-tier check)");
   cli.add_option("report", "", "write a JSON soak report here");
   cli.add_flag("verbose", "log every failed attempt");
   if (Status s = cli.parse(argc, argv); !s) {
@@ -551,6 +628,8 @@ int main(int argc, char** argv) {
   config.ooc_bytes =
       std::max<std::uint64_t>(cli.option_bytes("ooc-bytes").value_or(256 * 1024),
                               4 * 1024);
+  config.reinvoke = static_cast<int>(
+      std::max<std::int64_t>(cli.option_int("reinvoke").value_or(0), 0));
   config.report_path = cli.option("report");
   config.verbose = cli.flag("verbose");
   const std::string backend = cli.option("backend");
@@ -582,14 +661,17 @@ int main(int argc, char** argv) {
       std::printf(
           "seed=%llu backend=%s: %llu invokes (%llu ok), %llu faults "
           "injected, %llu conflicts, %llu stale replies, %llu ooc runs, "
-          "%.1fs — %s\n",
+          "%llu reinvokes (%llu pool hits), %.1fs — %s\n",
           static_cast<unsigned long long>(stats.seed), stats.backend.c_str(),
           static_cast<unsigned long long>(stats.invokes_total),
           static_cast<unsigned long long>(stats.successes),
           static_cast<unsigned long long>(stats.faults_injected),
           static_cast<unsigned long long>(stats.response_conflicts),
           static_cast<unsigned long long>(stats.stale_replies),
-          static_cast<unsigned long long>(stats.ooc_runs), stats.wall_seconds,
+          static_cast<unsigned long long>(stats.ooc_runs),
+          static_cast<unsigned long long>(stats.reinvokes),
+          static_cast<unsigned long long>(stats.reinvoke_pool_hits),
+          stats.wall_seconds,
           stats.violations.empty() ? "OK" : "VIOLATIONS");
       total_violations += stats.violations.size();
       runs.push_back(std::move(stats));
