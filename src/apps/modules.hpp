@@ -6,10 +6,17 @@
 //
 // Parameter conventions (all paths are within the shared folder):
 //   wordcount:    input=<path> [partition_size=<bytes>] [workers=<n>]
-//                 [top=<n>]
+//                 [top=<n>] [read_throttle_mibps=<rate>]
 //      returns:   unique, total, fragments, top<i>, top<i>_count
 //   stringmatch:  input=<path> keys=<comma separated> [workers=<n>]
+//                 [read_throttle_mibps=<rate>]
 //      returns:   matches
+//
+// wordcount and stringmatch are pure functions of their input file, so
+// they declare it via Module::cache_inputs and the daemon may serve
+// repeat invocations from its result cache; they also keep their
+// mr::Engine (and its per-worker scratch) resident between invocations.
+// The file-writing modules (matmul, select, sort, join) are never cached.
 //   matmul:       a=<path> b=<path> out=<path> [workers=<n>]
 //                 (matrices in the text format of write_matrix)
 //      returns:   rows, cols, checksum

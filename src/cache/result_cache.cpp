@@ -1,0 +1,138 @@
+#include "cache/result_cache.hpp"
+
+#include <utility>
+
+#include "storage/identity.hpp"
+
+namespace mcsd::cache {
+
+namespace {
+
+std::string make_slot(std::string_view module, std::string_view params) {
+  std::string slot;
+  slot.reserve(module.size() + 1 + params.size());
+  slot.append(module);
+  slot.push_back('\0');
+  slot.append(params);
+  return slot;
+}
+
+}  // namespace
+
+Result<std::uint64_t> fingerprint_inputs(
+    const std::vector<std::filesystem::path>& inputs) {
+  // Chain the per-file digests in parameter order: fingerprint(a, b) must
+  // differ from fingerprint(b, a) because the module sees them in order.
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ inputs.size();
+  for (const auto& path : inputs) {
+    auto id = storage::file_identity(path);
+    if (!id) return id.error();
+    h ^= id.value().digest() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 29)) * 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(CacheOptions options) : options_(options) {}
+
+std::size_t ResultCache::entry_bytes(const Entry& entry) {
+  // List node + two index words + string headers; close enough that the
+  // byte budget tracks real footprint instead of payload-only.
+  constexpr std::size_t kPerEntryOverhead = 160;
+  std::size_t bytes = kPerEntryOverhead + entry.slot.size();
+  for (const auto& [key, value] : entry.result.entries()) {
+    bytes += key.size() + value.size() + 2 * sizeof(std::string);
+  }
+  return bytes;
+}
+
+void ResultCache::erase_locked(LruList::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(std::string_view{it->slot});
+  lru_.erase(it);
+}
+
+void ResultCache::make_room_locked(std::size_t need) {
+  while (!lru_.empty() && bytes_ + need > options_.capacity_bytes) {
+    erase_locked(std::prev(lru_.end()));
+    ++evictions_;
+  }
+}
+
+std::optional<ResultCache::Hit> ResultCache::get(std::string_view module,
+                                                 std::string_view params,
+                                                 std::uint64_t fingerprint) {
+  const std::string slot = make_slot(module, params);
+  std::lock_guard lock(mutex_);
+  auto found = index_.find(std::string_view{slot});
+  if (found == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  auto it = found->second;
+  if (it->fingerprint != fingerprint) {
+    // The input file changed underneath the entry — every byte of the
+    // cached result is derived from data that no longer exists.
+    erase_locked(it);
+    ++invalidations_;
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it);
+  ++hits_;
+  return Hit{it->result, it->epoch};
+}
+
+std::uint64_t ResultCache::put(std::string_view module, std::string_view params,
+                               std::uint64_t fingerprint, KeyValueMap result) {
+  Entry entry;
+  entry.slot = make_slot(module, params);
+  entry.fingerprint = fingerprint;
+  entry.result = std::move(result);
+  entry.bytes = entry_bytes(entry);
+
+  std::lock_guard lock(mutex_);
+  if (entry.bytes > options_.capacity_bytes) {
+    ++oversize_rejects_;
+    return 0;
+  }
+  auto found = index_.find(std::string_view{entry.slot});
+  if (found != index_.end()) erase_locked(found->second);
+  make_room_locked(entry.bytes);
+  entry.epoch = ++epoch_;
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_.emplace(std::string_view{lru_.front().slot}, lru_.begin());
+  ++inserts_;
+  return lru_.front().epoch;
+}
+
+void ResultCache::clear() {
+  std::lock_guard lock(mutex_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidations = invalidations_;
+  stats.inserts = inserts_;
+  stats.oversize_rejects = oversize_rejects_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = options_.capacity_bytes;
+  return stats;
+}
+
+std::uint64_t ResultCache::epoch() const {
+  std::lock_guard lock(mutex_);
+  return epoch_;
+}
+
+}  // namespace mcsd::cache

@@ -1,0 +1,157 @@
+// The daemon-side module-result cache (ROADMAP item 4, after M3R's
+// in-memory job reuse).
+//
+// Millions of users mostly re-ask hot queries: the same module over the
+// same corpus with the same parameters.  Re-running the full map/reduce
+// pipeline for each re-ask wastes the storage node's cores; the result is
+// already known.  This cache memoises complete module results keyed by
+//
+//   (module name, canonical parameter serialisation, input fingerprint)
+//
+// where the fingerprint digests the (inode, mtime_ns, size) identity of
+// every input file (storage/identity.hpp) — the same triple the buffer
+// pool already trusts for page revalidation — so admission costs three
+// stat() calls, never a corpus re-hash.
+//
+// Invalidation: the fingerprint is part of the key *and* stored on the
+// entry.  A lookup that finds its (module, params) slot occupied by a
+// different fingerprint erases the stale entry on the spot — the file was
+// rewritten, every result derived from the old bytes is garbage — and
+// reports a miss.  A rewritten file therefore invalidates eagerly instead
+// of leaving dead entries to age out.
+//
+// Eviction: bounded bytes, LRU.  Zipf-skewed serving traffic keeps the
+// hot head resident by construction (every hit front-moves the entry);
+// the long cold tail recycles through the LRU end.  Entries larger than
+// the whole cache are never admitted.
+//
+// Epochs: a monotone counter stamped onto each entry at insertion.  A
+// response served from the cache carries its entry's epoch, so a client
+// (or a test) can tell "the same cached computation" (equal epochs)
+// from "recomputed after invalidation" (higher epoch).
+//
+// Thread safety: all methods are safe from any thread (the daemon's
+// dispatch workers probe concurrently); one mutex, microsecond critical
+// sections.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+
+namespace mcsd::cache {
+
+/// Digests the on-disk identity of `inputs` into one fingerprint.
+/// Order-sensitive — callers pass paths in a canonical (parameter) order.
+/// Fails if any input cannot be stat'ed (an absent input must not be
+/// cached as a fingerprint of "nothing").
+Result<std::uint64_t> fingerprint_inputs(
+    const std::vector<std::filesystem::path>& inputs);
+
+struct CacheOptions {
+  /// Total budget for cached results (keys + payload bytes + per-entry
+  /// overhead).  0 is invalid — construct no cache instead.
+  std::size_t capacity_bytes = 32ull << 20;
+};
+
+/// Monotonic statistics.  hits + misses == lookups; invalidations count
+/// entries erased because their fingerprint went stale (a subset of
+/// lookups that reported a miss).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t oversize_rejects = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  struct Hit {
+    KeyValueMap result;
+    std::uint64_t epoch = 0;  ///< insertion epoch of the served entry
+  };
+
+  /// Probes for (module, params, fingerprint).  `params` is the caller's
+  /// canonical serialisation (KeyValueMap::serialize() sorts keys, so
+  /// equal maps always produce equal strings).  A slot match with a
+  /// different fingerprint invalidates the entry and misses.
+  std::optional<Hit> get(std::string_view module, std::string_view params,
+                         std::uint64_t fingerprint);
+
+  /// Inserts (replacing any entry in the slot) and returns the new
+  /// entry's epoch, or 0 when the entry exceeds capacity and was not
+  /// admitted.
+  std::uint64_t put(std::string_view module, std::string_view params,
+                    std::uint64_t fingerprint, KeyValueMap result);
+
+  /// Drops every entry (stats are kept — they are monotone).
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// The current epoch counter: the epoch of the most recent insert.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+ private:
+  struct Entry {
+    std::string slot;  ///< module + '\0' + params (the map key, owned here)
+    std::uint64_t fingerprint = 0;
+    std::uint64_t epoch = 0;
+    std::size_t bytes = 0;
+    KeyValueMap result;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Approximate resident cost of an entry: slot + payload strings plus a
+  /// fixed overhead per entry (list/map node bookkeeping).
+  static std::size_t entry_bytes(const Entry& entry);
+
+  /// Erases `it` from the index and list.  Caller holds the mutex.
+  void erase_locked(LruList::iterator it);
+
+  /// Evicts from the LRU tail until `need` bytes fit.  Caller holds the
+  /// mutex; precondition: need <= capacity.
+  void make_room_locked(std::size_t need);
+
+  CacheOptions options_;
+
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t oversize_rejects_ = 0;
+};
+
+}  // namespace mcsd::cache

@@ -40,7 +40,8 @@ std::uint64_t Client::current_seq(const fs::path& log) const {
 }
 
 Result<KeyValueMap> Client::invoke(std::string_view module,
-                                   const KeyValueMap& params) {
+                                   const KeyValueMap& params,
+                                   InvokeInfo* info) {
   MCSD_OBS_SPAN("fam", "fam.invoke:" + std::string{module});
   MCSD_OBS_COUNT("fam.client_invokes", 1);
   if (!valid_module_name(module)) {
@@ -121,10 +122,14 @@ Result<KeyValueMap> Client::invoke(std::string_view module,
             // Round trip = request write .. response observed, the
             // paper's invoke->dispatch->result latency as the host sees
             // it (includes daemon poll + module run).
-            MCSD_OBS_HIST(
-                "fam.round_trip_us", "us",
-                static_cast<std::uint64_t>(round_trip.elapsed_seconds() *
-                                           1e6));
+            const double rt_seconds = round_trip.elapsed_seconds();
+            MCSD_OBS_HIST("fam.round_trip_us", "us",
+                          static_cast<std::uint64_t>(rt_seconds * 1e6));
+            if (info) {
+              info->cache = r.cache;
+              info->cache_epoch = r.cache_epoch;
+              info->round_trip_seconds = rt_seconds;
+            }
             if (!r.ok) {
               MCSD_OBS_COUNT("fam.client_module_errors", 1);
               return Error{ErrorCode::kInternal,

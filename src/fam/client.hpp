@@ -39,15 +39,29 @@ struct ClientOptions {
   int max_attempts = 1;
 };
 
+/// Per-invoke metadata the caller may opt into (tools print it, the soak
+/// harness asserts on it).  Filled from the successful response record.
+struct InvokeInfo {
+  /// Result-cache participation reported by the daemon (kNone when the
+  /// invocation was not cacheable or the daemon runs without a cache).
+  CacheState cache = CacheState::kNone;
+  /// Cache entry epoch (0 = absent); see Record::cache_epoch.
+  std::uint64_t cache_epoch = 0;
+  /// Request write .. response observed, as measured by this client.
+  double round_trip_seconds = 0.0;
+};
+
 class Client {
  public:
   explicit Client(ClientOptions options);
 
   /// Offloads one invocation: writes the request, blocks until the
   /// response arrives (or timeout).  Returns the module's result map, or
-  /// the module's error / kTimeout / kProtocolError.
+  /// the module's error / kTimeout / kProtocolError.  `info`, when
+  /// non-null, receives per-invoke metadata on success.
   Result<KeyValueMap> invoke(std::string_view module,
-                             const KeyValueMap& params);
+                             const KeyValueMap& params,
+                             InvokeInfo* info = nullptr);
 
   /// True if the module's log file exists — i.e. the daemon preloaded it.
   [[nodiscard]] bool module_available(std::string_view module) const;

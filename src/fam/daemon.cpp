@@ -39,6 +39,10 @@ Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config) {
         return Error{ErrorCode::kInvalidArgument, "pool_bytes must be > 0"};
       }
       options.pool_bytes = static_cast<std::size_t>(bytes.value());
+    } else if (key == "result_cache_bytes") {
+      auto bytes = parse_bytes(value);
+      if (!bytes) return bytes.error();
+      options.result_cache_bytes = static_cast<std::size_t>(bytes.value());
     } else if (key == "backend") {
       if (value == "polling") {
         options.backend = WatcherBackend::kPolling;
@@ -60,6 +64,10 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   storage::PoolOptions pool_options;
   if (options_.pool_bytes != 0) pool_options.pool_bytes = options_.pool_bytes;
   pool_ = std::make_shared<storage::BufferManager>(pool_options);
+  if (options_.result_cache_bytes != 0) {
+    result_cache_ = std::make_unique<cache::ResultCache>(
+        cache::CacheOptions{options_.result_cache_bytes});
+  }
   fs::create_directories(options_.log_dir);
   const auto callback = [this](const fs::path& path) {
     on_file_change(path);
@@ -185,24 +193,67 @@ void Daemon::handle_request(const Record& request) {
   response.module = request.module;
 
   if (auto module = registry_.find(request.module)) {
-    // A module that throws must not take the dispatch thread down — the
-    // host gets an error response and the daemon keeps serving.
-    try {
-      auto result = module->invoke(request.payload);
-      if (result.is_ok()) {
-        response.ok = true;
-        response.payload = std::move(result).value();
-      } else {
-        response.ok = false;
-        response.error_message = result.error().to_string();
+    // Result-cache probe.  A module that declares its invocation a pure
+    // function of input files (Module::cache_inputs) can have a repeat
+    // request answered from memory: fingerprint the inputs' on-disk
+    // identity (three stat calls, no corpus read) and look the result up.
+    // A fingerprint mismatch inside get() doubles as invalidation.  If an
+    // input cannot be stat'ed the probe is skipped and the module runs —
+    // it owns reporting the missing file.
+    std::optional<std::string> cache_params;
+    std::uint64_t fingerprint = 0;
+    if (result_cache_) {
+      if (auto inputs = module->cache_inputs(request.payload)) {
+        if (auto fp = cache::fingerprint_inputs(*inputs)) {
+          fingerprint = fp.value();
+          cache_params = request.payload.serialize();
+          if (auto hit = result_cache_->get(request.module, *cache_params,
+                                            fingerprint)) {
+            response.ok = true;
+            response.payload = std::move(hit->result);
+            response.cache = CacheState::kHit;
+            response.cache_epoch = hit->epoch;
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            MCSD_OBS_COUNT("fam.cache_hits", 1);
+          }
+        }
       }
-    } catch (const std::exception& e) {
-      response.ok = false;
-      response.error_message =
-          "module threw: " + std::string{e.what()};
-    } catch (...) {
-      response.ok = false;
-      response.error_message = "module threw a non-std exception";
+    }
+
+    if (response.cache != CacheState::kHit) {
+      // A module that throws must not take the dispatch thread down — the
+      // host gets an error response and the daemon keeps serving.
+      try {
+        auto result = module->invoke(request.payload);
+        if (result.is_ok()) {
+          response.ok = true;
+          response.payload = std::move(result).value();
+        } else {
+          response.ok = false;
+          response.error_message = result.error().to_string();
+        }
+      } catch (const std::exception& e) {
+        response.ok = false;
+        response.error_message =
+            "module threw: " + std::string{e.what()};
+      } catch (...) {
+        response.ok = false;
+        response.error_message = "module threw a non-std exception";
+      }
+      if (cache_params) {
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        MCSD_OBS_COUNT("fam.cache_misses", 1);
+        if (response.ok) {
+          response.cache = CacheState::kMiss;
+          response.cache_epoch = result_cache_->put(
+              request.module, *cache_params, fingerprint, response.payload);
+          const auto stats = result_cache_->stats();
+          MCSD_OBS_GAUGE_SET("fam.cache_bytes",
+                             static_cast<std::int64_t>(stats.bytes));
+          MCSD_OBS_GAUGE_SET("fam.cache_evictions",
+                             static_cast<std::int64_t>(stats.evictions));
+        }
+      }
     }
   } else {
     response.ok = false;
@@ -215,8 +266,14 @@ void Daemon::handle_request(const Record& request) {
   }
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
   MCSD_OBS_COUNT("fam.daemon_requests", 1);
-  MCSD_OBS_HIST("fam.dispatch_us", "us",
-                static_cast<std::uint64_t>(dispatch.elapsed_seconds() * 1e6));
+  const auto dispatch_us =
+      static_cast<std::uint64_t>(dispatch.elapsed_seconds() * 1e6);
+  MCSD_OBS_HIST("fam.dispatch_us", "us", dispatch_us);
+  if (response.cache == CacheState::kHit) {
+    MCSD_OBS_HIST("fam.dispatch_hit_us", "us", dispatch_us);
+  } else {
+    MCSD_OBS_HIST("fam.dispatch_cold_us", "us", dispatch_us);
+  }
 
   write_response(response);
 }

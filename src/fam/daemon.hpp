@@ -15,6 +15,7 @@
 #include <mutex>
 #include <thread>
 
+#include "cache/result_cache.hpp"
 #include "core/config.hpp"
 #include "core/mpmc_queue.hpp"
 #include "core/result.hpp"
@@ -55,6 +56,10 @@ struct DaemonOptions {
   /// so file pages loaded by one module invocation serve the next one
   /// warm — the smart-storage node's DRAM working set.
   std::size_t pool_bytes = 0;
+  /// Budget for the module-result cache (ROADMAP item 4).  A repeat
+  /// request for a pure module over unchanged inputs is answered from
+  /// this cache without dispatching the module.  0 disables caching.
+  std::size_t result_cache_bytes = 32ull << 20;
 };
 
 /// Builds DaemonOptions from a core/config KeyValueMap (the same
@@ -62,6 +67,7 @@ struct DaemonOptions {
 /// Recognised keys, all optional:
 ///   log_dir=<path>  poll_interval_ms=<int>=2  dispatch_threads=<int>=1
 ///   backend=polling|inotify  pool_bytes=<bytes, units ok: "128MiB">
+///   result_cache_bytes=<bytes, units ok; 0 disables>=32MiB
 /// Unknown keys error (a typo must not silently run defaults).
 Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config);
 
@@ -104,12 +110,27 @@ class Daemon {
     return pool_;
   }
 
+  /// The module-result cache, or null when result_cache_bytes was 0.
+  /// Exposed for tests and tools (stats, explicit clear); the serving
+  /// path goes through handle_request.
+  [[nodiscard]] cache::ResultCache* result_cache() const noexcept {
+    return result_cache_.get();
+  }
+
   /// Counters for tests and monitoring.
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return requests_handled_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t errors_returned() const noexcept {
     return errors_returned_.load(std::memory_order_relaxed);
+  }
+  /// Requests answered straight from the result cache (no module run).
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Cacheable requests that had to run the module (cold or invalidated).
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return cache_misses_.load(std::memory_order_relaxed);
   }
   /// Responses discarded because a newer request had already replaced the
   /// log record this response would have clobbered.
@@ -162,6 +183,7 @@ class Daemon {
   DaemonOptions options_;
   ModuleRegistry registry_;
   std::shared_ptr<storage::BufferManager> pool_;
+  std::unique_ptr<cache::ResultCache> result_cache_;
   std::unique_ptr<Watcher> watcher_;
   WatcherBackend active_backend_ = WatcherBackend::kPolling;
   MpmcQueue<Work> pending_;
@@ -174,6 +196,8 @@ class Daemon {
 
   std::atomic<std::uint64_t> requests_handled_{0};
   std::atomic<std::uint64_t> errors_returned_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> response_conflicts_{0};
   std::atomic<std::uint64_t> stale_replies_{0};
   std::atomic<std::uint64_t> dropped_on_shutdown_{0};

@@ -6,10 +6,12 @@
 // Match and Matrix Multiplication implementations.
 #pragma once
 
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,12 +33,28 @@ class Module {
   /// returned map travels back to the host as results.  Errors are
   /// reported to the host as error responses, not exceptions.
   virtual Result<KeyValueMap> invoke(const KeyValueMap& params) = 0;
+
+  /// Declares whether an invocation with `params` is a pure function of a
+  /// set of input files — the contract the daemon's result cache needs.
+  /// Return the input paths (in a canonical order) to opt in: the daemon
+  /// fingerprints their on-disk identity and may answer a repeat request
+  /// from the cache without invoking the module.  Return nullopt (the
+  /// default) for modules with side effects (e.g. ones that write output
+  /// files), whose results must never be replayed from memory.
+  [[nodiscard]] virtual std::optional<std::vector<std::filesystem::path>>
+  cache_inputs(const KeyValueMap& params) const {
+    (void)params;
+    return std::nullopt;
+  }
 };
 
 /// Adapts a plain function into a Module.
 class FunctionModule final : public Module {
  public:
   using Fn = std::function<Result<KeyValueMap>(const KeyValueMap&)>;
+  using CacheInputsFn =
+      std::function<std::optional<std::vector<std::filesystem::path>>(
+          const KeyValueMap&)>;
 
   FunctionModule(std::string name, Fn fn)
       : name_(std::move(name)), fn_(std::move(fn)) {}
@@ -46,9 +64,18 @@ class FunctionModule final : public Module {
     return fn_(params);
   }
 
+  /// Opts the module into result caching (see Module::cache_inputs).
+  void set_cache_inputs(CacheInputsFn fn) { cache_inputs_ = std::move(fn); }
+
+  [[nodiscard]] std::optional<std::vector<std::filesystem::path>> cache_inputs(
+      const KeyValueMap& params) const override {
+    return cache_inputs_ ? cache_inputs_(params) : std::nullopt;
+  }
+
  private:
   std::string name_;
   Fn fn_;
+  CacheInputsFn cache_inputs_;
 };
 
 /// Thread-safe registry of preloaded modules.

@@ -11,6 +11,8 @@ constexpr std::string_view kModuleKey = "mcsd.module";
 constexpr std::string_view kStatusKey = "mcsd.status";
 constexpr std::string_view kErrorKey = "mcsd.error";
 constexpr std::string_view kLastSeqKey = "mcsd.last";
+constexpr std::string_view kCacheKey = "mcsd.cache";
+constexpr std::string_view kEpochKey = "mcsd.epoch";
 constexpr std::string_view kCrcKey = "mcsd.crc";
 
 bool reserved_key(std::string_view key) {
@@ -45,6 +47,13 @@ std::string encode_record(const Record& record) {
     }
     if (record.last_seq != 0) {
       map.set_uint(std::string{kLastSeqKey}, record.last_seq);
+    }
+    if (record.cache != CacheState::kNone) {
+      map.set(std::string{kCacheKey},
+              record.cache == CacheState::kHit ? "hit" : "miss");
+      if (record.cache_epoch != 0) {
+        map.set_uint(std::string{kEpochKey}, record.cache_epoch);
+      }
     }
   }
   // Checksum covers everything serialised so far; appended as the final
@@ -133,6 +142,20 @@ Result<Record> decode_record(std::string_view text) {
       auto last = map.get_uint(kLastSeqKey);
       if (!last) return last.error();
       record.last_seq = last.value();
+    }
+    if (const auto cache = map.get(kCacheKey)) {
+      if (*cache == "hit") {
+        record.cache = CacheState::kHit;
+      } else if (*cache == "miss") {
+        record.cache = CacheState::kMiss;
+      } else {
+        return Error{ErrorCode::kProtocolError, "bad mcsd.cache: " + *cache};
+      }
+      if (map.get(kEpochKey)) {
+        auto epoch = map.get_uint(kEpochKey);
+        if (!epoch) return epoch.error();
+        record.cache_epoch = epoch.value();
+      }
     }
   }
 

@@ -17,6 +17,8 @@
 //   mcsd.status = ok | error                (responses only)
 //   mcsd.error  = message                   (error responses only)
 //   mcsd.last   = daemon's last handled seq (stale-reply responses only)
+//   mcsd.cache  = hit | miss                (responses via the result cache)
+//   mcsd.epoch  = cache insertion epoch     (responses with mcsd.cache)
 //   mcsd.crc    = FNV-1a of the payload     (integrity across NFS)
 //   <everything else>                       = user parameters / results
 #pragma once
@@ -32,6 +34,13 @@ namespace mcsd::fam {
 
 enum class RecordType : std::uint8_t { kRequest, kResponse };
 
+/// How the daemon's result cache participated in a response.  kNone means
+/// the invocation was not cacheable (or the daemon predates the cache);
+/// kHit means the payload was served verbatim from the cache without
+/// dispatching the module; kMiss means the module ran and the result was
+/// (re)admitted.
+enum class CacheState : std::uint8_t { kNone, kHit, kMiss };
+
 /// One decoded log-file record.
 struct Record {
   RecordType type = RecordType::kRequest;
@@ -44,6 +53,13 @@ struct Record {
   /// daemon's error reply carries its high-water mark here so the losing
   /// client can re-seed instead of burning its full timeout.
   std::uint64_t last_seq = 0;
+  /// Responses only: result-cache participation (see CacheState).
+  CacheState cache = CacheState::kNone;
+  /// Responses with cache != kNone: the cache entry's insertion epoch
+  /// (0 = absent).  Two hits with equal epochs were served from the same
+  /// cached computation; an epoch increase across an identical request
+  /// means the entry was invalidated and recomputed in between.
+  std::uint64_t cache_epoch = 0;
   KeyValueMap payload;         ///< user parameters or results
 };
 

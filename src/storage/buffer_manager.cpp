@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "core/fault.hpp"
+#include "storage/identity.hpp"
 #include "core/stopwatch.hpp"
 #include "core/units.hpp"
 #include "obs/counters.hpp"
@@ -34,24 +35,6 @@ std::string normalize_path(const std::filesystem::path& path) {
   auto abs = std::filesystem::absolute(path, ec);
   if (ec) return path.string();
   return abs.lexically_normal().string();
-}
-
-struct FileIdentity {
-  std::uint64_t inode = 0;
-  std::uint64_t mtime_ns = 0;
-  std::uint64_t size = 0;
-};
-
-FileIdentity identity_of(int fd) {
-  struct stat st{};
-  FileIdentity id;
-  if (::fstat(fd, &st) == 0) {
-    id.inode = static_cast<std::uint64_t>(st.st_ino);
-    id.mtime_ns = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ULL +
-                  static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
-    id.size = static_cast<std::uint64_t>(st.st_size);
-  }
-  return id;
 }
 
 }  // namespace
@@ -132,7 +115,7 @@ Result<std::shared_ptr<File>> BufferManager::open_file(
     return Error{ErrorCode::kNotFound,
                  "cannot open " + key + ": " + std::strerror(errno)};
   }
-  const FileIdentity now = identity_of(fd);
+  const FileIdentity now = identity_of_fd(fd);
 
   std::lock_guard lock{mutex_};
   auto it = files_.find(key);
@@ -199,7 +182,7 @@ Result<std::shared_ptr<File>> BufferManager::create_file(
   file->fd_ = fd;
   file->path_ = key;
   file->writable_ = true;
-  const FileIdentity now = identity_of(fd);
+  const FileIdentity now = identity_of_fd(fd);
   file->inode_ = now.inode;
   file->mtime_ns_ = now.mtime_ns;
   file->disk_size_ = 0;

@@ -1,0 +1,39 @@
+#include "storage/identity.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mcsd::storage {
+
+namespace {
+
+FileIdentity from_stat(const struct stat& st) noexcept {
+  FileIdentity id;
+  id.inode = static_cast<std::uint64_t>(st.st_ino);
+  id.mtime_ns = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ULL +
+                static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+  id.size = static_cast<std::uint64_t>(st.st_size);
+  return id;
+}
+
+}  // namespace
+
+FileIdentity identity_of_fd(int fd) noexcept {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) return FileIdentity{};
+  return from_stat(st);
+}
+
+Result<FileIdentity> file_identity(const std::filesystem::path& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    const int err = errno;
+    return Error{err == ENOENT ? ErrorCode::kNotFound : ErrorCode::kIoError,
+                 "cannot stat " + path.string() + ": " + std::strerror(err)};
+  }
+  return from_stat(st);
+}
+
+}  // namespace mcsd::storage

@@ -1,0 +1,51 @@
+// On-disk file identity: the (inode, mtime_ns, size) triple the storage
+// tier already uses to revalidate cached pages (BufferManager::open_file
+// drops stale frames when it changes).
+//
+// Exposed as its own header because the identity doubles as the input
+// *fingerprint* of the daemon's result cache (src/cache/): a module
+// invocation over an unchanged file can be answered from the cache, and
+// any rewrite — new inode from an atomic rename, newer mtime, different
+// size — changes the fingerprint and thereby invalidates every cached
+// result derived from the old bytes, without re-hashing the corpus.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "core/result.hpp"
+
+namespace mcsd::storage {
+
+struct FileIdentity {
+  std::uint64_t inode = 0;
+  std::uint64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+
+  bool operator==(const FileIdentity&) const = default;
+
+  /// Mixes the triple into one 64-bit digest (splitmix-style finalising
+  /// of each word).  Not cryptographic — it only needs to change when
+  /// the identity changes, which the triple already guarantees up to
+  /// 64-bit collisions.
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    const auto mix = [](std::uint64_t h, std::uint64_t v) noexcept {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      return h ^ (h >> 27);
+    };
+    std::uint64_t h = 0x243F6A8885A308D3ULL;
+    h = mix(h, inode);
+    h = mix(h, mtime_ns);
+    h = mix(h, size);
+    return h;
+  }
+};
+
+/// Identity of an open descriptor (zeros if fstat fails).
+FileIdentity identity_of_fd(int fd) noexcept;
+
+/// Identity of a path; kNotFound / kIoError when it cannot be stat'ed.
+Result<FileIdentity> file_identity(const std::filesystem::path& path);
+
+}  // namespace mcsd::storage

@@ -89,6 +89,26 @@ grep -q '"output_identical_warm_cold": true' BENCH_outofcore.json || {
   echo "storage suite: warm output diverged from cold"; exit 1;
 }
 
+# bench_record cache: a tiny run against a live daemon must record the
+# cold / warm-miss / hit latency split, the zipf-trace hit rate, and the
+# hit-equals-cold byte-identity probe.  CI uploads BENCH_fam.json as an
+# artifact.
+"$TOOLS_DIR/bench_record" --suite cache --bytes 256K --reps 2 \
+    --workers 2 --label smoke --out BENCH_fam.json > /dev/null
+for needle in cold_p50_ms warm_miss_p50_ms hit_p50_ms hit_p99_ms \
+    hit_over_cold_p50 zipf_hit_rate zipf_hit_p50_ms \
+    output_identical_hit_cold cache_entries cache_evictions; do
+  grep -q "$needle" BENCH_fam.json || {
+    echo "BENCH_fam.json: missing '$needle'"; exit 1;
+  }
+done
+grep -q '"output_identical_hit_cold": true' BENCH_fam.json || {
+  echo "cache suite: hit payload diverged from cold"; exit 1;
+}
+grep -q '"hit_phase_all_hits": true' BENCH_fam.json || {
+  echo "cache suite: identical re-ask missed the result cache"; exit 1;
+}
+
 # bench_record mapreduce: a tiny run must record the per-phase breakdown,
 # scaling efficiency, and the worker-state-reuse A/B.  CI uploads the
 # JSON as an artifact.

@@ -455,6 +455,160 @@ TEST(ClientRetry, ExhaustedAttemptsReportAttemptCount) {
   EXPECT_NE(result.error().message().find("attempt 3/3"), std::string::npos);
 }
 
+// A cacheable module: declares its input file via cache_inputs and
+// counts real executions, so the tests can tell "served from cache"
+// (counter flat) from "dispatched" (counter bumped).
+std::shared_ptr<Module> counting_module(std::atomic<int>& executions) {
+  auto module = std::make_shared<FunctionModule>(
+      "counted", [&executions](const KeyValueMap& params) -> Result<KeyValueMap> {
+        executions.fetch_add(1);
+        KeyValueMap out;
+        out.set("input", params.get_or("input", ""));
+        out.set_int("runs", executions.load());
+        return out;
+      });
+  module->set_cache_inputs(
+      [](const KeyValueMap& params)
+          -> std::optional<std::vector<std::filesystem::path>> {
+        const auto input = params.get("input");
+        if (!input) return std::nullopt;
+        return std::vector<std::filesystem::path>{*input};
+      });
+  return module;
+}
+
+TEST_F(FamFixture, RepeatedInvokeServedFromResultCache) {
+  std::atomic<int> executions{0};
+  ASSERT_TRUE(daemon.preload(counting_module(executions)).is_ok());
+  daemon.start();
+
+  const auto corpus = log_dir / "corpus.txt";
+  ASSERT_TRUE(write_file(corpus, "the quick brown fox").is_ok());
+  KeyValueMap params;
+  params.set("input", corpus.string());
+
+  InvokeInfo first_info;
+  const auto first = client.invoke("counted", params, &first_info);
+  ASSERT_TRUE(first.is_ok()) << first.error().to_string();
+  EXPECT_EQ(first_info.cache, CacheState::kMiss);
+  EXPECT_NE(first_info.cache_epoch, 0u);
+  EXPECT_EQ(executions.load(), 1);
+
+  InvokeInfo second_info;
+  const auto second = client.invoke("counted", params, &second_info);
+  ASSERT_TRUE(second.is_ok()) << second.error().to_string();
+  EXPECT_EQ(second_info.cache, CacheState::kHit);
+  EXPECT_EQ(second_info.cache_epoch, first_info.cache_epoch);
+  EXPECT_EQ(executions.load(), 1) << "hit must not re-run the module";
+  // Byte-identical result: the hit replays the miss's payload exactly.
+  EXPECT_EQ(second.value().serialize(), first.value().serialize());
+  EXPECT_EQ(daemon.cache_hits(), 1u);
+  EXPECT_EQ(daemon.cache_misses(), 1u);
+
+  // Different params → different slot → miss and a real execution.
+  params.set_int("extra", 7);
+  InvokeInfo third_info;
+  ASSERT_TRUE(client.invoke("counted", params, &third_info).is_ok());
+  EXPECT_EQ(third_info.cache, CacheState::kMiss);
+  EXPECT_EQ(executions.load(), 2);
+}
+
+TEST_F(FamFixture, RewritingInputInvalidatesCachedResult) {
+  std::atomic<int> executions{0};
+  ASSERT_TRUE(daemon.preload(counting_module(executions)).is_ok());
+  daemon.start();
+
+  const auto corpus = log_dir / "corpus.txt";
+  ASSERT_TRUE(write_file(corpus, "version one").is_ok());
+  KeyValueMap params;
+  params.set("input", corpus.string());
+
+  InvokeInfo miss_info;
+  ASSERT_TRUE(client.invoke("counted", params, &miss_info).is_ok());
+  InvokeInfo hit_info;
+  ASSERT_TRUE(client.invoke("counted", params, &hit_info).is_ok());
+  ASSERT_EQ(hit_info.cache, CacheState::kHit);
+  ASSERT_EQ(executions.load(), 1);
+
+  // Rewrite with a different size: the identity triple changes even if
+  // the mtime tick is coarse, so the cached entry must die.
+  ASSERT_TRUE(write_file(corpus, "version two, now longer").is_ok());
+  InvokeInfo invalidated_info;
+  const auto recomputed = client.invoke("counted", params, &invalidated_info);
+  ASSERT_TRUE(recomputed.is_ok());
+  EXPECT_EQ(invalidated_info.cache, CacheState::kMiss);
+  EXPECT_GT(invalidated_info.cache_epoch, hit_info.cache_epoch);
+  EXPECT_EQ(executions.load(), 2);
+  ASSERT_NE(daemon.result_cache(), nullptr);
+  EXPECT_EQ(daemon.result_cache()->stats().invalidations, 1u);
+
+  // The refilled entry serves hits again.
+  InvokeInfo rehit_info;
+  ASSERT_TRUE(client.invoke("counted", params, &rehit_info).is_ok());
+  EXPECT_EQ(rehit_info.cache, CacheState::kHit);
+  EXPECT_EQ(rehit_info.cache_epoch, invalidated_info.cache_epoch);
+  EXPECT_EQ(executions.load(), 2);
+}
+
+TEST_F(FamFixture, ModuleWithoutCacheInputsNeverCached) {
+  ASSERT_TRUE(daemon.preload(echo_module()).is_ok());
+  daemon.start();
+  KeyValueMap params;
+  params.set("msg", "hi");
+  for (int i = 0; i < 2; ++i) {
+    InvokeInfo info;
+    ASSERT_TRUE(client.invoke("echo", params, &info).is_ok());
+    EXPECT_EQ(info.cache, CacheState::kNone);
+    EXPECT_EQ(info.cache_epoch, 0u);
+  }
+  EXPECT_EQ(daemon.cache_hits(), 0u);
+  EXPECT_EQ(daemon.cache_misses(), 0u);
+}
+
+TEST(ResultCacheConfig, ZeroBytesDisablesTheCache) {
+  TempDir dir{"famnocache"};
+  DaemonOptions options{dir.path(), std::chrono::milliseconds{1}, 2};
+  options.result_cache_bytes = 0;
+  Daemon daemon{options};
+  EXPECT_EQ(daemon.result_cache(), nullptr);
+
+  std::atomic<int> executions{0};
+  ASSERT_TRUE(daemon.preload(counting_module(executions)).is_ok());
+  daemon.start();
+  const auto corpus = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(corpus, "uncached").is_ok());
+  Client client{ClientOptions{dir.path(), std::chrono::milliseconds{1},
+                              std::chrono::milliseconds{30'000}}};
+  KeyValueMap params;
+  params.set("input", corpus.string());
+  for (int i = 0; i < 2; ++i) {
+    InvokeInfo info;
+    ASSERT_TRUE(client.invoke("counted", params, &info).is_ok());
+    EXPECT_EQ(info.cache, CacheState::kNone);
+  }
+  EXPECT_EQ(executions.load(), 2);
+  daemon.stop();
+}
+
+TEST(ResultCacheConfig, ParsesAndRejectsConfigValues) {
+  const auto parsed = KeyValueMap::parse("result_cache_bytes=8M\n");
+  ASSERT_TRUE(parsed.is_ok());
+  const auto options = daemon_options_from_config(parsed.value());
+  ASSERT_TRUE(options.is_ok());
+  EXPECT_EQ(options.value().result_cache_bytes, 8u << 20);
+
+  const auto disabled = KeyValueMap::parse("result_cache_bytes=0\n");
+  ASSERT_TRUE(disabled.is_ok());
+  EXPECT_EQ(daemon_options_from_config(disabled.value())
+                .value()
+                .result_cache_bytes,
+            0u);
+
+  const auto bad = KeyValueMap::parse("result_cache_bytes=lots\n");
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_FALSE(daemon_options_from_config(bad.value()).is_ok());
+}
+
 TEST(ModuleRegistry, Basics) {
   ModuleRegistry registry;
   EXPECT_TRUE(registry.add(echo_module()).is_ok());

@@ -65,6 +65,62 @@ TEST(Protocol, ResponseRoundTripError) {
   EXPECT_EQ(decoded.error_message, "dimension mismatch");
 }
 
+TEST(Protocol, CacheDispositionRoundTrips) {
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 9;
+  r.module = "wordcount";
+  r.ok = true;
+  r.cache = CacheState::kHit;
+  r.cache_epoch = 17;
+  const std::string wire = encode_record(r);
+  EXPECT_NE(wire.find("mcsd.cache=hit"), std::string::npos);
+  EXPECT_NE(wire.find("mcsd.epoch=17"), std::string::npos);
+  const auto decoded = decode_record(wire).value();
+  EXPECT_EQ(decoded.cache, CacheState::kHit);
+  EXPECT_EQ(decoded.cache_epoch, 17u);
+
+  r.cache = CacheState::kMiss;
+  const auto miss = decode_record(encode_record(r)).value();
+  EXPECT_EQ(miss.cache, CacheState::kMiss);
+  EXPECT_EQ(miss.cache_epoch, 17u);
+}
+
+TEST(Protocol, CacheFieldsAbsentByDefault) {
+  // A response that never consulted the cache (module not cacheable, or
+  // cache disabled) must not grow new wire keys — old clients see the
+  // exact pre-cache format.
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 10;
+  r.module = "echo";
+  r.ok = true;
+  const std::string wire = encode_record(r);
+  EXPECT_EQ(wire.find("mcsd.cache"), std::string::npos);
+  EXPECT_EQ(wire.find("mcsd.epoch"), std::string::npos);
+  const auto decoded = decode_record(wire).value();
+  EXPECT_EQ(decoded.cache, CacheState::kNone);
+  EXPECT_EQ(decoded.cache_epoch, 0u);
+}
+
+TEST(Protocol, BadCacheValueRejected) {
+  // A record whose mcsd.cache carries anything but hit/miss is a
+  // protocol error, not a silent kNone — catching daemon/client version
+  // skew loudly.  (Smuggling the bad value through the payload keeps the
+  // crc trailer valid, so decode reaches the cache-field parse.)
+  Record r;
+  r.type = RecordType::kResponse;
+  r.seq = 11;
+  r.module = "echo";
+  r.ok = true;
+  r.payload.set("mcsd.cache", "hot");
+  const auto decoded = decode_record(encode_record(r));
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kProtocolError);
+  EXPECT_NE(decoded.error().message().find("bad mcsd.cache"),
+            std::string::npos);
+}
+
 TEST(Protocol, StaleReplyLastSeqRoundTrips) {
   Record r;
   r.type = RecordType::kResponse;

@@ -1,0 +1,229 @@
+// Unit tests for the daemon-side module-result cache (ISSUE 8): key
+// equality through the canonical parameter serialisation, fingerprints
+// from on-disk identity, bounded-bytes LRU eviction, invalidation when
+// an input file changes underneath an entry, and 8-thread concurrent
+// get/put (this binary runs under TSan in CI).
+#include "cache/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/io.hpp"
+#include "storage/identity.hpp"
+
+namespace mcsd::cache {
+namespace {
+
+KeyValueMap result_of(std::string_view value) {
+  KeyValueMap map;
+  map.set("answer", std::string{value});
+  return map;
+}
+
+TEST(Fingerprint, StableForUnchangedFiles) {
+  TempDir dir{"cache"};
+  const auto a = dir / "a.txt";
+  const auto b = dir / "b.txt";
+  ASSERT_TRUE(write_file(a, "alpha").is_ok());
+  ASSERT_TRUE(write_file(b, "bravo!").is_ok());
+
+  const auto first = fingerprint_inputs({a, b});
+  const auto second = fingerprint_inputs({a, b});
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+TEST(Fingerprint, OrderSensitive) {
+  TempDir dir{"cache"};
+  const auto a = dir / "a.txt";
+  const auto b = dir / "b.txt";
+  ASSERT_TRUE(write_file(a, "alpha").is_ok());
+  ASSERT_TRUE(write_file(b, "bravo!").is_ok());
+
+  const auto ab = fingerprint_inputs({a, b});
+  const auto ba = fingerprint_inputs({b, a});
+  ASSERT_TRUE(ab.is_ok());
+  ASSERT_TRUE(ba.is_ok());
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(Fingerprint, ChangesWhenFileRewritten) {
+  TempDir dir{"cache"};
+  const auto path = dir / "corpus.txt";
+  ASSERT_TRUE(write_file(path, "original bytes").is_ok());
+  const auto before = fingerprint_inputs({path});
+  ASSERT_TRUE(before.is_ok());
+
+  // Different size guarantees a different identity even if the rewrite
+  // lands within the filesystem's mtime granularity.
+  ASSERT_TRUE(write_file(path, "rewritten, longer bytes").is_ok());
+  const auto after = fingerprint_inputs({path});
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_NE(before.value(), after.value());
+}
+
+TEST(Fingerprint, FailsOnMissingInput) {
+  TempDir dir{"cache"};
+  const auto result = fingerprint_inputs({dir / "nope.txt"});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultCache, HitRequiresModuleParamsAndFingerprint) {
+  ResultCache cache;
+  KeyValueMap params;
+  params.set("input", "/data/a.txt");
+  params.set_uint("workers", 4);
+  const std::string canon = params.serialize();
+
+  EXPECT_NE(cache.put("wordcount", canon, 11, result_of("w")), 0u);
+
+  // Exact key: hit.
+  auto hit = cache.get("wordcount", canon, 11);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result.get("answer"), "w");
+
+  // Any component off: miss.
+  EXPECT_FALSE(cache.get("stringmatch", canon, 11).has_value());
+  KeyValueMap other = params;
+  other.set_uint("workers", 8);
+  EXPECT_FALSE(cache.get("wordcount", other.serialize(), 11).has_value());
+}
+
+TEST(ResultCache, CanonicalSerializationIgnoresInsertionOrder) {
+  ResultCache cache;
+  KeyValueMap forward;
+  forward.set("input", "/data/a.txt");
+  forward.set_uint("workers", 4);
+  KeyValueMap backward;
+  backward.set_uint("workers", 4);
+  backward.set("input", "/data/a.txt");
+
+  ASSERT_NE(cache.put("wordcount", forward.serialize(), 5, result_of("x")),
+            0u);
+  EXPECT_TRUE(cache.get("wordcount", backward.serialize(), 5).has_value());
+}
+
+TEST(ResultCache, FingerprintMismatchInvalidatesEagerly) {
+  ResultCache cache;
+  ASSERT_NE(cache.put("wordcount", "p", 1, result_of("stale")), 0u);
+
+  // The input file changed: same slot, new fingerprint.  The stale entry
+  // must be erased, not merely skipped — a later probe with the *old*
+  // fingerprint must not resurrect it.
+  EXPECT_FALSE(cache.get("wordcount", "p", 2).has_value());
+  EXPECT_FALSE(cache.get("wordcount", "p", 1).has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(ResultCache, EpochGrowsAcrossInvalidationAndRefill) {
+  ResultCache cache;
+  const std::uint64_t first = cache.put("wordcount", "p", 1, result_of("v1"));
+  ASSERT_NE(first, 0u);
+  EXPECT_FALSE(cache.get("wordcount", "p", 2).has_value());
+  const std::uint64_t second = cache.put("wordcount", "p", 2, result_of("v2"));
+  EXPECT_GT(second, first);
+
+  auto hit = cache.get("wordcount", "p", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->epoch, second);
+  EXPECT_EQ(hit->result.get("answer"), "v2");
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  CacheOptions options;
+  options.capacity_bytes = 1024;
+  ResultCache cache{options};
+
+  // Each entry costs ~200 bytes, so ~5 fit.  Insert 8 and keep entry "0"
+  // hot with a read between inserts: "0" must survive, the coldest of
+  // the rest must not.
+  const std::string payload(32, 'x');
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(cache.put("m", "params-" + std::to_string(i), 7,
+                        result_of(payload)),
+              0u);
+    EXPECT_TRUE(cache.get("m", "params-0", 7).has_value());
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 1024u);
+  EXPECT_TRUE(cache.get("m", "params-0", 7).has_value());
+  EXPECT_FALSE(cache.get("m", "params-1", 7).has_value());
+}
+
+TEST(ResultCache, RejectsEntriesLargerThanCapacity) {
+  CacheOptions options;
+  options.capacity_bytes = 256;
+  ResultCache cache{options};
+
+  EXPECT_EQ(cache.put("m", "p", 1, result_of(std::string(4096, 'y'))), 0u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.oversize_rejects, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(ResultCache, ClearDropsEntriesKeepsMonotoneStats) {
+  ResultCache cache;
+  ASSERT_NE(cache.put("m", "p", 1, result_of("v")), 0u);
+  ASSERT_TRUE(cache.get("m", "p", 1).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.get("m", "p", 1).has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(ResultCache, ConcurrentGetPutFromEightThreads) {
+  CacheOptions options;
+  options.capacity_bytes = 8 * 1024;  // small enough to force evictions
+  ResultCache cache{options};
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &observed_hits, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // 16 shared slots; fingerprint flips occasionally so the
+        // invalidation path races with hits, puts, and evictions.
+        const std::string params = "slot-" + std::to_string((t + i) % 16);
+        const std::uint64_t fp = 1 + (i % 50 == 0 ? 1u : 0u);
+        if (auto hit = cache.get("m", params, fp)) {
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+          ASSERT_TRUE(hit->result.get("answer").has_value());
+        } else {
+          cache.put("m", params, fp, result_of("thread-" + std::to_string(t)));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace mcsd::cache

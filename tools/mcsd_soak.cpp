@@ -18,14 +18,21 @@
 //   mcsd_soak --seed 1..5 --faults default --backend both
 //             [--clients 4] [--invokes 6] [--timeout-ms 300]
 //             [--attempts 5] [--poll-ms 2] [--ooc-bytes 256K]
-//             [--reinvoke N] [--report soak.json] [--verbose]
+//             [--reinvoke N] [--zipf N] [--report soak.json] [--verbose]
 //
 // `--reinvoke N` adds a storage-tier phase: the same out-of-core
 // wordcount job is invoked N+1 times against the live daemon (whose
 // modules share its long-lived buffer pool), still under the fault
-// plan.  Run 1 is cold, runs 2..N+1 are warm from the pool; the full
-// count table must stay byte-identical and the warm runs must actually
-// hit the pool.
+// plan.  Run 1 is cold, runs 2..N+1 are warm — served either from the
+// daemon's result cache (a hit never touches the pool) or from pool
+// pages; the full count table must stay byte-identical either way.
+//
+// `--zipf N` adds a serving-tier phase: N invokes drawn zipf(1.0) over
+// several distinct corpus files, still under the fault plan.  Every
+// result-cache hit must be byte-identical to the miss that populated its
+// entry (same epoch), and after the trace one corpus file is mutated and
+// re-asked: the response must NOT be a hit on the old entry — the
+// identity change must have invalidated it.
 //
 // Exit status: 0 when every run of every seed/backend held all three
 // invariants, 1 otherwise (violations are listed on stderr and in the
@@ -48,6 +55,7 @@
 #include "core/fault.hpp"
 #include "core/io.hpp"
 #include "core/log.hpp"
+#include "core/random.hpp"
 #include "core/strings.hpp"
 #include "fam/client.hpp"
 #include "fam/daemon.hpp"
@@ -68,6 +76,7 @@ struct SoakConfig {
   std::chrono::milliseconds daemon_poll{2};
   std::uint64_t ooc_bytes = 256 * 1024;
   int reinvoke = 0;
+  int zipf = 0;
   std::string report_path;
   bool verbose = false;
 };
@@ -88,6 +97,11 @@ struct RunStats {
   std::uint64_t ooc_runs = 0;
   std::uint64_t reinvokes = 0;
   std::uint64_t reinvoke_pool_hits = 0;
+  std::uint64_t reinvoke_cache_hits = 0;
+  std::uint64_t zipf_invokes = 0;
+  std::uint64_t zipf_hits = 0;
+  std::uint64_t zipf_hits_verified = 0;
+  bool zipf_invalidation_observed = false;
   double wall_seconds = 0.0;
   std::vector<std::string> violations;
 };
@@ -417,10 +431,14 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
       storage::PoolStats after_cold;
       std::uint64_t warm_successes = 0;
       for (int i = 0; i <= config.reinvoke; ++i) {
-        auto result = client_a.invoke("wordcount", params);
+        fam::InvokeInfo info;
+        auto result = client_a.invoke("wordcount", params, &info);
         {
           std::lock_guard lock{stats_mutex};
           ++stats.reinvokes;
+          if (result && info.cache == fam::CacheState::kHit) {
+            ++stats.reinvoke_cache_hits;
+          }
         }
         if (!result) {
           // Channel errors are legitimate under faults; anything else
@@ -453,8 +471,133 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
       if (warm_successes > 0) {
         const storage::PoolStats after_warm = daemon.buffer_pool()->stats();
         stats.reinvoke_pool_hits = after_warm.hits - after_cold.hits;
-        if (stats.reinvoke_pool_hits == 0) {
-          violation("warm reinvokes never hit the daemon's buffer pool");
+        // A warm reinvoke must be served warm somewhere: either the
+        // result cache answered it outright (never touching the pool),
+        // or the module re-ran against pool-resident pages.
+        if (stats.reinvoke_pool_hits == 0 && stats.reinvoke_cache_hits == 0) {
+          violation("warm reinvokes hit neither the result cache nor the "
+                    "daemon's buffer pool");
+        }
+      }
+    }
+
+    if (config.zipf > 0) {
+      // Serving-tier phase: a zipf(1.0)-skewed repeat-traffic trace over
+      // several distinct corpus files, still under the fault plan.
+      // Assertions: (1) every result-cache hit whose epoch matches a miss
+      // we observed is byte-identical to that miss's full payload — the
+      // cache must replay, not approximate; (2) mutating a corpus file
+      // afterwards invalidates its entry — the re-ask must not be served
+      // from the old cached result.
+      constexpr std::size_t kZipfFiles = 4;
+      std::vector<std::filesystem::path> zipf_inputs;
+      bool zipf_ready = true;
+      for (std::size_t j = 0; j < kZipfFiles; ++j) {
+        const auto path =
+            data_dir / ("zipf_" + std::to_string(j) + ".txt");
+        // Written under the fault plan; write_file retries are the
+        // caller's job, so fall back to skipping the phase on failure.
+        if (!write_file(path, make_text(seed * 31 + j, 16 * 1024))) {
+          zipf_ready = false;
+          break;
+        }
+        zipf_inputs.push_back(path);
+      }
+      if (!zipf_ready) {
+        violation("cannot write zipf corpus files");
+      } else {
+        ZipfSampler zipf_ranks{kZipfFiles, 1.0};
+        Rng zipf_rng{seed ^ 0x5A1Fu};
+        // Per rank: the payload + epoch of the last observed miss.
+        std::vector<std::string> miss_payload(kZipfFiles);
+        std::vector<std::uint64_t> miss_epoch(kZipfFiles, 0);
+        const auto invoke_rank = [&](std::size_t rank, fam::InvokeInfo& info)
+            -> Result<KeyValueMap> {
+          KeyValueMap params;
+          params.set("input", zipf_inputs[rank].string());
+          params.set_uint("workers", 2);
+          params.set_bool("full_counts", true);
+          return client_a.invoke("wordcount", params, &info);
+        };
+        for (int i = 0; i < config.zipf; ++i) {
+          const std::size_t rank = zipf_ranks.sample(zipf_rng);
+          fam::InvokeInfo info;
+          auto result = invoke_rank(rank, info);
+          {
+            std::lock_guard lock{stats_mutex};
+            ++stats.zipf_invokes;
+          }
+          if (!result) {
+            if (!allowed_error(result.error().code())) {
+              violation("zipf invoke returned a non-channel error: " +
+                        result.error().to_string());
+            }
+            continue;
+          }
+          const std::string payload = result.value().serialize();
+          if (info.cache == fam::CacheState::kMiss) {
+            miss_payload[rank] = payload;
+            miss_epoch[rank] = info.cache_epoch;
+          } else if (info.cache == fam::CacheState::kHit) {
+            std::lock_guard lock{stats_mutex};
+            ++stats.zipf_hits;
+            if (info.cache_epoch == miss_epoch[rank] &&
+                !miss_payload[rank].empty()) {
+              ++stats.zipf_hits_verified;
+              if (payload != miss_payload[rank]) {
+                stats.violations.push_back(
+                    "zipf hit diverged from the miss that populated it "
+                    "(rank " + std::to_string(rank) + ", epoch " +
+                    std::to_string(info.cache_epoch) + ")");
+                std::fprintf(stderr, "[soak seed=%llu %s] VIOLATION: %s\n",
+                             static_cast<unsigned long long>(seed),
+                             stats.backend.c_str(),
+                             stats.violations.back().c_str());
+              }
+            }
+          }
+        }
+        // Mutation check: grow rank 0's file (identity change: size and
+        // mtime move) and re-ask.  A response served as a hit on the old
+        // epoch means invalidation failed.
+        const std::uint64_t old_epoch = miss_epoch[0];
+        if (auto grown = read_file(zipf_inputs[0])) {
+          std::string mutated = std::move(grown).value();
+          mutated += "mutation sentinel words appended by the soak\n";
+          if (write_file(zipf_inputs[0], mutated)) {
+            for (int attempt = 0; attempt < 5; ++attempt) {
+              fam::InvokeInfo info;
+              auto result = invoke_rank(0, info);
+              if (!result) {
+                if (!allowed_error(result.error().code())) {
+                  violation("post-mutation invoke returned a non-channel "
+                            "error: " + result.error().to_string());
+                  break;
+                }
+                continue;
+              }
+              if (info.cache == fam::CacheState::kHit &&
+                  info.cache_epoch == old_epoch && old_epoch != 0) {
+                violation("mutated corpus file was served from its stale "
+                          "cache entry (epoch " + std::to_string(old_epoch) +
+                          ")");
+              } else {
+                std::lock_guard lock{stats_mutex};
+                stats.zipf_invalidation_observed = true;
+              }
+              break;
+            }
+            if (!stats.zipf_invalidation_observed &&
+                stats.violations.empty()) {
+              // Every post-mutation attempt drowned in channel faults —
+              // rare, but not an invalidation failure.
+              std::fprintf(stderr,
+                           "[soak seed=%llu %s] note: mutation check "
+                           "inconclusive (channel faults)\n",
+                           static_cast<unsigned long long>(seed),
+                           stats.backend.c_str());
+            }
+          }
         }
       }
     }
@@ -514,6 +657,14 @@ std::string report_json(const std::vector<RunStats>& runs,
             ", \"reinvokes\": " + std::to_string(r.reinvokes) +
             ", \"reinvoke_pool_hits\": " +
             std::to_string(r.reinvoke_pool_hits) +
+            ", \"reinvoke_cache_hits\": " +
+            std::to_string(r.reinvoke_cache_hits) +
+            ", \"zipf_invokes\": " + std::to_string(r.zipf_invokes) +
+            ", \"zipf_hits\": " + std::to_string(r.zipf_hits) +
+            ", \"zipf_hits_verified\": " +
+            std::to_string(r.zipf_hits_verified) +
+            ", \"zipf_invalidation_observed\": " +
+            (r.zipf_invalidation_observed ? "true" : "false") +
             ", \"daemon_requests\": " + std::to_string(r.daemon_requests) +
             ", \"daemon_errors\": " + std::to_string(r.daemon_errors) +
             ", \"response_conflicts\": " +
@@ -592,6 +743,9 @@ int main(int argc, char** argv) {
   cli.add_option("reinvoke", "0",
                  "re-run the same out-of-core job N more times against the "
                  "live daemon (cold-vs-warm storage-tier check)");
+  cli.add_option("zipf", "0",
+                 "run N zipf(1.0)-skewed repeated invokes over distinct "
+                 "corpus files (result-cache identity + invalidation check)");
   cli.add_option("report", "", "write a JSON soak report here");
   cli.add_flag("verbose", "log every failed attempt");
   if (Status s = cli.parse(argc, argv); !s) {
@@ -630,6 +784,8 @@ int main(int argc, char** argv) {
                               4 * 1024);
   config.reinvoke = static_cast<int>(
       std::max<std::int64_t>(cli.option_int("reinvoke").value_or(0), 0));
+  config.zipf = static_cast<int>(
+      std::max<std::int64_t>(cli.option_int("zipf").value_or(0), 0));
   config.report_path = cli.option("report");
   config.verbose = cli.flag("verbose");
   const std::string backend = cli.option("backend");
@@ -661,7 +817,8 @@ int main(int argc, char** argv) {
       std::printf(
           "seed=%llu backend=%s: %llu invokes (%llu ok), %llu faults "
           "injected, %llu conflicts, %llu stale replies, %llu ooc runs, "
-          "%llu reinvokes (%llu pool hits), %.1fs — %s\n",
+          "%llu reinvokes (%llu pool hits, %llu cache hits), %llu zipf "
+          "(%llu hits, %llu verified), %.1fs — %s\n",
           static_cast<unsigned long long>(stats.seed), stats.backend.c_str(),
           static_cast<unsigned long long>(stats.invokes_total),
           static_cast<unsigned long long>(stats.successes),
@@ -671,6 +828,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.ooc_runs),
           static_cast<unsigned long long>(stats.reinvokes),
           static_cast<unsigned long long>(stats.reinvoke_pool_hits),
+          static_cast<unsigned long long>(stats.reinvoke_cache_hits),
+          static_cast<unsigned long long>(stats.zipf_invokes),
+          static_cast<unsigned long long>(stats.zipf_hits),
+          static_cast<unsigned long long>(stats.zipf_hits_verified),
           stats.wall_seconds,
           stats.violations.empty() ? "OK" : "VIOLATIONS");
       total_violations += stats.violations.size();
