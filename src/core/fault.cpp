@@ -172,6 +172,23 @@ std::string_view to_string(Kind kind) noexcept {
   return "unknown";
 }
 
+bool FaultPlan::path_matches(std::string_view path) const noexcept {
+  if (path_filter.empty()) return true;
+  std::string_view rest = path_filter;
+  while (!rest.empty()) {
+    const std::size_t bar = rest.find('|');
+    const std::string_view alternative =
+        bar == std::string_view::npos ? rest : rest.substr(0, bar);
+    rest = bar == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(bar + 1);
+    if (!alternative.empty() &&
+        path.find(alternative) != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<FaultPlan> FaultPlan::from_config(const KeyValueMap& config) {
   FaultPlan plan;
   for (const auto& [key, value] : config.entries()) {
@@ -249,8 +266,7 @@ Decision Injector::decide(Site site, std::string_view path) {
     plan = plan_;
   }
   if (!plan || plan->empty()) return {};
-  if (!plan->path_filter.empty() &&
-      path.find(plan->path_filter) == std::string_view::npos) {
+  if (!plan->path_matches(path)) {
     // Filtered paths do not consume steps: the targeted site's fault
     // sequence stays aligned no matter how much unrelated I/O runs.
     return {};

@@ -89,10 +89,18 @@ struct FaultPlan {
   std::uint64_t seed = 1;
   /// Stall applied by kDelayedRename.
   std::chrono::milliseconds rename_delay{5};
-  /// When non-empty, only paths containing this substring are faulted
-  /// (and only they consume site steps) — lets a soak target the log
-  /// folder while leaving unrelated I/O clean.
+  /// When non-empty, only paths matching the filter are faulted (and
+  /// only they consume site steps) — lets a soak target the log folder
+  /// while leaving unrelated I/O clean.  The filter is one or more
+  /// '|'-separated substring alternatives ("echo.log|shards/"), so a
+  /// plan aimed at the sharded mailbox channel can cover every
+  /// `shards/shard-<k>.log` and `replies/client-<id>.log` with one
+  /// entry instead of naming each file.  '|' rather than ',' because
+  /// commas double as record separators in inline specs.
   std::string path_filter;
+
+  /// True when `path` passes the filter (empty filter passes all).
+  [[nodiscard]] bool path_matches(std::string_view path) const noexcept;
   std::vector<Rule> rules;
 
   [[nodiscard]] bool empty() const noexcept { return rules.empty(); }

@@ -48,6 +48,39 @@ Result<std::string> read_file(const fs::path& path) {
   return contents;
 }
 
+Result<std::string> read_file_from(const fs::path& path,
+                                   std::uint64_t offset) {
+  const fault::Decision injected =
+      fault::check(fault::Site::kReadFile, path.native());
+  if (injected.kind == fault::Kind::kEio) {
+    return Error{ErrorCode::kIoError,
+                 "injected EIO reading " + path.string()};
+  }
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
+  }
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) {
+    return Error{ErrorCode::kIoError, "cannot stat " + path.string()};
+  }
+  const auto size = static_cast<std::uint64_t>(end);
+  if (offset >= size) return std::string{};
+  std::string contents;
+  contents.resize(static_cast<std::size_t>(size - offset));
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!in) {
+    return Error{ErrorCode::kIoError, "short read on " + path.string()};
+  }
+  if (injected.kind == fault::Kind::kTorn && !contents.empty()) {
+    contents.resize(static_cast<std::size_t>(injected.entropy %
+                                             contents.size()));
+  }
+  return contents;
+}
+
 Status write_file(const fs::path& path, std::string_view contents) {
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
   if (!out) {
@@ -62,14 +95,43 @@ Status write_file(const fs::path& path, std::string_view contents) {
 }
 
 Status append_file(const fs::path& path, std::string_view contents) {
+  const fault::Decision injected =
+      fault::check(fault::Site::kWriteFile, path.native());
+  switch (injected.kind) {
+    case fault::Kind::kEio:
+      return Status{ErrorCode::kIoError,
+                    "injected EIO appending to " + path.string()};
+    case fault::Kind::kEnospc:
+      return Status{ErrorCode::kIoError,
+                    "injected ENOSPC (no space left on device) appending to " +
+                        path.string()};
+    case fault::Kind::kDelayedRename:
+      // No rename here, but the same knob models an append whose
+      // visibility lags (NFS attribute-cache staleness).
+      std::this_thread::sleep_for(fault::Injector::instance().rename_delay());
+      break;
+    default:
+      break;
+  }
+  std::string_view effective = contents;
+  if ((injected.kind == fault::Kind::kTorn ||
+       injected.kind == fault::Kind::kShortWrite) &&
+      !contents.empty()) {
+    effective = contents.substr(
+        0, static_cast<std::size_t>(injected.entropy % contents.size()));
+  }
   std::ofstream out{path, std::ios::binary | std::ios::app};
   if (!out) {
     return Status{ErrorCode::kIoError, "cannot open " + path.string()};
   }
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.write(effective.data(), static_cast<std::streamsize>(effective.size()));
   out.flush();
   if (!out) {
     return Status{ErrorCode::kIoError, "short write on " + path.string()};
+  }
+  if (injected.kind == fault::Kind::kShortWrite) {
+    return Status{ErrorCode::kIoError,
+                  "injected short append on " + path.string()};
   }
   return Status::ok();
 }

@@ -23,10 +23,23 @@ namespace mcsd {
 /// Reads an entire file into a string.
 Result<std::string> read_file(const std::filesystem::path& path);
 
+/// Reads everything from byte `offset` to end-of-file — the tail of an
+/// append-only log since the last scan.  An offset at (or past) the
+/// current size yields an empty string.  Shares read_file's fault site,
+/// so an injected torn read hands back a prefix of the tail.
+Result<std::string> read_file_from(const std::filesystem::path& path,
+                                   std::uint64_t offset);
+
 /// Writes `contents` to `path`, truncating.  Not atomic.
 Status write_file(const std::filesystem::path& path, std::string_view contents);
 
-/// Appends `contents` to `path`, creating it if needed.
+/// Appends `contents` to `path`, creating it if needed.  Fault-
+/// instrumented at the same site as write_file_atomic (Site::kWriteFile):
+/// injected EIO/ENOSPC fail before touching the file, a torn append
+/// silently lands a prefix (corrupting the tail frame of an append-only
+/// mailbox — exactly the failure a frame crc exists to catch), a short
+/// append lands a prefix *and* reports the error, and a delayed append
+/// sleeps before becoming visible.
 Status append_file(const std::filesystem::path& path, std::string_view contents);
 
 /// Atomically replaces `path` with `contents` (temp file + rename within

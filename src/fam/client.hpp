@@ -8,6 +8,7 @@
 // callers serialise instead of clobbering each other.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -16,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/result.hpp"
@@ -35,8 +37,22 @@ struct ClientOptions {
   /// a single in-flight request.  Retries paper over a storage node that
   /// was still booting, a request record lost to a crash or suppressed
   /// watcher event, a response clobbered by another host's request, and
-  /// transient I/O failures writing the request itself.
+  /// transient I/O failures writing the request itself.  On the sharded
+  /// channel a retry simply re-sends under the slot's next seq (no
+  /// re-seeding needed: per-client seq spaces cannot collide).
   int max_attempts = 1;
+  /// Tenant label stamped on rev-2 requests for daemon-side QoS
+  /// accounting ("" = the default tenant).
+  std::string tenant;
+  /// Pin the rev-1 single-record module-log channel even when the daemon
+  /// advertises the sharded mailbox — A/B baselines and the legacy
+  /// contention tests.
+  bool force_legacy = false;
+  /// How many typed retry-after backpressure rejections one invoke
+  /// absorbs (honoured with jittered exponential backoff) before
+  /// surfacing kUnavailable.  Separate from max_attempts: a rejection is
+  /// the daemon talking, not a lost request.
+  int max_backpressure_retries = 10;
 };
 
 /// Per-invoke metadata the caller may opt into (tools print it, the soak
@@ -49,6 +65,14 @@ struct InvokeInfo {
   std::uint64_t cache_epoch = 0;
   /// Request write .. response observed, as measured by this client.
   double round_trip_seconds = 0.0;
+  /// Rev 2: how many coalesced requests shared this module run (1 =
+  /// solo run, 0 = legacy channel / daemon without the field).
+  std::uint64_t waiters = 0;
+  /// Rev 2: typed backpressure rejections absorbed before this invoke
+  /// succeeded.
+  int backpressure_retries = 0;
+  /// True when the invoke travelled the sharded mailbox channel.
+  bool sharded = false;
 };
 
 class Client {
@@ -67,21 +91,54 @@ class Client {
   [[nodiscard]] bool module_available(std::string_view module) const;
 
   [[nodiscard]] std::uint64_t invocations() const noexcept {
-    return invocations_;
+    return invocations_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// Which channel this client speaks — discovered lazily from the
+  /// daemon's `channel.mcsd` manifest.
+  enum class Channel : std::uint8_t {
+    kUnknown,  ///< no manifest seen yet; rev-1 used until one appears
+    kLegacy,   ///< forced, or the manifest is unusable
+    kSharded,  ///< rev-2 mailbox channel
+  };
+
+  /// One concurrent-invoke identity on the sharded channel: a unique
+  /// client id (fresh seq space, so cross-client collisions vanish by
+  /// construction) plus its private reply file.  Slots are pooled and
+  /// reused across invokes; each holds at most one request in flight.
+  struct Slot {
+    std::uint64_t client_id = 0;
+    std::uint64_t next_seq = 1;
+    /// Byte cursor into the append-only reply log: replies already
+    /// decoded are never re-read.
+    std::uint64_t reply_offset = 0;
+  };
+
   /// Reads the current record's seq (0 when the file is empty/comment).
   std::uint64_t current_seq(const std::filesystem::path& log) const;
 
+  /// Probes the channel manifest (result cached once conclusive).
+  Channel resolve_channel(std::size_t& shards);
+
+  Result<KeyValueMap> invoke_legacy(std::string_view module,
+                                    const KeyValueMap& params,
+                                    InvokeInfo* info);
+  Result<KeyValueMap> invoke_sharded(std::string_view module,
+                                     const KeyValueMap& params,
+                                     InvokeInfo* info, std::size_t shards);
+
   ClientOptions options_;
-  std::mutex mutex_;  ///< guards per_module_
+  std::mutex mutex_;  ///< guards per_module_, channel state, free_slots_
   struct PerModule {
     std::mutex in_flight;
     std::uint64_t next_seq = 0;  ///< 0 = not yet initialised from the file
   };
   std::map<std::string, std::unique_ptr<PerModule>, std::less<>> per_module_;
-  std::uint64_t invocations_ = 0;
+  Channel channel_ = Channel::kUnknown;
+  std::size_t shard_count_ = 0;
+  std::vector<std::unique_ptr<Slot>> free_slots_;
+  std::atomic<std::uint64_t> invocations_{0};
 };
 
 }  // namespace mcsd::fam

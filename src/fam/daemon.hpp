@@ -8,17 +8,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "cache/result_cache.hpp"
 #include "core/config.hpp"
 #include "core/mpmc_queue.hpp"
 #include "core/result.hpp"
+#include "fam/dispatch.hpp"
 #include "fam/inotify_watcher.hpp"
 #include "fam/module.hpp"
 #include "fam/protocol.hpp"
@@ -60,6 +63,19 @@ struct DaemonOptions {
   /// request for a pure module over unchanged inputs is answered from
   /// this cache without dispatching the module.  0 disables caching.
   std::size_t result_cache_bytes = 32ull << 20;
+  /// Rev-2 sharded mailbox channel (DESIGN.md §13): how many request
+  /// mailboxes the daemon drains.  0 turns the sharded channel off
+  /// entirely (rev-1 single-record module logs only).  The daemon always
+  /// keeps serving rev-1 module logs too, so legacy clients and tests
+  /// coexist with the sharded path.
+  std::size_t channel_shards = 8;
+  /// Admission-control bound: distinct module runs (batches) the
+  /// admission queue holds before rejecting with a typed retry-after
+  /// backpressure reply.  Coalesced joiners never count against it.
+  /// 0 = unbounded.
+  std::size_t admission_queue_limit = 256;
+  /// Drainer wakeup cadence: every wakeup drains all shards.
+  std::chrono::milliseconds drain_interval{1};
 };
 
 /// Builds DaemonOptions from a core/config KeyValueMap (the same
@@ -68,6 +84,9 @@ struct DaemonOptions {
 ///   log_dir=<path>  poll_interval_ms=<int>=2  dispatch_threads=<int>=1
 ///   backend=polling|inotify  pool_bytes=<bytes, units ok: "128MiB">
 ///   result_cache_bytes=<bytes, units ok; 0 disables>=32MiB
+///   channel_shards=<int; 0 disables the sharded channel>=8
+///   admission_queue_limit=<int; 0 = unbounded>=256
+///   drain_interval_ms=<int>=1
 /// Unknown keys error (a typo must not silently run defaults).
 Result<DaemonOptions> daemon_options_from_config(const KeyValueMap& config);
 
@@ -147,6 +166,50 @@ class Daemon {
     return dropped_on_shutdown_.load(std::memory_order_relaxed);
   }
 
+  // Sharded-channel counters (all 0 when channel_shards == 0).
+
+  /// Requests admitted as new batches.
+  [[nodiscard]] std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Requests bounced with a retry-after backpressure reply.
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Requests that joined an already-queued compatible batch.
+  [[nodiscard]] std::uint64_t coalesced() const noexcept {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  /// Queued requests replaced by a newer send from the same client.
+  [[nodiscard]] std::uint64_t superseded() const noexcept {
+    return superseded_.load(std::memory_order_relaxed);
+  }
+  /// Module runs executed for the sharded channel.
+  [[nodiscard]] std::uint64_t batches_run() const noexcept {
+    return batches_run_.load(std::memory_order_relaxed);
+  }
+  /// Requests shed for sitting in the queue past their deadline.
+  [[nodiscard]] std::uint64_t deadline_shed() const noexcept {
+    return deadline_shed_.load(std::memory_order_relaxed);
+  }
+  /// Replies suppressed because a newer reply for the client had already
+  /// been written (late fan-out after a supersede) — the guard that
+  /// makes responses exactly-once per awaited seq.
+  [[nodiscard]] std::uint64_t reply_conflicts() const noexcept {
+    return reply_conflicts_.load(std::memory_order_relaxed);
+  }
+  /// Per-shard drain cursors (frames drained / corrupt / suppressed
+  /// polls); index = shard number.  Snapshot, safe against the drainer.
+  [[nodiscard]] std::vector<dispatch::ShardDrain> shard_stats() const;
+  /// Per-tenant QoS snapshot.
+  [[nodiscard]] std::vector<dispatch::TenantQos> qos_snapshot() const {
+    return qos_.snapshot();
+  }
+  /// Shard count actually serving (0 = sharded channel off).
+  [[nodiscard]] std::size_t channel_shards() const noexcept {
+    return options_.channel_shards;
+  }
+
   /// The backend actually in use (inotify may have fallen back).
   [[nodiscard]] WatcherBackend active_backend() const noexcept {
     return active_backend_;
@@ -165,6 +228,16 @@ class Daemon {
   /// failures; each retry re-runs the conflict guard).
   static constexpr int kResponseWriteAttempts = 3;
 
+  /// Outcome of one module execution (shared by the rev-1 single-record
+  /// path and the rev-2 batch path).
+  struct ModuleRun {
+    bool ok = false;
+    std::string error_message;
+    KeyValueMap payload;
+    CacheState cache = CacheState::kNone;
+    std::uint64_t cache_epoch = 0;
+  };
+
   void on_file_change(const std::filesystem::path& path);
   /// Routes a decoded request through the seq gate: newer than the high-
   /// water mark -> dispatch, equal -> duplicate observation (dropped),
@@ -180,6 +253,23 @@ class Daemon {
   /// watcher may have fingerprinted it away already).
   void write_response(const Record& response);
 
+  /// Runs (or cache-answers) one invocation.  The module-execution core
+  /// both channels share.
+  ModuleRun run_module(const Record& request);
+
+  // Rev-2 sharded channel.
+  void drain_loop();
+  /// One pass over every shard: drain new frames and admit them.
+  void drain_pass();
+  /// Routes one drained request through admission (coalesce / supersede /
+  /// reject) and writes the rejection reply when bounced.
+  void admit(Record request);
+  void batch_loop();
+  void handle_batch(dispatch::Batch batch);
+  /// Atomically replaces the client's reply file, guarded so a reply for
+  /// an older seq never overwrites a newer one.
+  void write_reply(const Record& response);
+
   DaemonOptions options_;
   ModuleRegistry registry_;
   std::shared_ptr<storage::BufferManager> pool_;
@@ -194,6 +284,25 @@ class Daemon {
   std::mutex seq_mutex_;
   std::map<std::string, std::uint64_t> last_handled_seq_;
 
+  // Rev-2 sharded channel state (unused when channel_shards == 0).
+  std::unique_ptr<dispatch::AdmissionQueue> admission_;
+  dispatch::QosRegistry qos_;
+  mutable std::mutex shard_mutex_;  ///< guards shards_
+  std::vector<dispatch::ShardDrain> shards_;
+  std::thread drainer_;
+  std::vector<std::thread> batch_workers_;
+  std::mutex drain_stop_mutex_;
+  std::condition_variable drain_stop_cv_;
+  bool drain_stop_ = false;
+  /// Per-client reply-order guard: serialises writes to one reply file
+  /// and keeps its seq monotonic.
+  struct ReplySlot {
+    std::mutex mutex;
+    std::uint64_t last_seq = 0;
+  };
+  std::mutex reply_mutex_;  ///< guards reply_slots_ (the map, not slots)
+  std::map<std::uint64_t, std::unique_ptr<ReplySlot>> reply_slots_;
+
   std::atomic<std::uint64_t> requests_handled_{0};
   std::atomic<std::uint64_t> errors_returned_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
@@ -201,6 +310,13 @@ class Daemon {
   std::atomic<std::uint64_t> response_conflicts_{0};
   std::atomic<std::uint64_t> stale_replies_{0};
   std::atomic<std::uint64_t> dropped_on_shutdown_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> superseded_{0};
+  std::atomic<std::uint64_t> batches_run_{0};
+  std::atomic<std::uint64_t> deadline_shed_{0};
+  std::atomic<std::uint64_t> reply_conflicts_{0};
 };
 
 }  // namespace mcsd::fam

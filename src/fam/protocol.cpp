@@ -13,7 +13,14 @@ constexpr std::string_view kErrorKey = "mcsd.error";
 constexpr std::string_view kLastSeqKey = "mcsd.last";
 constexpr std::string_view kCacheKey = "mcsd.cache";
 constexpr std::string_view kEpochKey = "mcsd.epoch";
+constexpr std::string_view kClientKey = "mcsd.client";
+constexpr std::string_view kTenantKey = "mcsd.tenant";
+constexpr std::string_view kDeadlineKey = "mcsd.deadline";
+constexpr std::string_view kRetryKey = "mcsd.retry";
+constexpr std::string_view kWaitersKey = "mcsd.waiters";
 constexpr std::string_view kCrcKey = "mcsd.crc";
+constexpr std::string_view kManifestRevKey = "mcsd.rev";
+constexpr std::string_view kManifestShardsKey = "mcsd.shards";
 
 bool reserved_key(std::string_view key) {
   return key.size() >= 5 && key.substr(0, 5) == "mcsd.";
@@ -40,7 +47,22 @@ std::string encode_record(const Record& record) {
           record.type == RecordType::kRequest ? "request" : "response");
   map.set_uint(std::string{kSeqKey}, record.seq);
   map.set(std::string{kModuleKey}, record.module);
+  if (record.client_id != 0) {
+    map.set_uint(std::string{kClientKey}, record.client_id);
+  }
+  if (!record.tenant.empty()) {
+    map.set(std::string{kTenantKey}, record.tenant);
+  }
+  if (record.deadline_ms != 0) {
+    map.set_uint(std::string{kDeadlineKey}, record.deadline_ms);
+  }
   if (record.type == RecordType::kResponse) {
+    if (record.retry_after_ms != 0) {
+      map.set_uint(std::string{kRetryKey}, record.retry_after_ms);
+    }
+    if (record.waiters != 0) {
+      map.set_uint(std::string{kWaitersKey}, record.waiters);
+    }
     map.set(std::string{kStatusKey}, record.ok ? "ok" : "error");
     if (!record.ok) {
       map.set(std::string{kErrorKey}, record.error_message);
@@ -129,6 +151,18 @@ Result<Record> decode_record(std::string_view text) {
   }
   record.module = *module;
 
+  if (map.get(kClientKey)) {
+    auto client = map.get_uint(kClientKey);
+    if (!client) return client.error();
+    record.client_id = client.value();
+  }
+  record.tenant = map.get_or(kTenantKey, "");
+  if (map.get(kDeadlineKey)) {
+    auto deadline = map.get_uint(kDeadlineKey);
+    if (!deadline) return deadline.error();
+    record.deadline_ms = deadline.value();
+  }
+
   if (record.type == RecordType::kResponse) {
     const auto status = map.get(kStatusKey);
     if (!status || (*status != "ok" && *status != "error")) {
@@ -142,6 +176,16 @@ Result<Record> decode_record(std::string_view text) {
       auto last = map.get_uint(kLastSeqKey);
       if (!last) return last.error();
       record.last_seq = last.value();
+    }
+    if (map.get(kRetryKey)) {
+      auto retry = map.get_uint(kRetryKey);
+      if (!retry) return retry.error();
+      record.retry_after_ms = retry.value();
+    }
+    if (map.get(kWaitersKey)) {
+      auto waiters = map.get_uint(kWaitersKey);
+      if (!waiters) return waiters.error();
+      record.waiters = waiters.value();
     }
     if (const auto cache = map.get(kCacheKey)) {
       if (*cache == "hit") {
@@ -165,6 +209,79 @@ Result<Record> decode_record(std::string_view text) {
     }
   }
   return record;
+}
+
+std::string shard_file_name(std::size_t shard) {
+  return "shard-" + std::to_string(shard) + ".log";
+}
+
+std::string reply_file_name(std::uint64_t client_id) {
+  return "client-" + std::to_string(client_id) + ".log";
+}
+
+std::size_t shard_for_client(std::uint64_t client_id, std::size_t shards) {
+  if (shards <= 1) return 0;
+  // Fibonacci-style multiplicative mix: sequentially allocated ids must
+  // still spread across shards (`id % shards` would pin every client of
+  // a striding allocator onto a handful of mailboxes).
+  const std::uint64_t mixed = client_id * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>((mixed >> 32) % shards);
+}
+
+std::string encode_manifest(const ChannelManifest& manifest) {
+  KeyValueMap map;
+  map.set_uint(std::string{kManifestRevKey}, manifest.rev);
+  map.set_uint(std::string{kManifestShardsKey},
+               static_cast<std::uint64_t>(manifest.shards));
+  return map.serialize();
+}
+
+Result<ChannelManifest> decode_manifest(std::string_view text) {
+  auto parsed = KeyValueMap::parse(text);
+  if (!parsed) return parsed.error();
+  auto rev = parsed.value().get_uint(kManifestRevKey);
+  if (!rev) {
+    return Error{ErrorCode::kProtocolError, "manifest missing mcsd.rev"};
+  }
+  auto shards = parsed.value().get_uint(kManifestShardsKey);
+  if (!shards) {
+    return Error{ErrorCode::kProtocolError, "manifest missing mcsd.shards"};
+  }
+  if (shards.value() == 0) {
+    return Error{ErrorCode::kProtocolError, "manifest advertises 0 shards"};
+  }
+  ChannelManifest manifest;
+  manifest.rev = rev.value();
+  manifest.shards = static_cast<std::size_t>(shards.value());
+  return manifest;
+}
+
+FrameStream decode_frame_stream(std::string_view text) {
+  FrameStream stream;
+  const std::string crc_prefix = std::string{kCrcKey} + "=";
+  std::size_t frame_start = 0;
+  std::size_t cursor = 0;
+  while (cursor < text.size()) {
+    const std::size_t line_end = text.find('\n', cursor);
+    if (line_end == std::string_view::npos) break;  // incomplete tail line
+    const std::string_view line =
+        text.substr(cursor, line_end - cursor);
+    cursor = line_end + 1;
+    if (line.substr(0, crc_prefix.size()) != crc_prefix) continue;
+    // A complete frame: [frame_start, cursor).  Decode; a crc mismatch
+    // (torn or interleaved append) drops the frame but still consumes
+    // it — the stream resynchronises at the next frame boundary.
+    const std::string_view frame =
+        text.substr(frame_start, cursor - frame_start);
+    if (auto record = decode_record(frame)) {
+      stream.records.push_back(std::move(record).value());
+    } else {
+      ++stream.corrupt;
+    }
+    frame_start = cursor;
+  }
+  stream.consumed = frame_start;
+  return stream;
 }
 
 }  // namespace mcsd::fam

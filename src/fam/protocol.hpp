@@ -21,11 +21,28 @@
 //   mcsd.epoch  = cache insertion epoch     (responses with mcsd.cache)
 //   mcsd.crc    = FNV-1a of the payload     (integrity across NFS)
 //   <everything else>                       = user parameters / results
+//
+// Protocol rev 2 (the sharded mailbox channel, DESIGN.md §13) adds:
+//
+//   mcsd.client   = 64-bit client id        (requests; picks shard + reply)
+//   mcsd.tenant   = tenant label            (requests; QoS accounting)
+//   mcsd.deadline = request's latency budget in ms (0/absent = none)
+//   mcsd.retry    = retry-after hint in ms  (backpressure rejections only)
+//   mcsd.waiters  = coalesced fan-out size  (responses; 1 = solo run)
+//
+// Rev-2 requests travel as *frames* appended to one of K shard mailboxes
+// (`shards/shard-<k>.log`); each frame is a full rev-1 record, and the
+// trailing `mcsd.crc=` line doubles as the frame delimiter.  Responses
+// land in a per-client single-record file (`replies/client-<id>.log`),
+// replaced atomically like the rev-1 module log.  The daemon advertises
+// the sharded channel through a `channel.mcsd` manifest in the log dir.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/result.hpp"
@@ -60,6 +77,21 @@ struct Record {
   /// cached computation; an epoch increase across an identical request
   /// means the entry was invalidated and recomputed in between.
   std::uint64_t cache_epoch = 0;
+  /// Rev 2: the sending client's id (0 = legacy rev-1 record).  Chooses
+  /// the request shard and names the reply file.
+  std::uint64_t client_id = 0;
+  /// Rev 2, requests: tenant label for QoS accounting ("" = default).
+  std::string tenant;
+  /// Rev 2, requests: latency budget in ms; the daemon sheds requests
+  /// that sat in the admission queue past it (0 = no deadline).
+  std::uint64_t deadline_ms = 0;
+  /// Rev 2, responses: non-zero marks a backpressure rejection — the
+  /// admission queue was full and the client should back off roughly
+  /// this many ms (with jitter) before re-sending.
+  std::uint64_t retry_after_ms = 0;
+  /// Rev 2, responses: how many coalesced requests this module run fanned
+  /// out to (1 = solo, 0 = legacy record without the field).
+  std::uint64_t waiters = 0;
   KeyValueMap payload;         ///< user parameters or results
 };
 
@@ -74,5 +106,57 @@ std::string log_file_name(std::string_view module_name);
 
 /// Module names appear in file names: [a-zA-Z0-9_-]+, non-empty.
 bool valid_module_name(std::string_view name);
+
+// --- Rev 2: sharded mailbox channel -----------------------------------
+
+/// Subdirectory of the log dir holding the K request mailboxes.  A
+/// subdirectory on purpose: the rev-1 watchers iterate the log dir
+/// non-recursively, so growing mailboxes and per-client reply files
+/// never enter their fingerprint set.
+inline constexpr std::string_view kShardDirName = "shards";
+/// Subdirectory holding the per-client single-record reply files.
+inline constexpr std::string_view kReplyDirName = "replies";
+/// Channel manifest file the daemon writes into the log dir so clients
+/// can discover the sharded channel (and its shard count).
+inline constexpr std::string_view kManifestFileName = "channel.mcsd";
+/// Manifest revision this build speaks.
+inline constexpr std::uint64_t kChannelRev = 2;
+
+/// `shard-<k>.log`, relative to the shards directory.
+std::string shard_file_name(std::size_t shard);
+/// `client-<id>.log`, relative to the replies directory.
+std::string reply_file_name(std::uint64_t client_id);
+/// Which mailbox a client appends to: a mixed hash of the client id so
+/// ids cluster uniformly regardless of how they were allocated.
+std::size_t shard_for_client(std::uint64_t client_id, std::size_t shards);
+
+/// The daemon's channel advertisement.
+struct ChannelManifest {
+  std::uint64_t rev = kChannelRev;
+  std::size_t shards = 0;
+};
+
+/// Serialises / parses the manifest (plain key=value; the file is tiny
+/// and replaced atomically, so it needs no frame crc).
+std::string encode_manifest(const ChannelManifest& manifest);
+Result<ChannelManifest> decode_manifest(std::string_view text);
+
+/// Result of scanning an append-only mailbox tail for complete frames.
+struct FrameStream {
+  std::vector<Record> records;  ///< frames that decoded and passed crc
+  /// Bytes consumed from the front of the input: everything up to and
+  /// including the last *complete* frame (valid or corrupt).  The caller
+  /// advances its mailbox offset by this much; an incomplete tail frame
+  /// (an append still in flight) stays unconsumed for the next pass.
+  std::size_t consumed = 0;
+  /// Complete frames dropped for failing crc / decode — torn appends or
+  /// interleaved writers.  Their senders recover by timeout + re-send.
+  std::size_t corrupt = 0;
+};
+
+/// Splits `text` into crc-delimited frames and decodes each.  A frame
+/// ends at a line starting with `mcsd.crc=`; bytes after the last such
+/// line are an in-flight append and are left unconsumed.
+FrameStream decode_frame_stream(std::string_view text);
 
 }  // namespace mcsd::fam

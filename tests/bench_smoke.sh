@@ -109,6 +109,30 @@ grep -q '"hit_phase_all_hits": true' BENCH_fam.json || {
   echo "cache suite: identical re-ask missed the result cache"; exit 1;
 }
 
+# bench_record serve: a tiny 64-client run over the sharded mailbox
+# channel must record throughput and tail latency for both arms (the
+# sharded entry and its single-log baseline), the coalesce rate, the
+# backpressure phase, and — non-negotiably — an exactly-once ledger of
+# zero lost and zero duplicated responses.
+"$TOOLS_DIR/bench_record" --suite serve --bytes 64K --reps 1 \
+    --workers 2 --label smoke --out BENCH_fam.json > /dev/null
+for needle in throughput_rps serve_p50_ms serve_p99_ms coalesce_rate \
+    speedup_vs_single_log backpressure_p99_ms backpressure_retries \
+    smoke-single-log; do
+  grep -q "$needle" BENCH_fam.json || {
+    echo "BENCH_fam.json: missing '$needle'"; exit 1;
+  }
+done
+grep -q '"responses_lost": 0' BENCH_fam.json || {
+  echo "serve suite: lost responses (exactly-once broken)"; exit 1;
+}
+grep -q '"responses_duplicated": 0' BENCH_fam.json || {
+  echo "serve suite: duplicated responses (exactly-once broken)"; exit 1;
+}
+grep -q '"backpressure_failures": 0' BENCH_fam.json || {
+  echo "serve suite: invokes failed under backpressure"; exit 1;
+}
+
 # bench_record mapreduce: a tiny run must record the per-phase breakdown,
 # scaling efficiency, and the worker-state-reuse A/B.  CI uploads the
 # JSON as an artifact.

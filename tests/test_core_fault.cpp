@@ -249,6 +249,38 @@ TEST(FaultInjection, PathFilterSparesOtherFilesWithoutConsumingSteps) {
   EXPECT_TRUE(read_file(target).is_ok());
 }
 
+TEST(FaultInjection, PathFilterAlternativesMatchAnySubstring) {
+  // '|' separates alternatives ('，' cannot: ',' is the inline-spec
+  // record separator) — one plan covers every shard mailbox.
+  FaultPlan plan;
+  plan.path_filter = "shard-0.log|shard-1.log|shard-2.log";
+  EXPECT_TRUE(plan.path_matches("/log/shards/shard-0.log"));
+  EXPECT_TRUE(plan.path_matches("/log/shards/shard-1.log"));
+  EXPECT_TRUE(plan.path_matches("/log/shards/shard-2.log"));
+  EXPECT_FALSE(plan.path_matches("/log/shards/shard-3.log"));
+  EXPECT_FALSE(plan.path_matches("/log/echo.log"));
+  // Empty filter matches everything; empty alternatives are ignored.
+  plan.path_filter = "";
+  EXPECT_TRUE(plan.path_matches("/anything"));
+  plan.path_filter = "|shard-7|";
+  EXPECT_TRUE(plan.path_matches("x/shard-7.log"));
+  EXPECT_FALSE(plan.path_matches("x/shard-8.log"));
+}
+
+TEST(FaultInjection, PathFilterAlternativesGateInjection) {
+  TempDir dir{"faultalt"};
+  const auto a = dir / "shard-0.log";
+  const auto b = dir / "shard-5.log";
+  ASSERT_TRUE(write_file(a, "a").is_ok());
+  ASSERT_TRUE(write_file(b, "b").is_ok());
+  FaultScope scope{plan_or_die("read.eio=@1,path_filter=shard-0|shard-1")};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(read_file(b).is_ok());  // not an alternative: spared
+  }
+  EXPECT_FALSE(read_file(a).is_ok());  // step 1 fires here
+  EXPECT_TRUE(read_file(a).is_ok());
+}
+
 TEST(FaultInjection, ProbabilityRulesReplayIdenticallyForASeed) {
   const auto run_sequence = [] {
     FaultScope scope{plan_or_die("seed=42,read.eio=0.3,read.torn=0.3")};

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <string_view>
+
 #include "core/hash.hpp"
 
 namespace mcsd::fam {
@@ -211,6 +215,132 @@ TEST(Protocol, BadSeqRejected) {
 
 TEST(Protocol, EncodeIsDeterministic) {
   EXPECT_EQ(encode_record(sample_request()), encode_record(sample_request()));
+}
+
+// --- Rev 2: sharded mailbox channel -----------------------------------
+
+TEST(ProtocolRev2, ServingFieldsRoundTrip) {
+  Record r = sample_request();
+  r.client_id = 0xDEADBEEF12345678ULL;
+  r.tenant = "acme";
+  r.deadline_ms = 2500;
+  const auto request = decode_record(encode_record(r)).value();
+  EXPECT_EQ(request.client_id, 0xDEADBEEF12345678ULL);
+  EXPECT_EQ(request.tenant, "acme");
+  EXPECT_EQ(request.deadline_ms, 2500u);
+
+  Record resp;
+  resp.type = RecordType::kResponse;
+  resp.seq = 9;
+  resp.module = "m";
+  resp.ok = false;
+  resp.client_id = 77;
+  resp.retry_after_ms = 12;
+  resp.waiters = 3;
+  resp.error_message = "admission queue full";
+  const auto response = decode_record(encode_record(resp)).value();
+  EXPECT_EQ(response.client_id, 77u);
+  EXPECT_EQ(response.retry_after_ms, 12u);
+  EXPECT_EQ(response.waiters, 3u);
+}
+
+TEST(ProtocolRev2, LegacyRecordsStayRevOne) {
+  // A record without serving fields encodes without the rev-2 keys, so
+  // rev-1 daemons/clients parse it untouched.
+  const std::string wire = encode_record(sample_request());
+  EXPECT_EQ(wire.find("mcsd.client"), std::string::npos);
+  EXPECT_EQ(wire.find("mcsd.tenant"), std::string::npos);
+  EXPECT_EQ(wire.find("mcsd.deadline"), std::string::npos);
+  const auto decoded = decode_record(wire).value();
+  EXPECT_EQ(decoded.client_id, 0u);
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+}
+
+TEST(ProtocolRev2, ShardAndReplyFileNames) {
+  EXPECT_EQ(shard_file_name(0), "shard-0.log");
+  EXPECT_EQ(shard_file_name(13), "shard-13.log");
+  EXPECT_EQ(reply_file_name(42), "client-42.log");
+}
+
+TEST(ProtocolRev2, ShardHashCoversAllShardsUniformly) {
+  constexpr std::size_t kShards = 8;
+  std::array<std::size_t, kShards> hits{};
+  for (std::uint64_t id = 1; id <= 4096; ++id) {
+    const std::size_t shard = shard_for_client(id, kShards);
+    ASSERT_LT(shard, kShards);
+    ++hits[shard];
+  }
+  // Sequential ids must spread, not cluster: every shard sees a
+  // meaningful share (perfect would be 512 each).
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(hits[shard], 256u) << "shard " << shard;
+  }
+  // Degenerate shard counts collapse to 0 instead of dividing by zero.
+  EXPECT_EQ(shard_for_client(123, 0), 0u);
+  EXPECT_EQ(shard_for_client(123, 1), 0u);
+}
+
+TEST(ProtocolRev2, ManifestRoundTrip) {
+  ChannelManifest manifest;
+  manifest.shards = 16;
+  const auto decoded = decode_manifest(encode_manifest(manifest));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().rev, kChannelRev);
+  EXPECT_EQ(decoded.value().shards, 16u);
+  EXPECT_FALSE(decode_manifest("").is_ok());
+  EXPECT_FALSE(decode_manifest("not a manifest").is_ok());
+}
+
+TEST(FrameStream, DecodesMultipleFrames) {
+  Record a = sample_request();
+  a.client_id = 1;
+  Record b = sample_request();
+  b.client_id = 2;
+  b.seq = 43;
+  const auto stream = decode_frame_stream(encode_record(a) + encode_record(b));
+  ASSERT_EQ(stream.records.size(), 2u);
+  EXPECT_EQ(stream.records[0].client_id, 1u);
+  EXPECT_EQ(stream.records[1].client_id, 2u);
+  EXPECT_EQ(stream.consumed,
+            encode_record(a).size() + encode_record(b).size());
+  EXPECT_EQ(stream.corrupt, 0u);
+}
+
+TEST(FrameStream, CorruptMiddleFrameResyncs) {
+  Record a = sample_request();
+  a.client_id = 1;
+  Record c = sample_request();
+  c.client_id = 3;
+  std::string bad = encode_record(sample_request());
+  bad[bad.find("wordcount")] = 'X';  // body no longer matches the crc
+  const auto stream =
+      decode_frame_stream(encode_record(a) + bad + encode_record(c));
+  ASSERT_EQ(stream.records.size(), 2u);
+  EXPECT_EQ(stream.records[0].client_id, 1u);
+  EXPECT_EQ(stream.records[1].client_id, 3u);
+  EXPECT_EQ(stream.corrupt, 1u);
+}
+
+TEST(FrameStream, IncompleteTailLeftUnconsumed) {
+  const std::string whole = encode_record(sample_request());
+  const std::string half = whole.substr(0, whole.size() / 2);
+  const auto stream = decode_frame_stream(whole + half);
+  ASSERT_EQ(stream.records.size(), 1u);
+  EXPECT_EQ(stream.consumed, whole.size());  // tail awaits its crc line
+  EXPECT_EQ(stream.corrupt, 0u);
+  // The writer finishes the append; re-scanning from `consumed` now
+  // yields the second frame — the drain cursor protocol.
+  const auto rest =
+      decode_frame_stream(std::string_view{whole + half + whole.substr(half.size())}
+                              .substr(stream.consumed));
+  ASSERT_EQ(rest.records.size(), 1u);
+}
+
+TEST(FrameStream, EmptyInputYieldsNothing) {
+  const auto stream = decode_frame_stream("");
+  EXPECT_TRUE(stream.records.empty());
+  EXPECT_EQ(stream.consumed, 0u);
+  EXPECT_EQ(stream.corrupt, 0u);
 }
 
 }  // namespace

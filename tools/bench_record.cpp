@@ -101,6 +101,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -882,13 +884,264 @@ void run_cache_suite(bench::TrajectoryEntry& entry,
   entry.add_number("io_throttle_mibps", io_throttle_mibps);
 }
 
+
+/// One serving arm for the `serve` suite: `clients` threads share one
+/// fam::Client and hammer the daemon with cacheable wordcount asks drawn
+/// round-robin over the corpus universe.
+struct ServeArmResult {
+  double wall_seconds = 0.0;
+  std::vector<double> latencies_s;
+  std::uint64_t invokes = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t coalesced_responses = 0;
+  std::uint64_t backpressure_retries = 0;
+};
+
+ServeArmResult run_serve_arm(fam::Client& client,
+                             const std::vector<std::filesystem::path>& inputs,
+                             std::size_t workers, int clients,
+                             int invokes_per_client) {
+  ServeArmResult arm;
+  // Warm the daemon first — one solo ask per corpus populates the result
+  // cache, so the timed storm measures steady-state serving throughput
+  // rather than the cold-start herd (the cache suite owns the cold /
+  // warm / hit split).
+  for (const auto& input : inputs) {
+    KeyValueMap params;
+    params.set("input", input.string());
+    params.set_uint("workers", workers);
+    if (auto warm = client.invoke("wordcount", params); !warm) {
+      std::fprintf(stderr, "serve suite warmup failed: %s\n",
+                   warm.error().to_string().c_str());
+    }
+  }
+  std::mutex agg;
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < invokes_per_client; ++i) {
+        KeyValueMap params;
+        params.set("input",
+                   inputs[static_cast<std::size_t>(c + i) % inputs.size()]
+                       .string());
+        params.set_uint("workers", workers);
+        fam::InvokeInfo info;
+        auto result = client.invoke("wordcount", params, &info);
+        std::lock_guard lock{agg};
+        ++arm.invokes;
+        if (!result) {
+          std::fprintf(stderr, "serve suite invoke failed: %s\n",
+                       result.error().to_string().c_str());
+          continue;
+        }
+        ++arm.successes;
+        arm.latencies_s.push_back(info.round_trip_seconds);
+        if (info.waiters > 1) ++arm.coalesced_responses;
+        arm.backpressure_retries +=
+            static_cast<std::uint64_t>(info.backpressure_retries);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  arm.wall_seconds = wall.elapsed_seconds();
+  return arm;
+}
+
+// Suite `serve` measures the rev-2 sharded mailbox channel against the
+// rev-1 single-log baseline at high client concurrency (ROADMAP item 2):
+// 64 client threads, the same cacheable wordcount asks, two arms on two
+// daemons — sharded mailboxes vs force_legacy single-record logs.  The
+// headline is invoke throughput (rps) and its ratio, plus p50/p99,
+// coalesce rate, and the exactly-once ledger (responses_lost /
+// responses_duplicated must both be 0).  A third phase points the
+// sharded clients at a daemon with a tiny admission bound so every
+// client eats typed backpressure — its p99 shows the retry-after +
+// jittered backoff keeping tail latency bounded rather than collapsing
+// into timeouts.
+void run_serve_suite(bench::TrajectoryEntry& entry,
+                     bench::TrajectoryEntry& baseline,
+                     const std::vector<std::size_t>& worker_counts,
+                     std::uint64_t bytes, int reps) {
+  constexpr int kClients = 64;
+  constexpr std::size_t kUniverse = 4;
+  const std::size_t workers = worker_counts.empty() ? 2 : worker_counts.back();
+  const int sharded_invokes = std::max(reps, 1) * 25;
+  const int legacy_invokes = std::max(std::max(reps, 1) * 25 / 8, 2);
+
+  TempDir dir{"bench-serve"};
+  const auto data_dir = dir / "data";
+  std::filesystem::create_directories(data_dir);
+  std::vector<std::filesystem::path> inputs;
+  for (std::size_t j = 0; j < kUniverse; ++j) {
+    apps::CorpusOptions corpus;
+    corpus.bytes = bytes;
+    corpus.vocabulary = 5'000;
+    corpus.seed = 7 + j;
+    const auto path = data_dir / ("corpus_" + std::to_string(j) + ".txt");
+    if (Status s = write_file(path, apps::generate_corpus(corpus)); !s) {
+      std::fprintf(stderr, "cannot stage corpus: %s\n", s.to_string().c_str());
+      return;
+    }
+    inputs.push_back(path);
+  }
+
+  const auto make_daemon = [&](const std::filesystem::path& log_dir,
+                               std::size_t shards, std::size_t queue_limit)
+      -> std::unique_ptr<fam::Daemon> {
+    fam::DaemonOptions options;
+    options.log_dir = log_dir;
+    options.poll_interval = std::chrono::milliseconds{1};
+    options.dispatch_threads = 4;
+    options.channel_shards = shards;
+    options.admission_queue_limit = queue_limit;
+    auto daemon = std::make_unique<fam::Daemon>(options);
+    if (Status s = daemon->preload(
+            apps::make_wordcount_module(workers, daemon->buffer_pool()));
+        !s) {
+      std::fprintf(stderr, "preload failed: %s\n", s.to_string().c_str());
+      return nullptr;
+    }
+    daemon->start();
+    return daemon;
+  };
+  const auto make_client = [&](const std::filesystem::path& log_dir,
+                               bool force_legacy) {
+    fam::ClientOptions options;
+    options.log_dir = log_dir;
+    options.poll_interval = std::chrono::milliseconds{1};
+    options.timeout = std::chrono::milliseconds{120'000};
+    options.force_legacy = force_legacy;
+    return fam::Client{options};
+  };
+
+  // Arm 1: the sharded mailbox channel at 64 clients.
+  {
+    auto daemon = make_daemon(dir / "logs-sharded", 8, 256);
+    if (!daemon) return;
+    auto client = make_client(dir / "logs-sharded", false);
+    ServeArmResult arm =
+        run_serve_arm(client, inputs, workers, kClients, sharded_invokes);
+    daemon->stop();
+    const std::uint64_t handled = daemon->requests_handled();
+    const double rps =
+        arm.wall_seconds > 0.0
+            ? static_cast<double>(arm.successes) / arm.wall_seconds
+            : 0.0;
+    entry.add_field("clients", std::to_string(kClients));
+    entry.add_number("throughput_rps", rps, 1);
+    entry.add_number("serve_p50_ms", percentile_ms(arm.latencies_s, 50.0), 3);
+    entry.add_number("serve_p99_ms", percentile_ms(arm.latencies_s, 99.0), 3);
+    entry.add_number("coalesce_rate",
+                     arm.successes != 0
+                         ? static_cast<double>(arm.coalesced_responses) /
+                               static_cast<double>(arm.successes)
+                         : 0.0,
+                     3);
+    entry.add_field("responses_lost",
+                    std::to_string(arm.invokes - arm.successes));
+    entry.add_field("responses_duplicated",
+                    std::to_string(daemon->reply_conflicts()));
+    entry.add_field("coalesced_total", std::to_string(daemon->coalesced()));
+    entry.add_field("batches_run", std::to_string(daemon->batches_run()));
+    entry.add_field("channel", "\"sharded\"");
+
+    // Arm 2: the rev-1 single-log baseline — same workload, force_legacy
+    // clients against a shard-less daemon.  Invokes per client are scaled
+    // down (the single-record channel serialises per module); throughput
+    // is a rate, so the ratio stays honest.
+    auto legacy_daemon = make_daemon(dir / "logs-legacy", 0, 256);
+    if (!legacy_daemon) return;
+    auto legacy_client = make_client(dir / "logs-legacy", true);
+    ServeArmResult legacy = run_serve_arm(legacy_client, inputs, workers,
+                                          kClients, legacy_invokes);
+    legacy_daemon->stop();
+    const double legacy_rps =
+        legacy.wall_seconds > 0.0
+            ? static_cast<double>(legacy.successes) / legacy.wall_seconds
+            : 0.0;
+    baseline.add_field("clients", std::to_string(kClients));
+    baseline.add_number("throughput_rps", legacy_rps, 1);
+    baseline.add_number("serve_p50_ms",
+                        percentile_ms(legacy.latencies_s, 50.0), 3);
+    baseline.add_number("serve_p99_ms",
+                        percentile_ms(legacy.latencies_s, 99.0), 3);
+    baseline.add_field("responses_lost",
+                       std::to_string(legacy.invokes - legacy.successes));
+    baseline.add_field("channel", "\"single-log\"");
+    entry.add_number("speedup_vs_single_log",
+                     legacy_rps > 0.0 ? rps / legacy_rps : 0.0, 1);
+    (void)handled;
+  }
+
+  // Phase 3: backpressure.  A daemon with a 2-batch admission bound and
+  // an uncacheable module (every ask is its own batch: no coalescing to
+  // absorb the herd) forces typed retry-after rejections; the clients'
+  // jittered exponential backoff must keep the tail bounded and every
+  // invoke must still finish exactly once.
+  {
+    fam::DaemonOptions options;
+    options.log_dir = dir / "logs-bp";
+    options.poll_interval = std::chrono::milliseconds{1};
+    options.dispatch_threads = 2;
+    options.channel_shards = 8;
+    options.admission_queue_limit = 2;
+    fam::Daemon daemon{options};
+    if (Status s = daemon.preload(std::make_shared<fam::FunctionModule>(
+            "spin", [](const KeyValueMap& params) -> Result<KeyValueMap> {
+              std::this_thread::sleep_for(std::chrono::microseconds{500});
+              KeyValueMap out = params;
+              return out;
+            }));
+        !s) {
+      std::fprintf(stderr, "preload failed: %s\n", s.to_string().c_str());
+      return;
+    }
+    daemon.start();
+    auto client = make_client(options.log_dir, false);
+    std::mutex agg;
+    std::vector<double> latencies_s;
+    std::uint64_t retries = 0;
+    std::uint64_t failures = 0;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < 4; ++i) {
+          KeyValueMap params;
+          params.set_uint("who", static_cast<std::uint64_t>(c * 1000 + i));
+          fam::InvokeInfo info;
+          auto result = client.invoke("spin", params, &info);
+          std::lock_guard lock{agg};
+          if (!result) {
+            ++failures;
+            continue;
+          }
+          latencies_s.push_back(info.round_trip_seconds);
+          retries += static_cast<std::uint64_t>(info.backpressure_retries);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    daemon.stop();
+    entry.add_number("backpressure_p50_ms",
+                     percentile_ms(latencies_s, 50.0), 3);
+    entry.add_number("backpressure_p99_ms",
+                     percentile_ms(latencies_s, 99.0), 3);
+    entry.add_field("backpressure_retries", std::to_string(retries));
+    entry.add_field("backpressure_rejected",
+                    std::to_string(daemon.rejected()));
+    entry.add_field("backpressure_failures", std::to_string(failures));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli;
   cli.add_option("suite", "mapreduce",
                  "benchmark suite: mapreduce | obs | outofcore | storage | "
-                 "cache");
+                 "cache | serve");
   cli.add_option("out", "", "trajectory file (default BENCH_<suite>.json)");
   cli.add_option("label", "dev", "name for this run in the trajectory");
   cli.add_option("bytes", "8M", "corpus size");
@@ -906,10 +1159,10 @@ int main(int argc, char** argv) {
 
   const std::string suite = cli.option("suite");
   if (suite != "mapreduce" && suite != "obs" && suite != "outofcore" &&
-      suite != "storage" && suite != "cache") {
+      suite != "storage" && suite != "cache" && suite != "serve") {
     std::fprintf(stderr,
                  "unknown --suite '%s' (mapreduce | obs | outofcore | "
-                 "storage | cache)\n",
+                 "storage | cache | serve)\n",
                  suite.c_str());
     return 2;
   }
@@ -927,9 +1180,9 @@ int main(int argc, char** argv) {
     // re-runs are the next chapter of the same I/O story.  The cache
     // suite records under fam — the serving tier is the channel's story.
     path = "BENCH_" +
-           (suite == "storage"  ? std::string{"outofcore"}
-            : suite == "cache" ? std::string{"fam"}
-                                : suite) +
+           (suite == "storage" ? std::string{"outofcore"}
+            : suite == "cache" || suite == "serve" ? std::string{"fam"}
+                                                   : suite) +
            ".json";
   }
 
@@ -938,6 +1191,13 @@ int main(int argc, char** argv) {
   entry.add_field("suite", "\"" + bench::json_escape(suite) + "\"");
   entry.add_field("corpus_bytes", std::to_string(bytes.value()));
   entry.add_field("reps", std::to_string(reps));
+  // The serve suite records a second labelled entry: the rev-1
+  // single-log baseline the sharded channel is measured against.
+  bench::TrajectoryEntry baseline;
+  baseline.label = entry.label + "-single-log";
+  baseline.add_field("suite", "\"" + bench::json_escape(suite) + "\"");
+  baseline.add_field("corpus_bytes", std::to_string(bytes.value()));
+  baseline.add_field("reps", std::to_string(reps));
   const std::string throttle_spec = cli.option("io-throttle");
   // cache shares storage's 40 MiB/s default: its cold arm models the
   // same busy shared disk the warm tiers rescue the query from.
@@ -953,6 +1213,8 @@ int main(int argc, char** argv) {
     run_storage_suite(entry, worker_counts, bytes.value(), reps, io_throttle);
   } else if (suite == "cache") {
     run_cache_suite(entry, worker_counts, bytes.value(), reps, io_throttle);
+  } else if (suite == "serve") {
+    run_serve_suite(entry, baseline, worker_counts, bytes.value(), reps);
   } else {
     run_outofcore_suite(entry, worker_counts, bytes.value(), reps,
                         io_throttle);
@@ -962,6 +1224,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
                  write.to_string().c_str());
     return 1;
+  }
+  if (suite == "serve") {
+    if (const auto write = bench::append_trajectory(path, baseline); !write) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                   write.to_string().c_str());
+      return 1;
+    }
   }
 
   for (const auto& [name, mb_s] : entry.throughput_mb_s) {

@@ -14,12 +14,24 @@
 // from the CLI without the soak harness.  Per-invoke latency and cache
 // disposition go to stderr (`invoke 2/3: 0.8 ms cache=hit epoch=4`);
 // stdout still carries only the last response's key=value lines.
+//
+// --concurrency N fans the same request out from N client threads (each
+// sending --repeat times) over the rev-2 sharded channel; stderr gets the
+// per-client latency distribution (p50/p90/p99) plus the serving
+// dispositions — how many responses were coalesced into shared module
+// runs and how many typed backpressure rejections the clients absorbed.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/cli.hpp"
 #include "core/config.hpp"
 #include "core/fault.hpp"
+#include "core/stats.hpp"
 #include "core/strings.hpp"
 #include "core/units.hpp"
 #include "fam/client.hpp"
@@ -42,6 +54,10 @@ int main(int argc, char** argv) {
   cli.add_option("repeat", "1",
                  "send the identical request N times (cache/warm-path "
                  "exercise); prints per-invoke latency to stderr");
+  cli.add_option("concurrency", "1",
+                 "fan the request out from N client threads (sharded "
+                 "channel exercise); prints latency percentiles and "
+                 "coalesce/backpressure dispositions to stderr");
   cli.add_option("trace-out", "",
                  "write obs trace JSON + metrics here on exit");
   if (Status s = cli.parse(argc, argv); !s) {
@@ -90,6 +106,78 @@ int main(int argc, char** argv) {
   }
   const int repeat = static_cast<int>(
       std::max<std::int64_t>(cli.option_int("repeat").value_or(1), 1));
+  const int concurrency = static_cast<int>(
+      std::max<std::int64_t>(cli.option_int("concurrency").value_or(1), 1));
+
+  if (concurrency > 1) {
+    // Concurrent mode: N client threads send the identical request
+    // --repeat times each.  One shared Client hands each thread its own
+    // mailbox slot, so the requests genuinely run in parallel.
+    std::mutex agg_mutex;
+    std::vector<double> latencies_ms;
+    std::uint64_t coalesced_responses = 0;
+    std::uint64_t solo_responses = 0;
+    std::uint64_t backpressure_retries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t sharded = 0;
+    std::atomic<int> failures{0};
+    std::string last_response;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(concurrency));
+    for (int t = 0; t < concurrency; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < repeat; ++i) {
+          fam::InvokeInfo info;
+          auto one = client.invoke(module, params, &info);
+          if (!one.is_ok()) {
+            std::fprintf(stderr, "invoke failed: %s\n",
+                         one.error().to_string().c_str());
+            failures.fetch_add(1);
+            return;
+          }
+          std::lock_guard lock{agg_mutex};
+          latencies_ms.push_back(info.round_trip_seconds * 1e3);
+          if (info.waiters > 1) {
+            ++coalesced_responses;
+          } else {
+            ++solo_responses;
+          }
+          backpressure_retries +=
+              static_cast<std::uint64_t>(info.backpressure_retries);
+          if (info.cache == fam::CacheState::kHit) ++cache_hits;
+          if (info.sharded) ++sharded;
+          last_response = one.value().serialize();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    if (failures.load() != 0) return 1;
+
+    const double p50 = percentile(latencies_ms, 0.50);
+    const double p90 = percentile(latencies_ms, 0.90);
+    const double p99 = percentile(latencies_ms, 0.99);
+    std::fprintf(stderr,
+                 "%zu invokes across %d clients (%s channel): "
+                 "p50=%.3f ms p90=%.3f ms p99=%.3f ms\n",
+                 latencies_ms.size(), concurrency,
+                 sharded == latencies_ms.size() ? "sharded" : "legacy", p50,
+                 p90, p99);
+    std::fprintf(stderr,
+                 "dispositions: coalesced=%llu solo=%llu cache_hits=%llu "
+                 "backpressure_retries=%llu\n",
+                 static_cast<unsigned long long>(coalesced_responses),
+                 static_cast<unsigned long long>(solo_responses),
+                 static_cast<unsigned long long>(cache_hits),
+                 static_cast<unsigned long long>(backpressure_retries));
+    std::printf("%s", last_response.c_str());
+    if (Status s = obs::dump_trace_if_requested(cli.option("trace-out"));
+        !s) {
+      std::fprintf(stderr, "cannot write trace: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   Result<KeyValueMap> result = Error{ErrorCode::kInternal, "unreachable"};
   for (int i = 0; i < repeat; ++i) {
     fam::InvokeInfo info;

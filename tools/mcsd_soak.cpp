@@ -77,6 +77,8 @@ struct SoakConfig {
   std::uint64_t ooc_bytes = 256 * 1024;
   int reinvoke = 0;
   int zipf = 0;
+  /// Sharded mailbox count for the daemon (0 pins the rev-1 channel).
+  int shards = 8;
   std::string report_path;
   bool verbose = false;
 };
@@ -103,6 +105,21 @@ struct RunStats {
   std::uint64_t zipf_hits_verified = 0;
   bool zipf_invalidation_observed = false;
   double wall_seconds = 0.0;
+  // Rev-2 serving-tier counters (all 0 when --shards 0).
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t superseded = 0;
+  std::uint64_t batches_run = 0;
+  std::uint64_t deadline_shed = 0;
+  std::uint64_t reply_conflicts = 0;
+  std::uint64_t shard_frames_drained = 0;
+  std::uint64_t shard_frames_corrupt = 0;
+  std::uint64_t shard_polls_suppressed = 0;
+  /// Client-observed typed backpressure rejections absorbed (and retried).
+  std::uint64_t backpressure_retries = 0;
+  /// Successful invokes that shared a coalesced module run (waiters > 1).
+  std::uint64_t coalesced_responses = 0;
   std::vector<std::string> violations;
 };
 
@@ -238,6 +255,7 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
   daemon_options.poll_interval = config.daemon_poll;
   daemon_options.dispatch_threads = 2;
   daemon_options.backend = backend;
+  daemon_options.channel_shards = static_cast<std::size_t>(config.shards);
   fam::Daemon daemon{daemon_options};
   stats.backend = backend_name(daemon.active_backend());  // may have fallen back
   // Modules share the daemon's pool, exactly as the deployable daemon
@@ -301,9 +319,15 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
   std::atomic<bool> done{false};
   // Per-invoke budget (invariant 2): every attempt may burn the full
   // timeout plus channel I/O; anything past that with slack is a hang.
+  // The slack scales with client count — at N threads on few cores a
+  // runnable client waits O(N) timeslices between poll wakeups, so wall
+  // time legitimately stretches far past the client-side timeout a
+  // thousand concurrent clients share (measured: ~2.5x at N=1000 on one
+  // core).  The watchdog below still bounds the whole soak.
   const auto invoke_budget =
       config.attempts * (config.timeout + std::chrono::milliseconds{200}) +
-      std::chrono::seconds{2};
+      std::chrono::seconds{2} +
+      std::chrono::milliseconds{15} * config.clients;
   // Whole-soak watchdog: workers of one client serialise per module, so
   // the worst honest case is every invoke timing out back to back.
   const auto global_budget =
@@ -338,7 +362,8 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
           const Workload& load = workloads[static_cast<std::size_t>(w + i) %
                                            workloads.size()];
           Stopwatch one;
-          auto result = client.invoke(load.module, load.params);
+          fam::InvokeInfo info;
+          auto result = client.invoke(load.module, load.params, &info);
           const auto took =
               std::chrono::duration_cast<std::chrono::milliseconds>(
                   one.elapsed());
@@ -354,6 +379,9 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
           if (result) {
             std::lock_guard lock{stats_mutex};
             ++stats.successes;
+            stats.backpressure_retries +=
+                static_cast<std::uint64_t>(info.backpressure_retries);
+            if (info.waiters > 1) ++stats.coalesced_responses;
             for (const auto& key_equals_value : load.stable_keys) {
               const auto eq = key_equals_value.find('=');
               const std::string key = key_equals_value.substr(0, eq);
@@ -618,6 +646,18 @@ RunStats run_soak(std::uint64_t seed, fam::WatcherBackend backend,
   stats.response_conflicts = daemon.response_conflicts();
   stats.stale_replies = daemon.stale_replies();
   stats.dropped_on_shutdown = daemon.dropped_on_shutdown();
+  stats.accepted = daemon.accepted();
+  stats.rejected = daemon.rejected();
+  stats.coalesced = daemon.coalesced();
+  stats.superseded = daemon.superseded();
+  stats.batches_run = daemon.batches_run();
+  stats.deadline_shed = daemon.deadline_shed();
+  stats.reply_conflicts = daemon.reply_conflicts();
+  for (const auto& shard : daemon.shard_stats()) {
+    stats.shard_frames_drained += shard.drained;
+    stats.shard_frames_corrupt += shard.corrupt;
+    stats.shard_polls_suppressed += shard.suppressed;
+  }
   stats.wall_seconds = wall.elapsed_seconds();
   return stats;
 }
@@ -673,6 +713,23 @@ std::string report_json(const std::vector<RunStats>& runs,
             ", \"dropped_on_shutdown\": " +
             std::to_string(r.dropped_on_shutdown) +
             ", \"faults_injected\": " + std::to_string(r.faults_injected) +
+            ", \"accepted\": " + std::to_string(r.accepted) +
+            ", \"rejected\": " + std::to_string(r.rejected) +
+            ", \"coalesced\": " + std::to_string(r.coalesced) +
+            ", \"superseded\": " + std::to_string(r.superseded) +
+            ", \"batches_run\": " + std::to_string(r.batches_run) +
+            ", \"deadline_shed\": " + std::to_string(r.deadline_shed) +
+            ", \"reply_conflicts\": " + std::to_string(r.reply_conflicts) +
+            ", \"shard_frames_drained\": " +
+            std::to_string(r.shard_frames_drained) +
+            ", \"shard_frames_corrupt\": " +
+            std::to_string(r.shard_frames_corrupt) +
+            ", \"shard_polls_suppressed\": " +
+            std::to_string(r.shard_polls_suppressed) +
+            ", \"backpressure_retries\": " +
+            std::to_string(r.backpressure_retries) +
+            ", \"coalesced_responses\": " +
+            std::to_string(r.coalesced_responses) +
             ", \"wall_seconds\": " + std::to_string(r.wall_seconds);
     json += ", \"errors\": {";
     bool first = true;
@@ -746,6 +803,8 @@ int main(int argc, char** argv) {
   cli.add_option("zipf", "0",
                  "run N zipf(1.0)-skewed repeated invokes over distinct "
                  "corpus files (result-cache identity + invalidation check)");
+  cli.add_option("shards", "8",
+                 "daemon mailbox shards (0 pins the rev-1 channel)");
   cli.add_option("report", "", "write a JSON soak report here");
   cli.add_flag("verbose", "log every failed attempt");
   if (Status s = cli.parse(argc, argv); !s) {
@@ -786,6 +845,8 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(cli.option_int("reinvoke").value_or(0), 0));
   config.zipf = static_cast<int>(
       std::max<std::int64_t>(cli.option_int("zipf").value_or(0), 0));
+  config.shards = static_cast<int>(
+      std::max<std::int64_t>(cli.option_int("shards").value_or(8), 0));
   config.report_path = cli.option("report");
   config.verbose = cli.flag("verbose");
   const std::string backend = cli.option("backend");
@@ -818,7 +879,8 @@ int main(int argc, char** argv) {
           "seed=%llu backend=%s: %llu invokes (%llu ok), %llu faults "
           "injected, %llu conflicts, %llu stale replies, %llu ooc runs, "
           "%llu reinvokes (%llu pool hits, %llu cache hits), %llu zipf "
-          "(%llu hits, %llu verified), %.1fs — %s\n",
+          "(%llu hits, %llu verified), serve[acc=%llu rej=%llu coal=%llu "
+          "bp=%llu shed=%llu], %.1fs — %s\n",
           static_cast<unsigned long long>(stats.seed), stats.backend.c_str(),
           static_cast<unsigned long long>(stats.invokes_total),
           static_cast<unsigned long long>(stats.successes),
@@ -832,6 +894,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.zipf_invokes),
           static_cast<unsigned long long>(stats.zipf_hits),
           static_cast<unsigned long long>(stats.zipf_hits_verified),
+          static_cast<unsigned long long>(stats.accepted),
+          static_cast<unsigned long long>(stats.rejected),
+          static_cast<unsigned long long>(stats.coalesced),
+          static_cast<unsigned long long>(stats.backpressure_retries),
+          static_cast<unsigned long long>(stats.deadline_shed),
           stats.wall_seconds,
           stats.violations.empty() ? "OK" : "VIOLATIONS");
       total_violations += stats.violations.size();
