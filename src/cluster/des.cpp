@@ -50,6 +50,22 @@ void Resource::submit(double work, Completion done) {
   reschedule();
 }
 
+void Resource::set_capacity(double capacity) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument("Resource capacity must be positive");
+  }
+  advance_to_now();
+  capacity_ = capacity;
+  reschedule();
+}
+
+double Resource::outstanding_work() {
+  advance_to_now();
+  double total = 0.0;
+  for (const auto& [id, job] : jobs_) total += job.remaining;
+  return total;
+}
+
 void Resource::advance_to_now() {
   const SimTime now = sim_.now();
   const SimTime dt = now - last_update_;
@@ -64,18 +80,19 @@ void Resource::advance_to_now() {
 }
 
 void Resource::reschedule() {
-  // Fire completions for any job that has (numerically) finished.
-  std::vector<Completion> finished;
+  // Dispatch completions for any job that has (numerically) finished —
+  // through the event queue at `now`, in job-id (= submission) order, so
+  // simultaneous finishes complete deterministically under the seq
+  // tiebreak and a zero-work submit never fires inside submit() itself.
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     if (it->second.remaining <= 1e-12) {
-      finished.push_back(std::move(it->second.done));
+      if (it->second.done) {
+        sim_.schedule_at(sim_.now(), std::move(it->second.done));
+      }
       it = jobs_.erase(it);
     } else {
       ++it;
     }
-  }
-  for (auto& done : finished) {
-    if (done) done();
   }
 
   if (jobs_.empty()) return;
@@ -88,6 +105,17 @@ void Resource::reschedule() {
   }
   const double rate = capacity_ / static_cast<double>(jobs_.size());
   const double dt = min_remaining / rate;
+
+  if (sim_.now() + dt <= sim_.now()) {
+    // The shortest remainder is below the clock's floating-point
+    // resolution at this timestamp: a timer would fire at `now` with
+    // zero elapsed time, forever.  Retire the bounding job(s) directly.
+    for (auto& [id, job] : jobs_) {
+      if (job.remaining <= min_remaining * (1.0 + 1e-9)) job.remaining = 0.0;
+    }
+    reschedule();
+    return;
+  }
 
   const std::uint64_t epoch = ++timer_epoch_;
   sim_.schedule_in(dt, [this, epoch] {

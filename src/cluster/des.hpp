@@ -74,7 +74,17 @@ class Resource {
   Resource(Simulator& sim, std::string name, double capacity);
 
   /// Submits a job needing `work` units; `done` fires at completion.
+  /// Completions are always dispatched through the event queue — a
+  /// zero-work submit completes at `now`, in seq order with any other
+  /// events scheduled for that instant, never synchronously inside
+  /// submit().  That keeps completion order deterministic and lets a
+  /// completion handler submit more work without reentering the server.
   void submit(double work, Completion done);
+
+  /// Changes the service rate mid-flight (a link degrading under
+  /// background load, a disk being throttled).  In-flight work done so
+  /// far is banked at the old rate; the remainder proceeds at the new.
+  void set_capacity(double capacity);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] double capacity() const noexcept { return capacity_; }
@@ -83,6 +93,10 @@ class Resource {
   }
   /// Total work served so far (for utilisation accounting).
   [[nodiscard]] double work_served() const noexcept { return served_; }
+  /// Remaining work across in-flight jobs as of the current sim time
+  /// (advances internal accounting) — the backlog a placement policy
+  /// sees when it sizes up this server.
+  [[nodiscard]] double outstanding_work();
 
  private:
   struct Job {

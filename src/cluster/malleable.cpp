@@ -6,6 +6,41 @@
 
 namespace mcsd::sim {
 
+void fill_shares(std::vector<ShareSlot>& slots, double cores, ShareMode mode) {
+  for (auto& s : slots) s.share = 0.0;
+  std::vector<ShareSlot*> open;
+  open.reserve(slots.size());
+  for (auto& s : slots) {
+    if (s.cap > 0.0 && (mode == ShareMode::kEqualShare || s.weight > 0.0)) {
+      open.push_back(&s);
+    }
+  }
+  double remaining = cores;
+  while (remaining > 1e-12 && !open.empty()) {
+    double total_weight = 0.0;
+    if (mode == ShareMode::kProportional) {
+      for (const ShareSlot* s : open) total_weight += s->weight;
+      if (total_weight <= 0.0) break;
+    }
+    double given = 0.0;
+    std::vector<ShareSlot*> still_open;
+    for (ShareSlot* s : open) {
+      const double per =
+          mode == ShareMode::kProportional
+              ? remaining * s->weight / total_weight
+              : remaining / static_cast<double>(open.size());
+      const double want = s->cap - s->share;
+      const double grant = std::min(per, want);
+      s->share += grant;
+      given += grant;
+      if (s->share + 1e-12 < s->cap) still_open.push_back(s);
+    }
+    if (given <= 1e-12) break;  // everyone capped
+    remaining -= given;
+    open = std::move(still_open);
+  }
+}
+
 namespace {
 struct Live {
   std::size_t index;
@@ -15,36 +50,26 @@ struct Live {
   double share = 0.0;  ///< granted cores this step (fractional)
 };
 
-/// Water-filling: equal shares capped by max_threads, surplus recycled.
-void allocate(std::vector<Live>& live, double cores) {
-  for (auto& j : live) j.share = 0.0;
-  std::vector<Live*> open;
-  open.reserve(live.size());
-  for (auto& j : live) open.push_back(&j);
-  double remaining = cores;
-  while (remaining > 1e-12 && !open.empty()) {
-    const double per = remaining / static_cast<double>(open.size());
-    double given = 0.0;
-    std::vector<Live*> still_open;
-    for (Live* j : open) {
-      const double cap =
-          j->max_threads == 0 ? std::numeric_limits<double>::infinity()
-                              : static_cast<double>(j->max_threads);
-      const double want = cap - j->share;
-      const double grant = std::min(per, want);
-      j->share += grant;
-      given += grant;
-      if (j->share + 1e-12 < cap) still_open.push_back(j);
-    }
-    if (given <= 1e-12) break;  // everyone capped
-    remaining -= given;
-    open = std::move(still_open);
+void allocate(std::vector<Live>& live, double cores, ShareMode mode) {
+  std::vector<ShareSlot> slots(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    slots[i].cap = live[i].max_threads == 0
+                       ? std::numeric_limits<double>::infinity()
+                       : static_cast<double>(live[i].max_threads);
+    slots[i].weight = live[i].serial_left + live[i].parallel_left;
   }
+  fill_shares(slots, cores, mode);
+  for (std::size_t i = 0; i < live.size(); ++i) live[i].share = slots[i].share;
 }
+
+/// Serial work occupies at most one core; with a fractional share it
+/// proceeds at that fraction of wall rate, and with none it stalls.
+double serial_rate(const Live& j) { return std::min(j.share, 1.0); }
 }  // namespace
 
 MalleableResult schedule_malleable(const std::vector<MalleableJob>& jobs,
-                                   const CpuModel& cpu) {
+                                   const CpuModel& cpu,
+                                   const MalleableOptions& options) {
   if (cpu.cores == 0 || cpu.core_speed <= 0.0) {
     throw std::invalid_argument("schedule_malleable: bad CpuModel");
   }
@@ -66,16 +91,20 @@ MalleableResult schedule_malleable(const std::vector<MalleableJob>& jobs,
 
   double now = 0.0;
   while (!live.empty()) {
-    allocate(live, static_cast<double>(cpu.cores));
+    allocate(live, static_cast<double>(cpu.cores), options.mode);
     // Time to each job's completion under the current allocation: serial
-    // runs first, then parallel at share*speed.
+    // runs first at min(share, 1), then parallel at share*speed.
     double step = std::numeric_limits<double>::infinity();
     for (const Live& j : live) {
-      const double rate = j.share * cpu.core_speed;
-      double t = j.serial_left;
+      const double s_rate = serial_rate(j);
+      const double p_rate = j.share * cpu.core_speed;
+      double t = j.serial_left > 0.0
+                     ? (s_rate > 0.0 ? j.serial_left / s_rate
+                                     : std::numeric_limits<double>::infinity())
+                     : 0.0;
       if (j.parallel_left > 0.0) {
-        t += rate > 0.0 ? j.parallel_left / rate
-                        : std::numeric_limits<double>::infinity();
+        t += p_rate > 0.0 ? j.parallel_left / p_rate
+                          : std::numeric_limits<double>::infinity();
       }
       step = std::min(step, t);
     }
@@ -88,9 +117,15 @@ MalleableResult schedule_malleable(const std::vector<MalleableJob>& jobs,
     next.reserve(live.size());
     for (Live j : live) {
       double budget = step;
-      const double serial_used = std::min(j.serial_left, budget);
-      j.serial_left -= serial_used;
-      budget -= serial_used;
+      if (j.serial_left > 0.0) {
+        const double s_rate = serial_rate(j);
+        const double serial_time =
+            s_rate > 0.0 ? j.serial_left / s_rate
+                         : std::numeric_limits<double>::infinity();
+        const double used = std::min(serial_time, budget);
+        j.serial_left -= used * s_rate;
+        budget -= used;
+      }
       if (budget > 0.0) {
         j.parallel_left -= budget * j.share * cpu.core_speed;
       }

@@ -6,15 +6,27 @@
 // given N jobs sharing C cores, when does each finish?
 //
 // Model: a job is (serial_seconds, parallel_work, max_threads).  Serial
-// work proceeds at wall rate 1 regardless of allocation; parallel work is
-// reference-core-seconds consumed at `granted_cores * core_speed`.  The
-// OS's fair scheduler is approximated by equal core shares among active
-// jobs (capped at each job's max_threads, surplus redistributed), with
-// reallocation at every completion — a standard malleable-task fluid
-// model.
+// work runs on at most one core: it proceeds at wall rate min(share, 1)
+// — a job holding a fraction of a core makes proportionally slow serial
+// progress, and a job holding none makes none.  Parallel work is
+// reference-core-seconds consumed at `granted_cores * core_speed`.
+// Core shares are reallocated at every completion, under one of two
+// modes:
+//
+//   * kEqualShare    — the OS's fair scheduler: equal shares among
+//                      active jobs (capped at each job's max_threads,
+//                      surplus redistributed) — the classic malleable-
+//                      task fluid model.
+//   * kProportional  — work-proportional partitioning in the style of
+//                      SET-ISCA2023's Cluster::try_alloc: each job's
+//                      share is weighted by its remaining work, so a
+//                      heavy job gets more cores and co-runners converge
+//                      toward a common finish — the allocation a
+//                      makespan-minimising runtime would pick.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,7 +36,7 @@ namespace mcsd::sim {
 
 struct MalleableJob {
   std::string name;
-  double serial_seconds = 0.0;    ///< wall-clock, core-independent
+  double serial_seconds = 0.0;    ///< wall-clock on one core
   double parallel_work = 0.0;     ///< reference-core-seconds
   std::size_t max_threads = 0;    ///< 0 = unlimited
 };
@@ -34,8 +46,41 @@ struct MalleableResult {
   double makespan_seconds = 0.0;
 };
 
+enum class ShareMode : std::uint8_t {
+  kEqualShare,
+  kProportional,
+};
+
+[[nodiscard]] constexpr const char* to_string(ShareMode mode) noexcept {
+  switch (mode) {
+    case ShareMode::kEqualShare: return "equal";
+    case ShareMode::kProportional: return "proportional";
+  }
+  return "?";
+}
+
+struct MalleableOptions {
+  ShareMode mode = ShareMode::kEqualShare;
+};
+
+/// One claimant in a share allocation round.
+struct ShareSlot {
+  double cap = 0.0;     ///< max cores this claimant can use (inf ok)
+  double weight = 1.0;  ///< proportional weight (remaining work); ignored
+                        ///< by kEqualShare
+  double share = 0.0;   ///< out: granted cores (fractional)
+};
+
+/// Water-filling core allocator shared by the fluid scheduler and the
+/// cluster simulator's per-node CPU.  kEqualShare splits `cores` equally
+/// (capped, surplus recycled); kProportional splits by `weight` the way
+/// SET's try_alloc partitions cores by per-child ops.  Claimants with
+/// nonpositive cap or weight get share 0.
+void fill_shares(std::vector<ShareSlot>& slots, double cores, ShareMode mode);
+
 /// Simulates the fluid schedule.  `cpu` supplies core count and speed.
 MalleableResult schedule_malleable(const std::vector<MalleableJob>& jobs,
-                                   const CpuModel& cpu);
+                                   const CpuModel& cpu,
+                                   const MalleableOptions& options = {});
 
 }  // namespace mcsd::sim

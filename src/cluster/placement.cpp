@@ -1,0 +1,91 @@
+#include "cluster/placement.hpp"
+
+#include <limits>
+
+#include "cluster/models.hpp"
+
+namespace mcsd::sim {
+
+std::size_t RandomPlacement::place(const TraceJob& job,
+                                   const std::vector<NodeView>& nodes,
+                                   const PlacementContext& ctx, Rng& rng) {
+  (void)job;
+  (void)ctx;
+  return static_cast<std::size_t>(
+      rng.next_below(static_cast<std::uint64_t>(nodes.size())));
+}
+
+std::size_t GreedyPlacement::place(const TraceJob& job,
+                                   const std::vector<NodeView>& nodes,
+                                   const PlacementContext& ctx, Rng& rng) {
+  (void)job;
+  (void)ctx;
+  (void)rng;
+  std::size_t best = 0;
+  std::size_t best_jobs = std::numeric_limits<std::size_t>::max();
+  for (const NodeView& node : nodes) {
+    if (node.running_jobs < best_jobs) {
+      best_jobs = node.running_jobs;
+      best = node.index;
+    }
+  }
+  return best;
+}
+
+double ContentionAwarePlacement::estimate_seconds(const TraceJob& job,
+                                                  const NodeView& node,
+                                                  const PlacementContext& ctx) {
+  const double mib = static_cast<double>(job.input_bytes) / kMiBd;
+  const AppProfile& profile = kernel_profile(job.kernel);
+
+  // Read stage: local disk when the node already holds the input,
+  // otherwise a pull through the shared fabric — each behind whatever
+  // backlog that server is already carrying.
+  const bool local = node.is_sd && node.index == job.home_node;
+  const double read_seconds =
+      local ? (mib + node.disk_backlog_mib) / node.disk_mibps
+            : (mib + ctx.fabric_backlog_mib) / ctx.fabric_mibps;
+
+  // Compute stage: this job's work plus the node's existing CPU backlog,
+  // over the node's aggregate rate, inflated by the crowding penalty the
+  // simulator applies to co-resident jobs.
+  const double work_ref = mib * profile.seconds_per_mib;
+  const double interference =
+      1.0 + ctx.interference_per_job * static_cast<double>(node.running_jobs);
+  const double rate =
+      static_cast<double>(node.cores) * node.core_speed;
+  const double compute_seconds =
+      (work_ref * interference + node.cpu_backlog_ref_seconds) / rate;
+
+  // The shuffle crosses the same fabric from every node — it cannot
+  // differentiate candidates, so the estimate omits it.
+  return read_seconds + compute_seconds;
+}
+
+std::size_t ContentionAwarePlacement::place(const TraceJob& job,
+                                            const std::vector<NodeView>& nodes,
+                                            const PlacementContext& ctx,
+                                            Rng& rng) {
+  (void)rng;
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const NodeView& node : nodes) {
+    const double cost = estimate_seconds(job, node, ctx);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = node.index;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomPlacement>();
+  if (name == "greedy") return std::make_unique<GreedyPlacement>();
+  if (name == "contention") {
+    return std::make_unique<ContentionAwarePlacement>();
+  }
+  return nullptr;
+}
+
+}  // namespace mcsd::sim

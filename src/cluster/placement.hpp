@@ -1,0 +1,97 @@
+// Offload placement policies (ROADMAP item 5).
+//
+// When a job arrives, something must decide which node runs it: the SD
+// node that already holds the input (free local read, slow duo cores),
+// another idle SD node (remote read over the fabric), or a host node
+// (fast quad cores, always a remote read).  The policy sees a snapshot
+// of per-node state — queue depth, CPU backlog, disk backlog — plus the
+// shared fabric's backlog, and returns a node index.
+//
+// Three implementations ride head-to-head in the bench:
+//   * random      — uniform over nodes: the strawman lower bound.
+//   * greedy      — least running jobs, ties to the lowest index: what
+//                   a naive load balancer does.  Blind to job size, node
+//                   heterogeneity, and data locality.
+//   * contention  — estimates the job's completion on every node from
+//                   the snapshot (read through the contended disk or
+//                   fabric, compute behind the CPU backlog, inflated by
+//                   co-runner interference) and takes the argmin — the
+//                   McSD runtime's cost model generalised to a cluster.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/trace.hpp"
+#include "core/random.hpp"
+
+namespace mcsd::sim {
+
+/// Per-node state snapshot a policy sees at placement time.
+struct NodeView {
+  std::size_t index = 0;
+  bool is_sd = false;           ///< a smart-storage node (data can be local)
+  std::size_t cores = 0;
+  double core_speed = 1.0;      ///< relative to the reference core
+  std::size_t running_jobs = 0; ///< jobs in any phase on this node
+  double cpu_backlog_ref_seconds = 0.0;  ///< outstanding compute work
+  double disk_backlog_mib = 0.0;         ///< unread local-disk bytes
+  double disk_mibps = 0.0;
+};
+
+/// Cluster-wide state shared by all nodes.
+struct PlacementContext {
+  double fabric_backlog_mib = 0.0;  ///< in-flight remote reads + shuffles
+  double fabric_mibps = 1.0;
+  /// Interference factor per co-resident job (matches the simulator's
+  /// memory-bus model) so estimates price in crowding.
+  double interference_per_job = 0.0;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// Returns the index of the chosen node.  `rng` is the simulation's
+  /// deterministic stream — policies may consume it (random placement)
+  /// or not; either way runs replay identically under one seed.
+  virtual std::size_t place(const TraceJob& job,
+                            const std::vector<NodeView>& nodes,
+                            const PlacementContext& ctx, Rng& rng) = 0;
+};
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "random"; }
+  std::size_t place(const TraceJob& job, const std::vector<NodeView>& nodes,
+                    const PlacementContext& ctx, Rng& rng) override;
+};
+
+class GreedyPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "greedy"; }
+  std::size_t place(const TraceJob& job, const std::vector<NodeView>& nodes,
+                    const PlacementContext& ctx, Rng& rng) override;
+};
+
+class ContentionAwarePlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "contention";
+  }
+  std::size_t place(const TraceJob& job, const std::vector<NodeView>& nodes,
+                    const PlacementContext& ctx, Rng& rng) override;
+
+  /// The cost model itself, exposed for tests: estimated seconds for
+  /// `job` on `node` given the snapshot.
+  static double estimate_seconds(const TraceJob& job, const NodeView& node,
+                                 const PlacementContext& ctx);
+};
+
+/// Factory over the policy names the tools accept
+/// ("random" | "greedy" | "contention"); returns nullptr on unknown.
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
+
+}  // namespace mcsd::sim

@@ -14,6 +14,8 @@ AppProfile wordcount_profile() {
   p.output_ratio = 0.05;
   p.partitionable = true;
   p.per_fragment_overhead_seconds = 0.35;
+  p.shuffle_ratio = 0.02;   // combiners collapse the pairs before they move
+  p.reduce_fraction = 0.05;
   return p;
 }
 
@@ -29,6 +31,8 @@ AppProfile stringmatch_profile() {
   p.output_ratio = 0.001;
   p.partitionable = true;
   p.per_fragment_overhead_seconds = 0.25;
+  p.shuffle_ratio = 0.001;  // only the match list leaves the node
+  p.reduce_fraction = 0.01;
   return p;
 }
 
@@ -44,6 +48,42 @@ AppProfile matmul_profile() {
   p.output_ratio = 0.33;
   p.partitionable = false;
   p.per_fragment_overhead_seconds = 0.0;
+  p.shuffle_ratio = 0.0;   // operands stay put; only the result moves
+  p.reduce_fraction = 0.0;
+  return p;
+}
+
+AppProfile hashjoin_profile() {
+  AppProfile p;
+  p.name = "hashjoin";
+  p.seconds_per_mib = 1.0 / 30.0;  // hash build + probe, cache-unfriendly
+  p.sequential_factor = 1.05;
+  p.footprint_factor = 2.5;        // build table + probe stream + output
+  p.dirty_footprint_factor = 1.5;  // the build-side hash table
+  p.sequential_footprint_factor = 1.6;
+  p.parallel_fraction = 0.96;
+  p.output_ratio = 0.2;
+  p.partitionable = true;
+  p.per_fragment_overhead_seconds = 0.3;
+  p.shuffle_ratio = 1.0;   // both relations hash-repartitioned
+  p.reduce_fraction = 0.4; // the probe side runs post-shuffle
+  return p;
+}
+
+AppProfile terasort_profile() {
+  AppProfile p;
+  p.name = "terasort";
+  p.seconds_per_mib = 1.0 / 45.0;  // sample + partition + per-range merge
+  p.sequential_factor = 1.1;
+  p.footprint_factor = 2.0;        // input run + sorted output run
+  p.dirty_footprint_factor = 1.0;  // every output page is written
+  p.sequential_footprint_factor = 1.3;
+  p.parallel_fraction = 0.97;
+  p.output_ratio = 1.0;            // sort rewrites everything
+  p.partitionable = true;
+  p.per_fragment_overhead_seconds = 0.3;
+  p.shuffle_ratio = 1.0;   // every record crosses the fabric
+  p.reduce_fraction = 0.5; // the per-range merge half
   return p;
 }
 

@@ -51,6 +51,18 @@ struct AppProfile {
   /// Per-fragment fixed overhead of a partitioned run: runtime spin-up,
   /// integrity scan, buffer churn.
   double per_fragment_overhead_seconds = 0.35;
+
+  /// Bytes crossing the cluster fabric between map and reduce, per input
+  /// byte, when the kernel runs in its distributed (multi-node) form.
+  /// WC/SM/MM shuffle almost nothing (combiners collapse the pairs); a
+  /// shared-nothing hash join repartitions both relations and a
+  /// TeraSort-style sort moves every record — the shuffle-heavy shapes
+  /// the cluster scenarios exist to exercise.
+  double shuffle_ratio = 0.02;
+
+  /// Fraction of the kernel's compute that runs after the shuffle (the
+  /// reduce/probe/merge side); the rest is the map/build side.
+  double reduce_fraction = 0.05;
 };
 
 /// Deterministic default profiles (fixed constants — bench output is
@@ -63,5 +75,13 @@ AppProfile stringmatch_profile();
 /// pairs; its "input bytes" denote operand size, and its work-per-byte is
 /// an order of magnitude above the data-intensive apps.
 AppProfile matmul_profile();
+/// Shared-nothing hash join (Chakraborty, PAPERS.md): build+probe CPU,
+/// both relations hash-repartitioned across the fabric — shuffle volume
+/// ~= input volume, with the probe side running after the shuffle.
+AppProfile hashjoin_profile();
+/// TeraSort-style distributed sort (Goodrich et al., PAPERS.md): sample
+/// + range-partition + per-node merge; every record crosses the fabric
+/// and is written back out, the canonical shuffle-bound job.
+AppProfile terasort_profile();
 
 }  // namespace mcsd::sim

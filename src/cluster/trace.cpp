@@ -1,0 +1,141 @@
+#include "cluster/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/random.hpp"
+
+namespace mcsd::sim {
+
+const AppProfile& kernel_profile(Kernel k) {
+  static const AppProfile wc = wordcount_profile();
+  static const AppProfile sm = stringmatch_profile();
+  static const AppProfile mm = matmul_profile();
+  static const AppProfile hj = hashjoin_profile();
+  static const AppProfile ts = terasort_profile();
+  switch (k) {
+    case Kernel::kWordCount: return wc;
+    case Kernel::kStringMatch: return sm;
+    case Kernel::kMatMul: return mm;
+    case Kernel::kHashJoin: return hj;
+    case Kernel::kTeraSort: return ts;
+  }
+  return wc;
+}
+
+namespace {
+
+/// Exponential variate with mean 1/rate; the tiny clamp keeps log(0) out.
+double exponential(Rng& rng, double rate) {
+  const double u = std::max(rng.next_double(), 1e-12);
+  return -std::log(u) / rate;
+}
+
+Kernel draw_kernel(Rng& rng, const std::array<double, kKernelCount>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng.next_double() * total;
+  for (std::size_t i = 0; i < kKernelCount; ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<Kernel>(i);
+  }
+  return static_cast<Kernel>(kKernelCount - 1);
+}
+
+/// Log-uniform size in [min, max]: every decade equally likely, so a
+/// trace mixes hundred-MiB and multi-GiB jobs instead of clustering at
+/// the arithmetic mean.
+std::uint64_t draw_log_uniform(Rng& rng, std::uint64_t min_bytes,
+                               std::uint64_t max_bytes) {
+  const double lo = std::log(static_cast<double>(min_bytes));
+  const double hi = std::log(static_cast<double>(max_bytes));
+  const double v = std::exp(lo + (hi - lo) * rng.next_double());
+  return std::clamp(static_cast<std::uint64_t>(v), min_bytes, max_bytes);
+}
+
+}  // namespace
+
+std::vector<TraceJob> generate_trace(const TraceOptions& options,
+                                     std::size_t sd_nodes) {
+  if (options.jobs == 0 || sd_nodes == 0 || options.horizon_seconds <= 0.0 ||
+      options.min_bytes == 0 || options.min_bytes > options.max_bytes) {
+    throw std::invalid_argument("generate_trace: bad options");
+  }
+  Rng rng{options.seed};
+  const double mean_rate =
+      static_cast<double>(options.jobs) / options.horizon_seconds;
+
+  // Zipf ladder for kZipfMix: power-of-two rungs from min to max.
+  std::size_t rungs = 1;
+  for (std::uint64_t b = options.min_bytes; b < options.max_bytes; b *= 2) {
+    ++rungs;
+  }
+  const ZipfSampler ladder{rungs, options.zipf_s};
+
+  // kBursty state machine: rates chosen so the long-run average is
+  // mean_rate while ON bursts run burst_rate_ratio times hotter than
+  // OFF.  on_frac*r_on + (1-on_frac)*r_off = mean_rate.
+  const double on_frac = std::clamp(options.burst_on_fraction, 0.01, 0.99);
+  const double ratio = std::max(options.burst_rate_ratio, 1.0);
+  const double r_off = mean_rate / (on_frac * ratio + (1.0 - on_frac));
+  const double r_on = ratio * r_off;
+  // Dwell times: ~40 bursts per horizon keeps the trace bursty at any
+  // job count without degenerating into one long ON block.
+  const double on_dwell = on_frac * options.horizon_seconds / 40.0;
+  const double off_dwell = (1.0 - on_frac) * options.horizon_seconds / 40.0;
+  bool burst_on = false;
+  double state_left = exponential(rng, 1.0 / off_dwell);
+
+  std::vector<TraceJob> trace;
+  trace.reserve(options.jobs);
+  double now = 0.0;
+  while (trace.size() < options.jobs) {
+    double gap;
+    switch (options.kind) {
+      case TraceKind::kBursty: {
+        // Advance the MMPP: consume state dwell until an arrival lands
+        // inside the current state.
+        for (;;) {
+          const double rate = burst_on ? r_on : r_off;
+          gap = exponential(rng, rate);
+          if (gap <= state_left) {
+            state_left -= gap;
+            break;
+          }
+          now += state_left;
+          burst_on = !burst_on;
+          state_left =
+              exponential(rng, 1.0 / (burst_on ? on_dwell : off_dwell));
+        }
+        break;
+      }
+      case TraceKind::kPoisson:
+      case TraceKind::kZipfMix:
+        gap = exponential(rng, mean_rate);
+        break;
+      default:
+        gap = exponential(rng, mean_rate);
+        break;
+    }
+    now += gap;
+
+    TraceJob job;
+    job.arrival_seconds = now;
+    job.kernel = draw_kernel(rng, options.kernel_weights);
+    if (options.kind == TraceKind::kZipfMix) {
+      const std::size_t rank = ladder.sample(rng);
+      job.input_bytes =
+          std::min(options.min_bytes << rank, options.max_bytes);
+    } else {
+      job.input_bytes =
+          draw_log_uniform(rng, options.min_bytes, options.max_bytes);
+    }
+    job.home_node = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(sd_nodes)));
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+}  // namespace mcsd::sim

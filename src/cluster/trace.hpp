@@ -1,0 +1,114 @@
+// Arrival-trace generation for cluster-scale scenarios (ROADMAP item 5).
+//
+// The paper's evaluation drives four hand-picked job pairs through a
+// 5-node testbed; a scheduling claim needs traffic.  A trace is a
+// time-ordered stream of job arrivals — kernel, input size, and the SD
+// node that holds the input — produced by one of three generators:
+//
+//   * kPoisson  — memoryless arrivals at a constant rate: the classic
+//                 open-system baseline every queueing result is quoted
+//                 against.
+//   * kBursty   — a two-state MMPP (Markov-modulated Poisson process):
+//                 quiet periods at a low rate punctuated by ON bursts
+//                 arriving an order of magnitude faster.  Clusters see
+//                 diurnal spikes and coordinated submissions, not smooth
+//                 streams; burstiness is what breaks greedy placement.
+//   * kZipfMix  — Poisson arrivals whose *sizes* follow a Zipf ladder:
+//                 most jobs are small, a heavy tail is enormous — the
+//                 mice-and-elephants mix real traces show.
+//
+// Everything is driven by the deterministic core Rng: the same options
+// produce the same trace on every platform, which is what lets bench
+// output and the DES-agreement tests be byte-identical across repeats.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/profiles.hpp"
+
+namespace mcsd::sim {
+
+/// The kernel mix the scenarios draw from: the paper's three apps plus
+/// the two shuffle-heavy shapes (hash join, TeraSort) from PAPERS.md.
+enum class Kernel : std::uint8_t {
+  kWordCount,
+  kStringMatch,
+  kMatMul,
+  kHashJoin,
+  kTeraSort,
+};
+
+inline constexpr std::size_t kKernelCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(Kernel k) noexcept {
+  switch (k) {
+    case Kernel::kWordCount: return "wordcount";
+    case Kernel::kStringMatch: return "stringmatch";
+    case Kernel::kMatMul: return "matmul";
+    case Kernel::kHashJoin: return "hashjoin";
+    case Kernel::kTeraSort: return "terasort";
+  }
+  return "?";
+}
+
+/// The AppProfile of one kernel (rates, footprint, shuffle shape).
+const AppProfile& kernel_profile(Kernel k);
+
+enum class TraceKind : std::uint8_t {
+  kPoisson,
+  kBursty,
+  kZipfMix,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kPoisson: return "poisson";
+    case TraceKind::kBursty: return "bursty";
+    case TraceKind::kZipfMix: return "zipf-mix";
+  }
+  return "?";
+}
+
+struct TraceOptions {
+  TraceKind kind = TraceKind::kPoisson;
+  std::size_t jobs = 5000;
+  /// Mean arrival horizon: arrivals average jobs/horizon per second.
+  double horizon_seconds = 600.0;
+  std::uint64_t seed = 1;
+
+  /// Job-size range.  kPoisson/kBursty draw log-uniformly over it;
+  /// kZipfMix walks a power-of-two ladder from min upward with Zipf
+  /// rank frequencies (rank 0 = min_bytes = most common).
+  std::uint64_t min_bytes = 64ULL << 20;
+  std::uint64_t max_bytes = 2ULL << 30;
+  double zipf_s = 1.1;
+
+  /// kBursty: fraction of time in the ON state and the ON:OFF arrival
+  /// rate ratio.  Mean state dwell times are sized so a trace crosses
+  /// many bursts.
+  double burst_on_fraction = 0.15;
+  double burst_rate_ratio = 12.0;
+
+  /// Relative draw weights per kernel, indexed by Kernel.  Defaults
+  /// weight the paper's apps and the shuffle-heavy pair about evenly.
+  std::array<double, kKernelCount> kernel_weights{2.0, 1.5, 1.0, 1.5, 1.5};
+};
+
+struct TraceJob {
+  double arrival_seconds = 0.0;
+  Kernel kernel = Kernel::kWordCount;
+  std::uint64_t input_bytes = 0;
+  /// SD node whose disks hold this job's input (uniform over SD nodes).
+  std::size_t home_node = 0;
+};
+
+/// Generates `options.jobs` arrivals, time-ordered, homes spread over
+/// `sd_nodes` storage nodes.  Throws std::invalid_argument on nonsense
+/// (zero jobs/nodes, min > max, nonpositive horizon).
+std::vector<TraceJob> generate_trace(const TraceOptions& options,
+                                     std::size_t sd_nodes);
+
+}  // namespace mcsd::sim

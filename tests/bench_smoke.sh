@@ -133,6 +133,37 @@ grep -q '"backpressure_failures": 0' BENCH_fam.json || {
   echo "serve suite: invokes failed under backpressure"; exit 1;
 }
 
+# bench_record cluster: a small-cluster run of the DES scheduling
+# simulator must record makespan/utilization/slowdown for all three
+# placement policies, a positive makespan, and digest-identical repeats
+# (policies_deterministic) — and the recorded ranking itself must be
+# byte-identical across two invocations under the fixed seed.  CI
+# uploads BENCH_cluster.json as an artifact.
+"$TOOLS_DIR/bench_record" --suite cluster --nodes 40 --jobs 400 \
+    --label smoke --out BENCH_cluster.json > /dev/null
+for needle in makespan_s_random makespan_s_greedy makespan_s_contention \
+    cpu_utilization_contention fabric_utilization_greedy \
+    slowdown_p50_contention slowdown_p99_random policy_ranking \
+    contention_beats_greedy cluster_fluid_bound_s \
+    makespan_s_bursty_contention makespan_s_zipf_contention; do
+  grep -q "$needle" BENCH_cluster.json || {
+    echo "BENCH_cluster.json: missing '$needle'"; exit 1;
+  }
+done
+grep -q '"policies_deterministic": true' BENCH_cluster.json || {
+  echo "cluster suite: repeat run diverged under the fixed seed"; exit 1;
+}
+grep -Eq '"makespan_s_contention": [0-9]*[1-9]' BENCH_cluster.json || {
+  echo "cluster suite: contention makespan not positive"; exit 1;
+}
+rank_a=$(grep '"policy_ranking"' BENCH_cluster.json | tail -1)
+"$TOOLS_DIR/bench_record" --suite cluster --nodes 40 --jobs 400 \
+    --label smoke2 --out BENCH_cluster.json > /dev/null
+rank_b=$(grep '"policy_ranking"' BENCH_cluster.json | tail -1)
+[ "$rank_a" = "$rank_b" ] || {
+  echo "cluster suite: policy ranking not deterministic"; exit 1;
+}
+
 # bench_record mapreduce: a tiny run must record the per-phase breakdown,
 # scaling efficiency, and the worker-state-reuse A/B.  CI uploads the
 # JSON as an artifact.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "cluster/models.hpp"
@@ -126,6 +127,95 @@ TEST(Resource, RejectsBadArguments) {
   EXPECT_THROW((Resource{sim, "r", 0.0}), std::invalid_argument);
   Resource r{sim, "r", 1.0};
   EXPECT_THROW(r.submit(-1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Resource, ZeroWorkCompletesViaEventQueueNotSynchronously) {
+  // The completion must be dispatched through the event queue at `now`,
+  // never from inside submit() itself — a synchronous callback would
+  // reenter the caller and scramble completion order.
+  Simulator sim;
+  Resource r{sim, "r", 1.0};
+  bool done = false;
+  sim.schedule_at(1.0, [&] {
+    r.submit(0.0, [&] { done = true; });
+    EXPECT_FALSE(done) << "completion fired inside submit()";
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Resource, SimultaneousCompletionsFinishInSubmissionOrder) {
+  Simulator sim;
+  Resource r{sim, "r", 10.0};
+  std::vector<int> order;
+  r.submit(10.0, [&] { order.push_back(0); });
+  r.submit(10.0, [&] { order.push_back(1); });
+  r.submit(10.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Resource, CompletionMaySubmitMoreWork) {
+  Simulator sim;
+  Resource r{sim, "r", 10.0};
+  SimTime second_finish = -1.0;
+  r.submit(10.0, [&] { r.submit(20.0, [&] { second_finish = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_finish, 3.0);
+}
+
+TEST(Resource, SetCapacityMidFlightBanksProgress) {
+  Simulator sim;
+  Resource r{sim, "r", 100.0};
+  SimTime finish = -1.0;
+  r.submit(100.0, [&] { finish = sim.now(); });
+  // Halve the rate at t = 0.5: 50 units done, 50 left at 50 u/s -> 1.5.
+  sim.schedule_at(0.5, [&] { r.set_capacity(50.0); });
+  sim.run();
+  EXPECT_NEAR(finish, 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(r.capacity(), 50.0);
+}
+
+TEST(Resource, SetCapacityRejectsNonPositive) {
+  Simulator sim;
+  Resource r{sim, "r", 1.0};
+  EXPECT_THROW(r.set_capacity(0.0), std::invalid_argument);
+  EXPECT_THROW(r.set_capacity(-2.0), std::invalid_argument);
+}
+
+TEST(Resource, OutstandingWorkTracksBacklog) {
+  Simulator sim;
+  Resource r{sim, "r", 10.0};
+  r.submit(30.0, nullptr);
+  r.submit(10.0, nullptr);
+  EXPECT_NEAR(r.outstanding_work(), 40.0, 1e-9);
+  sim.schedule_at(1.0, [&] {
+    // 10 units served in the first second, shared 5 + 5.
+    EXPECT_NEAR(r.outstanding_work(), 30.0, 1e-9);
+  });
+  sim.run();
+  EXPECT_NEAR(r.outstanding_work(), 0.0, 1e-9);
+}
+
+TEST(Resource, CompletionOrderIsDeterministicAcrossRepeats) {
+  // Byte-identical replay: the same submissions produce the same
+  // completion sequence, including ties resolved by submission order.
+  auto run_once = [] {
+    Simulator sim;
+    Resource r{sim, "r", 7.0};
+    std::vector<std::pair<int, SimTime>> log;
+    for (int i = 0; i < 16; ++i) {
+      const double work = static_cast<double>((i * 5) % 8) + 1.0;
+      sim.schedule_at(0.1 * i, [&r, &log, &sim, i, work] {
+        r.submit(work, [&log, &sim, i] { log.emplace_back(i, sim.now()); });
+      });
+    }
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(Resource, ServedWorkAccounting) {

@@ -104,5 +104,88 @@ TEST(Malleable, MakespanIsMaxFinish) {
   EXPECT_DOUBLE_EQ(r.makespan_seconds, r.finish_seconds[1]);
 }
 
+// Regression for the serial-phase share bug: pre-fix, serial work burned
+// at full wall rate no matter how small the job's core share was, so an
+// over-subscribed set of pure-serial jobs all "finished" as if each had
+// a whole core.  Serial progress must run at min(share, 1): eight
+// serial jobs on four cores hold half a core each and take 20 s, not 10.
+TEST(Malleable, OversubscribedSerialPhasesSerialize) {
+  std::vector<MalleableJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back({"s" + std::to_string(i), 10.0, 0.0, 0});
+  }
+  const auto r = schedule_malleable(jobs, kQuad);
+  for (double f : r.finish_seconds) EXPECT_NEAR(f, 20.0, 1e-6);
+  EXPECT_NEAR(r.makespan_seconds, 20.0, 1e-6);
+}
+
+TEST(Malleable, FractionalShareSlowsSerialPhaseBeforeParallel) {
+  // Six identical serial+parallel jobs on a quad: share 2/3 each, so the
+  // 2 s serial prefix stretches to 3 s, then 8 core-s of parallel work
+  // at 2/3 core adds 12 s.
+  std::vector<MalleableJob> jobs(6, MalleableJob{"j", 2.0, 8.0, 0});
+  const auto r = schedule_malleable(jobs, kQuad);
+  for (double f : r.finish_seconds) EXPECT_NEAR(f, 15.0, 1e-6);
+}
+
+TEST(FillShares, EqualSplitsEvenly) {
+  std::vector<ShareSlot> slots(4);
+  for (auto& s : slots) s.cap = 8.0;
+  fill_shares(slots, 4.0, ShareMode::kEqualShare);
+  for (const auto& s : slots) EXPECT_NEAR(s.share, 1.0, 1e-12);
+}
+
+TEST(FillShares, EqualRecyclesCapSurplus) {
+  std::vector<ShareSlot> slots(3);
+  slots[0].cap = 0.5;  // capped claimant frees 1/3 of a core
+  slots[1].cap = 8.0;
+  slots[2].cap = 8.0;
+  fill_shares(slots, 4.0, ShareMode::kEqualShare);
+  EXPECT_NEAR(slots[0].share, 0.5, 1e-12);
+  EXPECT_NEAR(slots[1].share, 1.75, 1e-12);
+  EXPECT_NEAR(slots[2].share, 1.75, 1e-12);
+}
+
+TEST(FillShares, ProportionalFollowsWeights) {
+  std::vector<ShareSlot> slots(2);
+  slots[0] = {8.0, 3.0, 0.0};
+  slots[1] = {8.0, 1.0, 0.0};
+  fill_shares(slots, 4.0, ShareMode::kProportional);
+  EXPECT_NEAR(slots[0].share, 3.0, 1e-12);
+  EXPECT_NEAR(slots[1].share, 1.0, 1e-12);
+}
+
+TEST(FillShares, ProportionalRespectsCapsAndRecycles) {
+  std::vector<ShareSlot> slots(2);
+  slots[0] = {1.0, 100.0, 0.0};  // heavy but capped at one core
+  slots[1] = {8.0, 1.0, 0.0};
+  fill_shares(slots, 4.0, ShareMode::kProportional);
+  EXPECT_NEAR(slots[0].share, 1.0, 1e-12);
+  EXPECT_NEAR(slots[1].share, 3.0, 1e-12);
+}
+
+TEST(FillShares, ZeroWeightGetsNothingUnderProportional) {
+  std::vector<ShareSlot> slots(2);
+  slots[0] = {8.0, 0.0, 0.0};
+  slots[1] = {8.0, 2.0, 0.0};
+  fill_shares(slots, 4.0, ShareMode::kProportional);
+  EXPECT_DOUBLE_EQ(slots[0].share, 0.0);
+  EXPECT_NEAR(slots[1].share, 4.0, 1e-12);
+}
+
+TEST(Malleable, ProportionalModeConvergesCoRunners) {
+  // Equal shares finish the light job first; proportional weights the
+  // heavy job, so both finish nearer each other and the makespan drops
+  // to the balanced optimum: 40 core-s over 4 cores = 10 s.
+  const std::vector<MalleableJob> jobs{{"light", 0.0, 8.0, 0},
+                                       {"heavy", 0.0, 32.0, 0}};
+  const auto equal = schedule_malleable(jobs, kQuad);
+  const auto prop = schedule_malleable(
+      jobs, kQuad, MalleableOptions{ShareMode::kProportional});
+  EXPECT_NEAR(prop.makespan_seconds, 10.0, 1e-6);
+  EXPECT_LE(prop.makespan_seconds, equal.makespan_seconds + 1e-9);
+  EXPECT_NEAR(prop.finish_seconds[0], prop.finish_seconds[1], 1e-6);
+}
+
 }  // namespace
 }  // namespace mcsd::sim

@@ -5,8 +5,11 @@
 
 #include <string>
 
+#include "cluster/cluster_sim.hpp"
+#include "cluster/placement.hpp"
 #include "cluster/profiles.hpp"
 #include "cluster/scenarios.hpp"
+#include "cluster/trace.hpp"
 #include "core/units.hpp"
 
 namespace mcsd::sim {
@@ -176,6 +179,54 @@ TEST_P(PartitionSweep, FlatBottomWithinTwentyPercentOf600M) {
 INSTANTIATE_TEST_SUITE_P(BottomSizes, PartitionSweep,
                          ::testing::Values(128_MiB, 256_MiB, 400_MiB,
                                            512_MiB, 600_MiB));
+
+// ---- cluster scale: the DES against the fluid closed form ---------------
+
+TEST(ClusterScale, HundredNodesThousandJobsTracksFluidModel) {
+  // A homogeneous cluster, a homogeneous (wordcount-only) job mix, and
+  // a load the cluster can absorb: the regime where the fluid closed
+  // form is actually predictive.  The event-by-event schedule must land
+  // above the work-conservation bound (it is a true lower bound) and
+  // within a tight factor of it — the DES adds only the drain of the
+  // last arrivals and mild queueing transients here.  Saturated and
+  // heavy-tailed regimes are exercised elsewhere; their straggler
+  // makespans are exactly what a fluid bound misses.
+  ClusterSpec spec;
+  spec.sd_nodes = 100;
+  spec.host_nodes = 0;
+  TraceOptions opt;
+  opt.jobs = 1000;
+  opt.horizon_seconds = 300.0;
+  opt.kernel_weights = {1.0, 0.0, 0.0, 0.0, 0.0};  // wordcount only
+  const auto trace = generate_trace(opt, spec.sd_nodes);
+  ASSERT_EQ(trace.size(), 1000u);
+
+  const double bound = fluid_makespan_lower_bound(spec, trace);
+  ASSERT_GT(bound, 0.0);
+  const auto policy = make_policy("contention");
+  const ClusterSimResult r = run_cluster_sim(spec, trace, *policy);
+  EXPECT_GE(r.makespan_seconds, bound * (1.0 - 1e-9));
+  EXPECT_LE(r.makespan_seconds, bound * 1.25)
+      << "DES makespan " << r.makespan_seconds << "s vs fluid bound "
+      << bound << "s";
+}
+
+TEST(ClusterScale, HundredNodeRunIsByteIdenticalAcrossRepeats) {
+  ClusterSpec spec;
+  spec.sd_nodes = 100;
+  spec.host_nodes = 0;
+  TraceOptions opt;
+  opt.jobs = 1000;
+  opt.horizon_seconds = 100.0;
+  const auto trace = generate_trace(opt, spec.sd_nodes);
+  const auto p1 = make_policy("contention");
+  const auto p2 = make_policy("contention");
+  const ClusterSimResult a = run_cluster_sim(spec, trace, *p1, 3);
+  const ClusterSimResult b = run_cluster_sim(spec, trace, *p2, 3);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.events, b.events);
+}
 
 }  // namespace
 }  // namespace mcsd::sim

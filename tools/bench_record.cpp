@@ -11,6 +11,9 @@
 //   bench_record --suite cache       -> BENCH_fam.json (the serving
 //                                       tier: daemon result cache + warm
 //                                       module state)
+//   bench_record --suite cluster     -> BENCH_cluster.json (the DES
+//                                       cluster scheduling simulator:
+//                                       placement policies head-to-head)
 //
 // Suite `mapreduce`, all on a generated corpus of --bytes:
 //   * wordcount_sequential  — the single-thread hash-map reference;
@@ -91,6 +94,16 @@
 // that populated it), and hit_rate over a zipf(1.0) trace in a fresh
 // key-space (first touch per rank is an honest in-trace miss).
 //
+// Suite `cluster` runs the DES cluster scheduling simulator (virtual
+// time — no wall clocks, byte-identical across machines): a --jobs
+// Poisson trace over --nodes nodes (4:1 SD:host), all three placement
+// policies head-to-head, each run twice to assert digest-identical
+// determinism.  Recorded per policy: makespan_s_<p>, cpu/fabric
+// utilisation, slowdown p50/p99, remote reads; plus policy_ranking,
+// contention_beats_greedy, policies_deterministic, the fluid
+// lower bound, and contention-policy arms on the bursty and zipf-mix
+// traces.
+//
 // Each series reports the best-of --reps wall-clock MB/s (best, not mean:
 // the minimum over repetitions is the standard low-noise estimator for
 // microbenchmarks on a shared machine).  `--label` names the run (e.g.
@@ -113,6 +126,9 @@
 #endif
 
 #include "apps/datagen.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/trace.hpp"
 #include "apps/modules.hpp"
 #include "apps/stringmatch.hpp"
 #include "apps/wordcount.hpp"
@@ -1135,13 +1151,103 @@ void run_serve_suite(bench::TrajectoryEntry& entry,
   }
 }
 
+/// Suite `cluster`: the DES scheduling simulator, three placement
+/// policies over the same trace.  Pure virtual time — numbers depend
+/// only on (nodes, jobs, seed), never on the recording host.
+void run_cluster_suite(bench::TrajectoryEntry& entry, std::size_t nodes,
+                       std::size_t jobs) {
+  using namespace mcsd::sim;
+  const std::size_t host_nodes = nodes / 5;
+  const std::size_t sd_nodes = nodes - host_nodes;
+
+  ClusterSpec spec;
+  spec.sd_nodes = sd_nodes;
+  spec.host_nodes = host_nodes;
+
+  TraceOptions topt;
+  topt.jobs = jobs;
+  topt.horizon_seconds = 600.0;
+  topt.seed = 1;
+  const std::vector<TraceJob> trace = generate_trace(topt, sd_nodes);
+
+  entry.add_field("cluster_sd_nodes", std::to_string(sd_nodes));
+  entry.add_field("cluster_host_nodes", std::to_string(host_nodes));
+  entry.add_field("cluster_trace_jobs", std::to_string(trace.size()));
+  entry.add_number("cluster_fluid_bound_s",
+                   fluid_makespan_lower_bound(spec, trace), 3);
+
+  struct Row {
+    std::string name;
+    double makespan = 0.0;
+  };
+  std::vector<Row> rows;
+  bool deterministic = true;
+  double greedy_makespan = 0.0;
+  double contention_makespan = 0.0;
+  for (const char* name : {"random", "greedy", "contention"}) {
+    const auto policy = make_policy(name);
+    const auto policy_again = make_policy(name);
+    const ClusterSimResult r = run_cluster_sim(spec, trace, *policy, 1);
+    const ClusterSimResult rerun =
+        run_cluster_sim(spec, trace, *policy_again, 1);
+    deterministic = deterministic && r.digest() == rerun.digest();
+
+    const std::string p = name;
+    entry.add_number("makespan_s_" + p, r.makespan_seconds, 3);
+    entry.add_number("cpu_utilization_" + p, r.cpu_utilization, 4);
+    entry.add_number("fabric_utilization_" + p, r.fabric_utilization, 4);
+    entry.add_number("slowdown_p50_" + p, r.slowdown_p50, 3);
+    entry.add_number("slowdown_p99_" + p, r.slowdown_p99, 3);
+    entry.add_field("remote_reads_" + p, std::to_string(r.remote_reads));
+    if (p == "greedy") greedy_makespan = r.makespan_seconds;
+    if (p == "contention") contention_makespan = r.makespan_seconds;
+    rows.push_back(Row{p, r.makespan_seconds});
+  }
+
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) {
+                     return a.makespan < b.makespan;
+                   });
+  std::string ranking;
+  for (const Row& row : rows) {
+    if (!ranking.empty()) ranking += " < ";
+    ranking += row.name;
+  }
+  entry.add_field("policy_ranking", "\"" + bench::json_escape(ranking) + "\"");
+  entry.add_field("contention_beats_greedy",
+                  contention_makespan < greedy_makespan ? "true" : "false");
+  entry.add_field("policies_deterministic",
+                  deterministic ? "true" : "false");
+
+  // The contention policy against the nastier traffic shapes: MMPP
+  // bursts and the zipf mice-and-elephants size mix.
+  const struct {
+    TraceKind kind;
+    const char* tag;
+  } arms[] = {{TraceKind::kBursty, "bursty"}, {TraceKind::kZipfMix, "zipf"}};
+  for (const auto& arm : arms) {
+    topt.kind = arm.kind;
+    const std::vector<TraceJob> t = generate_trace(topt, sd_nodes);
+    const auto policy = make_policy("contention");
+    const ClusterSimResult r = run_cluster_sim(spec, t, *policy, 1);
+    const std::string tag = arm.tag;
+    entry.add_number("makespan_s_" + tag + "_contention",
+                     r.makespan_seconds, 3);
+    entry.add_number("slowdown_p99_" + tag + "_contention", r.slowdown_p99,
+                     3);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli;
   cli.add_option("suite", "mapreduce",
                  "benchmark suite: mapreduce | obs | outofcore | storage | "
-                 "cache | serve");
+                 "cache | serve | cluster");
+  cli.add_option("nodes", "200",
+                 "cluster suite: total node count (4:1 SD:host split)");
+  cli.add_option("jobs", "5000", "cluster suite: arrival-trace job count");
   cli.add_option("out", "", "trajectory file (default BENCH_<suite>.json)");
   cli.add_option("label", "dev", "name for this run in the trajectory");
   cli.add_option("bytes", "8M", "corpus size");
@@ -1159,10 +1265,11 @@ int main(int argc, char** argv) {
 
   const std::string suite = cli.option("suite");
   if (suite != "mapreduce" && suite != "obs" && suite != "outofcore" &&
-      suite != "storage" && suite != "cache" && suite != "serve") {
+      suite != "storage" && suite != "cache" && suite != "serve" &&
+      suite != "cluster") {
     std::fprintf(stderr,
                  "unknown --suite '%s' (mapreduce | obs | outofcore | "
-                 "storage | cache | serve)\n",
+                 "storage | cache | serve | cluster)\n",
                  suite.c_str());
     return 2;
   }
@@ -1215,6 +1322,16 @@ int main(int argc, char** argv) {
     run_cache_suite(entry, worker_counts, bytes.value(), reps, io_throttle);
   } else if (suite == "serve") {
     run_serve_suite(entry, baseline, worker_counts, bytes.value(), reps);
+  } else if (suite == "cluster") {
+    const auto nodes = cli.option_int("nodes");
+    const auto jobs = cli.option_int("jobs");
+    if (!nodes.is_ok() || !jobs.is_ok() || nodes.value() < 2 ||
+        jobs.value() < 1) {
+      std::fprintf(stderr, "bad --nodes or --jobs\n");
+      return 2;
+    }
+    run_cluster_suite(entry, static_cast<std::size_t>(nodes.value()),
+                      static_cast<std::size_t>(jobs.value()));
   } else {
     run_outofcore_suite(entry, worker_counts, bytes.value(), reps,
                         io_throttle);

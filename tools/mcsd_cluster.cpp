@@ -1,0 +1,205 @@
+// mcsd_cluster — cluster-scale scheduling simulator CLI.
+//
+// Generates an arrival trace (poisson | bursty | zipf-mix), drives it
+// through the DES cluster engine under one or all placement policies,
+// and prints a per-policy summary table: makespan, CPU/disk/fabric
+// utilisation, slowdown percentiles, remote reads.  Everything is
+// virtual-time deterministic — same flags, same numbers, any machine.
+//
+// Usage:
+//   mcsd_cluster [--nodes N] [--hosts H] [--jobs J] [--trace KIND]
+//                [--policy random|greedy|contention|all] [--seed S]
+//                [--horizon SEC] [--share equal|proportional]
+//                [--interference F] [--csv]
+//
+// --nodes counts SD (storage) nodes; --hosts adds compute hosts on top.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/trace.hpp"
+
+namespace {
+
+using namespace mcsd::sim;
+
+struct Options {
+  std::size_t sd_nodes = 160;
+  std::size_t host_nodes = 40;
+  std::size_t jobs = 5000;
+  double horizon = 600.0;
+  std::uint64_t seed = 1;
+  TraceKind trace = TraceKind::kPoisson;
+  std::string policy = "all";
+  ShareMode share = ShareMode::kProportional;
+  double interference = 0.05;
+  bool csv = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--nodes N] [--hosts H] [--jobs J]\n"
+      "          [--trace poisson|bursty|zipf-mix]\n"
+      "          [--policy random|greedy|contention|all] [--seed S]\n"
+      "          [--horizon SEC] [--share equal|proportional]\n"
+      "          [--interference F] [--csv]\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--nodes") {
+      const char* v = value();
+      if (!v) return false;
+      opt.sd_nodes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--hosts") {
+      const char* v = value();
+      if (!v) return false;
+      opt.host_nodes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (!v) return false;
+      opt.jobs = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--horizon") {
+      const char* v = value();
+      if (!v) return false;
+      opt.horizon = std::strtod(v, nullptr);
+    } else if (arg == "--interference") {
+      const char* v = value();
+      if (!v) return false;
+      opt.interference = std::strtod(v, nullptr);
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (!v) return false;
+      if (std::strcmp(v, "poisson") == 0) {
+        opt.trace = TraceKind::kPoisson;
+      } else if (std::strcmp(v, "bursty") == 0) {
+        opt.trace = TraceKind::kBursty;
+      } else if (std::strcmp(v, "zipf-mix") == 0) {
+        opt.trace = TraceKind::kZipfMix;
+      } else {
+        std::fprintf(stderr, "unknown trace kind '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--share") {
+      const char* v = value();
+      if (!v) return false;
+      if (std::strcmp(v, "equal") == 0) {
+        opt.share = ShareMode::kEqualShare;
+      } else if (std::strcmp(v, "proportional") == 0) {
+        opt.share = ShareMode::kProportional;
+      } else {
+        std::fprintf(stderr, "unknown share mode '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--policy") {
+      const char* v = value();
+      if (!v) return false;
+      opt.policy = v;
+      if (opt.policy != "all" && !make_policy(opt.policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return false;
+    }
+  }
+  if (opt.sd_nodes == 0 || opt.jobs == 0 || opt.horizon <= 0.0) {
+    std::fprintf(stderr, "need at least one SD node, one job, horizon > 0\n");
+    return false;
+  }
+  return true;
+}
+
+void print_row(const Options& opt, const ClusterSimResult& r) {
+  if (opt.csv) {
+    std::printf("%s,%.3f,%.4f,%.4f,%.4f,%.2f,%.2f,%.2f,%zu,%zu\n",
+                r.policy.c_str(), r.makespan_seconds, r.cpu_utilization,
+                r.disk_utilization, r.fabric_utilization, r.slowdown_p50,
+                r.slowdown_p95, r.slowdown_p99, r.remote_reads, r.events);
+  } else {
+    std::printf("%-11s %10.1fs   cpu %5.1f%%  disk %5.1f%%  fab %5.1f%%   "
+                "slow p50 %6.2f  p95 %7.2f  p99 %7.2f   remote %6zu  "
+                "events %zu\n",
+                r.policy.c_str(), r.makespan_seconds,
+                100.0 * r.cpu_utilization, 100.0 * r.disk_utilization,
+                100.0 * r.fabric_utilization, r.slowdown_p50, r.slowdown_p95,
+                r.slowdown_p99, r.remote_reads, r.events);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+
+  TraceOptions trace_opt;
+  trace_opt.kind = opt.trace;
+  trace_opt.jobs = opt.jobs;
+  trace_opt.horizon_seconds = opt.horizon;
+  trace_opt.seed = opt.seed;
+  const std::vector<TraceJob> trace = generate_trace(trace_opt, opt.sd_nodes);
+
+  ClusterSpec spec;
+  spec.sd_nodes = opt.sd_nodes;
+  spec.host_nodes = opt.host_nodes;
+  spec.share_mode = opt.share;
+  spec.interference_per_job = opt.interference;
+
+  std::vector<std::string> names;
+  if (opt.policy == "all") {
+    names = {"random", "greedy", "contention"};
+  } else {
+    names = {opt.policy};
+  }
+
+  if (opt.csv) {
+    std::printf(
+        "policy,makespan_s,cpu_util,disk_util,fabric_util,"
+        "slowdown_p50,slowdown_p95,slowdown_p99,remote_reads,events\n");
+  } else {
+    std::printf(
+        "cluster: %zu SD + %zu host nodes, %zu jobs over %.0fs (%s trace, "
+        "%s shares, seed %llu, fabric %.0f MiB/s)\n",
+        opt.sd_nodes, opt.host_nodes, opt.jobs, opt.horizon,
+        to_string(opt.trace), to_string(opt.share),
+        static_cast<unsigned long long>(opt.seed),
+        spec.derived_fabric_mibps());
+    std::printf("fluid lower bound: %.1fs\n",
+                fluid_makespan_lower_bound(spec, trace));
+  }
+
+  for (const std::string& name : names) {
+    const std::unique_ptr<PlacementPolicy> policy = make_policy(name);
+    const ClusterSimResult result =
+        run_cluster_sim(spec, trace, *policy, opt.seed);
+    print_row(opt, result);
+  }
+  return 0;
+}
